@@ -1,0 +1,114 @@
+// Command lardbe runs a prototype back-end node (paper Section 6): an
+// HTTP server behind a handoff listener, serving a synthetic document
+// store through an in-memory cache with emulated disk misses.
+//
+// Usage:
+//
+//	lardbe -listen 127.0.0.1:9001 -profile rice -cache 32m -diskscale 0.01
+//
+// All back ends of a cluster must use the same -profile and -seed so they
+// serve identical catalogs (any node can serve any target, paper §2.1).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+
+	"lard/internal/backend"
+	"lard/internal/cluster"
+	"lard/internal/handoff"
+	"lard/internal/trace"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:9001", "handoff listen address")
+		profile   = flag.String("profile", "rice", "document catalog: rice, ibm, or chess")
+		seed      = flag.Int64("seed", 42, "catalog generation seed (must match the other back ends)")
+		cacheSize = flag.String("cache", "32m", "cache capacity (e.g. 8m, 64m)")
+		useLRU    = flag.Bool("lru", false, "use LRU replacement instead of GDS")
+		diskScale = flag.Float64("diskscale", 0.01, "emulated disk delay scale (1.0 = full 28ms seeks, 0 = none)")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *profile, *seed, *cacheSize, *useLRU, *diskScale); err != nil {
+		fmt.Fprintln(os.Stderr, "lardbe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, profile string, seed int64, cacheSize string, useLRU bool, diskScale float64) error {
+	capacity, err := parseBytes(cacheSize)
+	if err != nil {
+		return err
+	}
+	cfg, err := profileByName(profile)
+	if err != nil {
+		return err
+	}
+	// The back end only needs the catalog, not the request stream.
+	cfg.Requests = 0
+	tr, err := trace.Generate(cfg, seed)
+	if err != nil {
+		return err
+	}
+
+	be := backend.New(backend.Config{
+		Store:         backend.NewDocStore(tr.Targets),
+		CacheBytes:    capacity,
+		UseLRU:        useLRU,
+		Disk:          cluster.DefaultCostModel(),
+		DiskTimeScale: diskScale,
+	})
+
+	ln, err := handoff.Listen("tcp", listen)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("lardbe: serving %d documents on %s (cache %s, policy %s, disk scale %g)\n",
+		tr.TargetCount(), ln.Addr(), cacheSize, policyName(useLRU), diskScale)
+	return (&http.Server{Handler: be.Handler()}).Serve(ln)
+}
+
+func profileByName(name string) (trace.SyntheticConfig, error) {
+	switch strings.ToLower(name) {
+	case "rice":
+		return trace.RiceProfile(), nil
+	case "ibm":
+		return trace.IBMProfile(), nil
+	case "chess":
+		return trace.ChessProfile(), nil
+	default:
+		return trace.SyntheticConfig{}, fmt.Errorf("unknown profile %q (want rice, ibm, or chess)", name)
+	}
+}
+
+func policyName(lru bool) string {
+	if lru {
+		return "LRU"
+	}
+	return "GDS"
+}
+
+// parseBytes understands "32m", "512k", "1g", or plain byte counts.
+func parseBytes(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1<<30, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1<<20, s[:len(s)-1]
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1<<10, s[:len(s)-1]
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return v * mult, nil
+}

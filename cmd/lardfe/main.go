@@ -1,0 +1,92 @@
+// Command lardfe runs the prototype front end (paper Section 6): it
+// accepts client HTTP connections, dispatches each to a back end with the
+// configured distribution strategy, and hands the connection off.
+//
+// Usage:
+//
+//	lardfe -listen 127.0.0.1:8080 \
+//	       -backends 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
+//	       -strategy lard/r
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"lard/internal/core"
+	"lard/internal/frontend"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:8080", "client listen address")
+		backends  = flag.String("backends", "", "comma-separated back-end handoff addresses")
+		strategy  = flag.String("strategy", "lard/r", "distribution strategy: wrr, lb, lard, lard/r")
+		tlow      = flag.Int("tlow", 25, "LARD T_low (active connections)")
+		thigh     = flag.Int("thigh", 65, "LARD T_high (active connections)")
+		k         = flag.Duration("k", 20*time.Second, "LARD/R replication timer K")
+		mapCap    = flag.Int("mapcap", 0, "LRU bound on the target mapping (0 = unbounded)")
+		rehandoff = flag.Bool("rehandoff", false, "re-dispatch every request on persistent connections")
+		statsEach = flag.Duration("stats", 0, "print stats at this interval (0 = never)")
+	)
+	flag.Parse()
+
+	if err := run(*listen, *backends, *strategy, *tlow, *thigh, *k, *mapCap, *rehandoff, *statsEach); err != nil {
+		fmt.Fprintln(os.Stderr, "lardfe:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, backends, strategy string, tlow, thigh int, k time.Duration, mapCap int, rehandoff bool, statsEach time.Duration) error {
+	var addrs []string
+	for _, a := range strings.Split(backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	params := core.Params{TLow: tlow, THigh: thigh, K: k, MappingCapacity: mapCap}
+	factory, err := factoryByName(strategy, params)
+	if err != nil {
+		return err
+	}
+	fe, err := frontend.New(frontend.Config{
+		Backends:            addrs,
+		NewStrategy:         factory,
+		RehandoffPerRequest: rehandoff,
+		ErrorLog:            log.New(os.Stderr, "", log.LstdFlags),
+	})
+	if err != nil {
+		return err
+	}
+	if statsEach > 0 {
+		go func() {
+			for range time.Tick(statsEach) {
+				st := fe.Stats()
+				log.Printf("stats: accepted=%d handoffs=%d rehandoffs=%d errors=%d rejected=%d c2b=%dB b2c=%dB active=%v",
+					st.Accepted, st.Handoffs, st.Rehandoffs, st.Errors, st.Rejected,
+					st.ClientToBackend, st.BackendToClient, st.ActivePerNode)
+			}
+		}()
+	}
+	fmt.Printf("lardfe: %s over %d back ends on %s (rehandoff=%v)\n", strategy, len(addrs), listen, rehandoff)
+	return fe.ListenAndServe(listen)
+}
+
+func factoryByName(name string, p core.Params) (frontend.StrategyFactory, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "wrr":
+		return frontend.WRR(), nil
+	case "lb":
+		return frontend.LB(), nil
+	case "lard":
+		return frontend.LARD(p), nil
+	case "lard/r", "lardr":
+		return frontend.LARDR(p), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (want wrr, lb, lard, lard/r)", name)
+	}
+}

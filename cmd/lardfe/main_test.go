@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"lard/internal/core"
+)
+
+func TestFactoryByName(t *testing.T) {
+	p := core.DefaultParams()
+	for _, name := range []string{"wrr", "lb", "lard", "lard/r", "lardr", "LARD/R"} {
+		f, err := factoryByName(name, p)
+		if err != nil {
+			t.Fatalf("factoryByName(%q): %v", name, err)
+		}
+		loads := fakeLoads{2}
+		if s := f(loads); s == nil {
+			t.Fatalf("factory %q built nil strategy", name)
+		}
+	}
+	if _, err := factoryByName("nope", p); err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+}
+
+type fakeLoads struct{ n int }
+
+func (f fakeLoads) NodeCount() int { return f.n }
+func (f fakeLoads) Load(int) int   { return 0 }

@@ -1,0 +1,137 @@
+// Command lardsim runs the trace-driven cluster simulations that
+// regenerate the LARD paper's evaluation figures (Sections 4 and 2.4).
+//
+// Usage:
+//
+//	lardsim -experiment list
+//	lardsim -experiment figure7 -scale 1.0
+//	lardsim -experiment all -scale 0.2 -nodes 1,2,4,8,16 -o results.txt
+//
+// Scale 1.0 replays paper-sized traces (2.3M requests for Rice); the
+// default 0.2 finishes a full sweep in a couple of minutes. Identical
+// -seed values reproduce identical tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"lard/internal/experiments"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "list", "experiment id, 'rice' (figures 7-9 in one sweep), 'all', or 'list'")
+		scale      = flag.Float64("scale", 0.2, "trace length multiplier (1.0 = paper-sized)")
+		seed       = flag.Int64("seed", 42, "workload generation seed")
+		nodes      = flag.String("nodes", "1,2,4,6,8,12,16", "comma-separated cluster sizes")
+		out        = flag.String("o", "", "write tables to this file instead of stdout")
+		quiet      = flag.Bool("q", false, "suppress per-simulation progress lines")
+	)
+	flag.Parse()
+
+	if err := run(*experiment, *scale, *seed, *nodes, *out, *quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "lardsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(experiment string, scale float64, seed int64, nodeList, out string, quiet bool) error {
+	if experiment == "list" {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-12s %s\n%-12s   paper: %s\n", e.ID, e.Title, "", e.Paper)
+		}
+		fmt.Printf("%-12s figures 7, 8 and 9 from a single sweep\n", "rice")
+		fmt.Printf("%-12s every experiment in sequence\n", "all")
+		return nil
+	}
+
+	nodesParsed, err := parseNodes(nodeList)
+	if err != nil {
+		return err
+	}
+	opt := experiments.Options{Seed: seed, Scale: scale, Nodes: nodesParsed}
+	if !quiet {
+		opt.Progress = os.Stderr
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	switch experiment {
+	case "rice":
+		return emit(w, opt, experiments.Experiment{
+			ID:    "rice",
+			Title: "Figures 7-9 (one sweep)",
+			Run:   experiments.RiceSweep,
+		})
+	case "all":
+		for _, e := range experiments.All() {
+			if err := emit(w, opt, e); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		e, ok := experiments.Lookup(experiment)
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try -experiment list)", experiment)
+		}
+		return emit(w, opt, e)
+	}
+}
+
+func emit(w io.Writer, opt experiments.Options, e experiments.Experiment) error {
+	start := time.Now()
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress, "== %s: %s\n", e.ID, e.Title)
+	}
+	tables, err := e.Run(opt)
+	if err != nil {
+		return fmt.Errorf("%s: %w", e.ID, err)
+	}
+	if e.Paper != "" {
+		fmt.Fprintf(w, "## %s — paper: %s\n", e.ID, e.Paper)
+	}
+	for _, t := range tables {
+		if _, err := t.WriteTo(w); err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	if opt.Progress != nil {
+		fmt.Fprintf(opt.Progress, "== %s done in %v\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+func parseNodes(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad node count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no cluster sizes given")
+	}
+	return out, nil
+}

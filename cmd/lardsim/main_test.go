@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"lard/internal/experiments"
+)
+
+func TestParseNodes(t *testing.T) {
+	got, err := parseNodes("1, 2,8")
+	if err != nil || len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 8 {
+		t.Fatalf("parseNodes = %v, %v", got, err)
+	}
+	for _, bad := range []string{"", "0", "-3", "x", "1,,q"} {
+		if _, err := parseNodes(bad); err == nil {
+			t.Fatalf("parseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunListAndUnknown(t *testing.T) {
+	if err := run("list", 0.1, 1, "1,2", "", true); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if err := run("bogus", 0.1, 1, "1,2", "", true); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run("figure5", 0.1, 1, "", "", true); err == nil {
+		t.Fatal("empty node list accepted")
+	}
+}
+
+func TestEmitWritesTables(t *testing.T) {
+	var sb strings.Builder
+	e, _ := experiments.Lookup("figure5")
+	opt := experiments.Options{Seed: 1, Scale: 0.01, Nodes: []int{1}}
+	if err := emit(&sb, opt, e); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "figure5") || !strings.Contains(out, "paper:") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

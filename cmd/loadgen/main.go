@@ -1,0 +1,75 @@
+// Command loadgen drives a LARD cluster front end with trace-derived HTTP
+// load — the paper's client software: simulated clients issuing requests
+// "as fast as the server cluster can handle them".
+//
+// Usage:
+//
+//	loadgen -url http://127.0.0.1:8080 -profile rice -clients 32 -requests 50000
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"lard/internal/loadgen"
+	"lard/internal/trace"
+)
+
+func main() {
+	var (
+		url       = flag.String("url", "http://127.0.0.1:8080", "front-end base URL")
+		profile   = flag.String("profile", "rice", "workload: rice, ibm, or chess")
+		seed      = flag.Int64("seed", 42, "trace seed (must match the back ends' catalog seed)")
+		scale     = flag.Float64("scale", 0.01, "trace length multiplier")
+		clients   = flag.Int("clients", 16, "concurrent simulated clients")
+		requests  = flag.Int("requests", 0, "request budget (0 = one pass over the trace)")
+		keepAlive = flag.Bool("keepalive", false, "reuse connections (HTTP/1.1 persistent)")
+	)
+	flag.Parse()
+
+	if err := run(*url, *profile, *seed, *scale, *clients, *requests, *keepAlive); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(url, profile string, seed int64, scale float64, clients, requests int, keepAlive bool) error {
+	var cfg trace.SyntheticConfig
+	switch strings.ToLower(profile) {
+	case "rice":
+		cfg = trace.RiceProfile()
+	case "ibm":
+		cfg = trace.IBMProfile()
+	case "chess":
+		cfg = trace.ChessProfile()
+	default:
+		return fmt.Errorf("unknown profile %q", profile)
+	}
+	if scale != 1.0 {
+		cfg = cfg.Scaled(scale)
+	}
+	tr, err := trace.Generate(cfg, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: %s against %s with %d clients\n", tr, url, clients)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	st, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:   url,
+		Trace:     tr,
+		Clients:   clients,
+		Requests:  requests,
+		KeepAlive: keepAlive,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(st)
+	return nil
+}

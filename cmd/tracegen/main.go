@@ -1,0 +1,120 @@
+// Command tracegen generates and analyzes the synthetic workload traces
+// standing in for the paper's server logs, including the Figure 5/6
+// cumulative-distribution tables.
+//
+// Usage:
+//
+//	tracegen -profile rice -cdf                       # Figure 5 table
+//	tracegen -profile ibm -scale 0.1 -o ibm.trace     # tokenized trace file
+//	tracegen -profile rice -hot 4 -hotfrac 0.08 -o hot.trace
+//	tracegen -parse access.log -cdf                   # analyze a real CLF log
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"lard/internal/trace"
+)
+
+func main() {
+	var (
+		profile = flag.String("profile", "rice", "synthetic profile: rice, ibm, or chess")
+		seed    = flag.Int64("seed", 42, "generation seed")
+		scale   = flag.Float64("scale", 1.0, "request count multiplier")
+		format  = flag.String("format", "tokenized", "output format: tokenized or clf")
+		cdf     = flag.Bool("cdf", false, "print the cumulative distribution table instead of the trace")
+		out     = flag.String("o", "", "output file (default stdout)")
+		parse   = flag.String("parse", "", "parse this Common Log Format file instead of generating")
+		hot     = flag.Int("hot", 0, "inject this many artificial hot targets (Section 4.2)")
+		hotFrac = flag.Float64("hotfrac", 0.06, "combined request share of hot targets")
+		hotSize = flag.Int64("hotsize", 25<<10, "size of each hot target in bytes")
+	)
+	flag.Parse()
+
+	if err := run(*profile, *seed, *scale, *format, *cdf, *out, *parse, *hot, *hotFrac, *hotSize); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(profile string, seed int64, scale float64, format string, cdf bool, out, parse string, hot int, hotFrac float64, hotSize int64) error {
+	tr, err := obtainTrace(profile, seed, scale, parse)
+	if err != nil {
+		return err
+	}
+	if hot > 0 {
+		tr, err = trace.InjectHotSpots(tr, trace.HotSpotConfig{
+			Count:           hot,
+			Size:            hotSize,
+			RequestFraction: hotFrac,
+		}, seed+1)
+		if err != nil {
+			return err
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if cdf {
+		c := trace.ComputeCDF(tr)
+		fmt.Fprintf(w, "# %s\n", tr)
+		fmt.Fprintf(w, "# top target holds %.2f%% of requests\n", c.TopRequestShare()*100)
+		for _, frac := range []float64{0.90, 0.95, 0.97, 0.99} {
+			fmt.Fprintf(w, "# %d MB covers %.0f%% of requests\n", c.BytesToCover(frac)>>20, frac*100)
+		}
+		return c.WriteTable(w, 21)
+	}
+
+	switch format {
+	case "tokenized":
+		return trace.WriteTokenized(w, tr)
+	case "clf":
+		return trace.WriteCLF(w, tr)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+}
+
+func obtainTrace(profile string, seed int64, scale float64, parse string) (*trace.Trace, error) {
+	if parse != "" {
+		f, err := os.Open(parse)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		tr, skipped, err := trace.ParseCLF(parse, f)
+		if err != nil {
+			return nil, err
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "tracegen: skipped %d unusable log lines\n", skipped)
+		}
+		return tr, nil
+	}
+	var cfg trace.SyntheticConfig
+	switch profile {
+	case "rice":
+		cfg = trace.RiceProfile()
+	case "ibm":
+		cfg = trace.IBMProfile()
+	case "chess":
+		cfg = trace.ChessProfile()
+	default:
+		return nil, fmt.Errorf("unknown profile %q", profile)
+	}
+	if scale != 1.0 {
+		cfg = cfg.Scaled(scale)
+	}
+	return trace.Generate(cfg, seed)
+}

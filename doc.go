@@ -1,0 +1,26 @@
+// Package lard reproduces "Locality-Aware Request Distribution in
+// Cluster-based Network Servers" (Pai, Aron, Banga, Svendsen, Druschel,
+// Zwaenepoel, Nahum — ASPLOS VIII, 1998).
+//
+// The repository contains:
+//
+//   - internal/core — the paper's contribution: the WRR, LB, LB/GC, LARD
+//     and LARD/R request-distribution strategies behind one Strategy
+//     interface shared by the simulator and the live prototype.
+//   - internal/sim, internal/cache, internal/trace, internal/cluster —
+//     the trace-driven cluster simulator of Section 3 (event engine,
+//     GDS/LRU caches, synthetic Rice/IBM/Chess workloads, cost model,
+//     back-end nodes, GMS).
+//   - internal/handoff, internal/frontend, internal/backend,
+//     internal/loadgen — the live prototype of Sections 5 and 6 (handoff
+//     protocol, dispatching front end, caching back end, load generator).
+//   - internal/experiments — regeneration code for every figure and
+//     table in the paper's evaluation.
+//   - cmd/… — lardsim, lardfe, lardbe, loadgen, tracegen binaries.
+//   - examples/… — runnable walk-throughs of the public pieces.
+//
+// The benchmark harness in bench_test.go regenerates each paper artifact
+// at a reduced scale; `go run ./cmd/lardsim -experiment all -scale 1.0`
+// performs full, paper-length runs. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for paper-versus-measured results.
+package lard

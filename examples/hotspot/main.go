@@ -1,0 +1,61 @@
+// Hotspot demonstrates LARD/R's replication dynamics (paper Sections 2.5
+// and 4.2): a single target hot enough to overload one back end gets
+// replicated across several, and the replica set shrinks again once the
+// target cools off.
+//
+// Run with:
+//
+//	go run ./examples/hotspot
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"lard/internal/core"
+)
+
+// loads is a hand-driven load table standing in for a live cluster.
+type loads struct{ active []int }
+
+func (l *loads) NodeCount() int { return len(l.active) }
+func (l *loads) Load(i int) int { return l.active[i] }
+
+func main() {
+	cluster := &loads{active: make([]int, 4)}
+	strategy := core.NewLARDR(cluster, core.DefaultParams())
+
+	fmt.Println("Phase 1: /hot becomes popular; each assigned node is driven past")
+	fmt.Println("2*T_high, so the server set grows (Figure 3's replication rule).")
+	now := time.Duration(0)
+	for step := 0; step < 4; step++ {
+		n := strategy.Select(now, core.Request{Target: "/hot"})
+		cluster.active[n] = 130 + step // ≥ 2*T_high = 130: overloaded
+		fmt.Printf("  t=%-4v request -> node %d   serverSet=%v\n",
+			now, n, strategy.ServerSet("/hot"))
+		now += time.Second
+	}
+
+	fmt.Println("\nPhase 2: load spreads across the replicas; requests go to the")
+	fmt.Println("least-loaded member of the server set.")
+	cluster.active = []int{40, 10, 25, 55}
+	for step := 0; step < 3; step++ {
+		n := strategy.Select(now, core.Request{Target: "/hot"})
+		fmt.Printf("  t=%-4v request -> node %d (loads %v)\n", now, n, cluster.active)
+		cluster.active[n] += 5
+		now += time.Second
+	}
+
+	fmt.Println("\nPhase 3: the target cools off. After K = 20s without set changes,")
+	fmt.Println("each request removes the most-loaded replica until one remains.")
+	cluster.active = []int{10, 10, 10, 10}
+	now += 25 * time.Second
+	for len(strategy.ServerSet("/hot")) > 1 {
+		strategy.Select(now, core.Request{Target: "/hot"})
+		fmt.Printf("  t=%-5v serverSet=%v\n", now, strategy.ServerSet("/hot"))
+		now += 25 * time.Second
+	}
+
+	fmt.Printf("\nreplication events: %d grows, %d shrinks, max degree %d\n",
+		strategy.Grows(), strategy.Shrinks(), strategy.MaxReplication())
+}

@@ -1,0 +1,59 @@
+// Quickstart reproduces the paper's Figure 1 idea on a small, concrete
+// cluster: two back ends serving a catalog of documents whose combined
+// working set exceeds a single back end's cache. A locality-aware front
+// end partitions the documents over the two caches so nearly every request
+// "finds the requested target in the cache at the back end"; weighted
+// round-robin sends every document to both nodes and thrashes both caches.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lard/internal/cluster"
+	"lard/internal/trace"
+)
+
+func main() {
+	// 40 documents of 8 KB (320 KB working set) against 200 KB caches:
+	// each back end can hold 25 documents — a bit more than half the
+	// catalog, as in Figure 1 where each node fits two of three targets.
+	tr := &trace.Trace{Name: "figure1"}
+	const files = 40
+	for i := 0; i < files; i++ {
+		tr.Targets = append(tr.Targets, trace.Target{
+			Name: fmt.Sprintf("/doc%02d.html", i),
+			Size: 8 << 10,
+		})
+	}
+	for i := 0; i < 60000; i++ {
+		tr.Requests = append(tr.Requests, int32(i%files))
+	}
+
+	fmt.Println("Figure 1: two back ends, 40 x 8 KB documents, 200 KB caches")
+	fmt.Println()
+	for _, kind := range []cluster.StrategyKind{cluster.WRR, cluster.LARD} {
+		cfg := cluster.DefaultConfig(kind, 2)
+		cfg.CacheBytes = 200 << 10
+		res, err := cluster.Simulate(cfg, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6s hit ratio %5.1f%%  throughput %7.1f req/s  disk util %3.0f%%  cpu util %3.0f%%\n",
+			res.Strategy, res.HitRatio*100, res.Throughput,
+			res.DiskUtilization*100, res.CPUUtilization*100)
+		for i, n := range res.PerNode {
+			fmt.Printf("       back end %d: %5d requests, %2d cached documents\n",
+				i+1, n.Requests, n.CacheEntries)
+		}
+		fmt.Println()
+	}
+	fmt.Println("LARD partitions the catalog: each back end caches its own documents,")
+	fmt.Println("nearly every request hits, and the cluster becomes CPU bound. WRR")
+	fmt.Println("cycles all 40 documents through both caches and stays disk bound —")
+	fmt.Println("the paper's motivation for content-based request distribution.")
+}

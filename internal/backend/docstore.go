@@ -1,0 +1,123 @@
+// Package backend implements the live prototype's back-end server
+// (Section 6): an HTTP server with an in-memory document cache that
+// emulates the paper's Apache back ends. Cache misses pay an emulated disk
+// delay derived from the simulator's cost model, so a cluster of these
+// back ends exhibits the cache-aggregation behaviour the paper measures —
+// on a laptop, over loopback TCP.
+package backend
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+	"sync"
+
+	"lard/internal/trace"
+)
+
+// DocStore is the back end's synthetic document database: a catalog of
+// targets with sizes, whose content is generated deterministically from
+// the target name (so any node serves byte-identical documents and
+// integrity can be checked end to end).
+type DocStore struct {
+	mu    sync.RWMutex
+	sizes map[string]int64
+}
+
+// NewDocStore builds a store serving the targets of a trace catalog.
+func NewDocStore(targets []trace.Target) *DocStore {
+	s := &DocStore{sizes: make(map[string]int64, len(targets))}
+	for _, t := range targets {
+		s.sizes[t.Name] = t.Size
+	}
+	return s
+}
+
+// Size returns the content length of target, if it exists.
+func (s *DocStore) Size(target string) (int64, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	size, ok := s.sizes[target]
+	return size, ok
+}
+
+// Add inserts or replaces a document.
+func (s *DocStore) Add(target string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sizes[target] = size
+}
+
+// Len returns the number of documents.
+func (s *DocStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.sizes)
+}
+
+// Targets returns the catalog sorted by name, for tests and tools.
+func (s *DocStore) Targets() []trace.Target {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]trace.Target, 0, len(s.sizes))
+	for name, size := range s.sizes {
+		out = append(out, trace.Target{Name: name, Size: size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ContentReader streams the deterministic content of a target: a repeating
+// 64-byte block derived from the target name, truncated to size. Content
+// never needs to be stored, so multi-GB catalogs cost no memory.
+func ContentReader(target string, size int64) io.Reader {
+	return &contentReader{block: contentBlock(target), remaining: size}
+}
+
+// ContentBytes materializes the deterministic content (for tests and small
+// documents).
+func ContentBytes(target string, size int64) []byte {
+	buf := make([]byte, size)
+	if _, err := io.ReadFull(ContentReader(target, size), buf); err != nil {
+		panic(fmt.Sprintf("backend: content generation: %v", err))
+	}
+	return buf
+}
+
+// contentBlock derives the repeating unit from the target name.
+func contentBlock(target string) []byte {
+	h := fnv.New64a()
+	h.Write([]byte(target))
+	seed := h.Sum64()
+	block := make([]byte, 64)
+	for i := 0; i < len(block); i += 8 {
+		binary.BigEndian.PutUint64(block[i:], seed)
+		seed = seed*6364136223846793005 + 1442695040888963407
+	}
+	return block
+}
+
+type contentReader struct {
+	block     []byte
+	offset    int
+	remaining int64
+}
+
+func (r *contentReader) Read(p []byte) (int, error) {
+	if r.remaining <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > r.remaining {
+		p = p[:r.remaining]
+	}
+	n := 0
+	for n < len(p) {
+		c := copy(p[n:], r.block[r.offset:])
+		n += c
+		r.offset = (r.offset + c) % len(r.block)
+	}
+	r.remaining -= int64(n)
+	return n, nil
+}

@@ -1,0 +1,232 @@
+package cache
+
+import "container/heap"
+
+// GDS is a Greedy-Dual-Size cache (Cao & Irani, USITS '97), the replacement
+// policy the LARD paper uses for all reported simulations.
+//
+// Each cached object p carries a credit value H(p). When an object is
+// inserted or hit, H(p) is set to L + cost(p)/size(p), where L is a global
+// inflation value. On eviction the object with the minimum H is removed and
+// L is raised to that minimum. The inflation makes recently-touched objects
+// more valuable without requiring per-access aging of every entry.
+//
+// With the default uniform cost function cost(p) = 1 the policy maximizes
+// object hit ratio (the paper's figure of merit); a size-proportional cost
+// function turns it into a byte-hit-ratio policy.
+type GDS struct {
+	capacity int64
+	used     int64
+	inflate  float64 // L
+	cost     CostFunc
+	pq       gdsHeap
+	entries  map[string]*gdsEntry
+	stats    Stats
+	onEvict  func(string, int64)
+}
+
+// CostFunc computes the retrieval cost of an object for GDS priorities.
+type CostFunc func(key string, size int64) float64
+
+// UniformCost assigns every object cost 1, optimizing object hit ratio.
+// This is GDS(1), the variant the paper's simulations use.
+func UniformCost(string, int64) float64 { return 1 }
+
+// SizeCost assigns cost proportional to size, optimizing byte hit ratio.
+func SizeCost(_ string, size int64) float64 { return float64(size) }
+
+type gdsEntry struct {
+	key   string
+	size  int64
+	h     float64 // credit H(p)
+	seq   uint64  // tie-break: older entries evicted first
+	index int
+}
+
+// NewGDS returns a Greedy-Dual-Size cache with uniform (hit-ratio) costs.
+// It panics if capacity is negative.
+func NewGDS(capacity int64) *GDS {
+	return NewGDSWithCost(capacity, UniformCost)
+}
+
+// NewGDSWithCost returns a GDS cache with a custom cost function. A nil
+// cost function means UniformCost. It panics if capacity is negative.
+func NewGDSWithCost(capacity int64, cost CostFunc) *GDS {
+	if capacity < 0 {
+		panic("cache: negative GDS capacity")
+	}
+	if cost == nil {
+		cost = UniformCost
+	}
+	return &GDS{
+		capacity: capacity,
+		cost:     cost,
+		entries:  make(map[string]*gdsEntry),
+	}
+}
+
+// priority computes a fresh H value for an object of the given size.
+func (c *GDS) priority(key string, size int64) float64 {
+	if size <= 0 {
+		size = 1
+	}
+	return c.inflate + c.cost(key, size)/float64(size)
+}
+
+// Lookup implements Cache.
+func (c *GDS) Lookup(key string) (int64, bool) {
+	if ent, ok := c.entries[key]; ok {
+		ent.h = c.priority(key, ent.size)
+		heap.Fix(&c.pq, ent.index)
+		c.stats.Hits++
+		c.stats.BytesHit += uint64(ent.size)
+		return ent.size, true
+	}
+	c.stats.Misses++
+	return 0, false
+}
+
+// Contains implements Cache.
+func (c *GDS) Contains(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Insert implements Cache.
+//
+// Following the canonical algorithm, room is made by evicting minimum-H
+// objects before the new object is admitted, so the incoming object is
+// never its own insertion's victim.
+func (c *GDS) Insert(key string, size int64) bool {
+	if size < 0 || size > c.capacity {
+		c.stats.Rejected++
+		return false
+	}
+	if ent, ok := c.entries[key]; ok {
+		// Re-admission of an existing key: take it out of the running,
+		// make room for the new size, then put it back refreshed.
+		heap.Remove(&c.pq, ent.index)
+		c.used -= ent.size
+		c.makeRoom(size)
+		ent.size = size
+		ent.h = c.priority(key, size)
+		ent.seq = c.pq.nextSeq()
+		heap.Push(&c.pq, ent)
+		c.used += size
+		return true
+	}
+	c.makeRoom(size)
+	ent := &gdsEntry{key: key, size: size, h: c.priority(key, size), seq: c.pq.nextSeq()}
+	heap.Push(&c.pq, ent)
+	c.entries[key] = ent
+	c.used += size
+	c.stats.Insertions++
+	return true
+}
+
+// makeRoom evicts minimum-H entries until an object of the given size fits,
+// raising the inflation value L to each evicted entry's H.
+func (c *GDS) makeRoom(need int64) {
+	for c.used+need > c.capacity {
+		ent := c.pq.min()
+		if ent == nil {
+			return
+		}
+		c.inflate = ent.h
+		c.removeEntry(ent)
+		c.stats.Evictions++
+		c.stats.BytesEvicted += uint64(ent.size)
+		if c.onEvict != nil {
+			c.onEvict(ent.key, ent.size)
+		}
+	}
+}
+
+// Remove implements Cache.
+func (c *GDS) Remove(key string) bool {
+	ent, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.removeEntry(ent)
+	return true
+}
+
+func (c *GDS) removeEntry(ent *gdsEntry) {
+	heap.Remove(&c.pq, ent.index)
+	delete(c.entries, ent.key)
+	c.used -= ent.size
+}
+
+// Len implements Cache.
+func (c *GDS) Len() int { return len(c.entries) }
+
+// Used implements Cache.
+func (c *GDS) Used() int64 { return c.used }
+
+// Capacity implements Cache.
+func (c *GDS) Capacity() int64 { return c.capacity }
+
+// Stats implements Cache.
+func (c *GDS) Stats() Stats { return c.stats }
+
+// SetEvictCallback implements Cache.
+func (c *GDS) SetEvictCallback(fn func(string, int64)) { c.onEvict = fn }
+
+// Victim returns the key that would be evicted next (minimum H), or ""
+// if the cache is empty. The LB/GC front-end model uses it to route misses.
+func (c *GDS) Victim() (key string, size int64, ok bool) {
+	ent := c.pq.min()
+	if ent == nil {
+		return "", 0, false
+	}
+	return ent.key, ent.size, true
+}
+
+var _ Cache = (*GDS)(nil)
+
+// gdsHeap is a min-heap on (h, seq).
+type gdsHeap struct {
+	items []*gdsEntry
+	seq   uint64
+}
+
+func (h *gdsHeap) nextSeq() uint64 { h.seq++; return h.seq }
+
+func (h *gdsHeap) min() *gdsEntry {
+	if len(h.items) == 0 {
+		return nil
+	}
+	return h.items[0]
+}
+
+func (h *gdsHeap) Len() int { return len(h.items) }
+
+func (h *gdsHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	if a.h != b.h {
+		return a.h < b.h
+	}
+	return a.seq < b.seq
+}
+
+func (h *gdsHeap) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].index = i
+	h.items[j].index = j
+}
+
+func (h *gdsHeap) Push(x any) {
+	ent := x.(*gdsEntry)
+	ent.index = len(h.items)
+	h.items = append(h.items, ent)
+}
+
+func (h *gdsHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	ent := old[n-1]
+	old[n-1] = nil
+	h.items = old[:n-1]
+	return ent
+}

@@ -1,0 +1,196 @@
+package cache
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGDSBasicHitMiss(t *testing.T) {
+	c := NewGDS(100)
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	if !c.Insert("a", 10) {
+		t.Fatal("insert failed")
+	}
+	size, ok := c.Lookup("a")
+	if !ok || size != 10 {
+		t.Fatalf("Lookup(a) = (%d,%v), want (10,true)", size, ok)
+	}
+}
+
+func TestGDSPrefersSmallObjectsUnderUniformCost(t *testing.T) {
+	// With cost=1, H = L + 1/size: a large object has lower priority than a
+	// small one inserted at the same inflation level, so it is evicted
+	// first even if more recently inserted.
+	c := NewGDS(100)
+	c.Insert("small", 1)
+	c.Insert("large", 90)
+	c.Insert("trigger", 20) // overflow: evict lowest H
+	if c.Contains("large") {
+		t.Fatal("large object survived; GDS(1) should evict it first")
+	}
+	if !c.Contains("small") || !c.Contains("trigger") {
+		t.Fatal("wrong victim evicted")
+	}
+}
+
+func TestGDSHitRestoresPriority(t *testing.T) {
+	// A hit sets H = L + cost/size again. Once the inflation value L has
+	// risen above a stale object's H, a touched object survives while an
+	// equally sized untouched one is evicted.
+	c := NewGDS(100)
+	c.Insert("touched", 10) // H = 0 + 1/10
+	c.Insert("stale", 10)   // H = 0 + 1/10
+	// Churn large fillers to drive L upward: each filler has H = L + 1/50
+	// and is evicted by the next, raising L by 1/50 per round.
+	for i := 0; i < 20; i++ {
+		c.Insert(fmt.Sprintf("filler%d", i), 50)
+		c.Lookup("touched") // refresh: H = L + 1/10
+	}
+	// L is now ~20/50 = 0.4, far above stale's H of 0.1.
+	if c.Contains("stale") {
+		t.Fatal("stale object survived churn; inflation not working")
+	}
+	if !c.Contains("touched") {
+		t.Fatal("frequently hit object was evicted")
+	}
+}
+
+func TestGDSInflationMonotone(t *testing.T) {
+	// The L value must never decrease: evicted Hs are non-decreasing.
+	c := NewGDS(50)
+	var lastH float64 = -1
+	c.SetEvictCallback(func(key string, size int64) {
+		// At eviction time, inflate equals the evicted entry's H.
+		if c.inflate < lastH {
+			t.Fatalf("inflation decreased: %v -> %v", lastH, c.inflate)
+		}
+		lastH = c.inflate
+	})
+	for i := 0; i < 200; i++ {
+		c.Insert(fmt.Sprintf("k%d", i), int64(1+i%25))
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatal("test exercised no evictions")
+	}
+}
+
+func TestGDSSizeCostIsByteOriented(t *testing.T) {
+	// With cost = size, H = L + 1 for every object: pure inflation ordering
+	// (FIFO-with-refresh), so the oldest untouched object goes first
+	// regardless of size.
+	c := NewGDSWithCost(100, SizeCost)
+	c.Insert("first", 50)
+	c.Insert("second", 40)
+	c.Insert("third", 20) // overflow: evict "first" (oldest, same H)
+	if c.Contains("first") {
+		t.Fatal("oldest same-priority object not evicted")
+	}
+	if !c.Contains("second") || !c.Contains("third") {
+		t.Fatal("wrong victim")
+	}
+}
+
+func TestGDSVictim(t *testing.T) {
+	c := NewGDS(100)
+	if _, _, ok := c.Victim(); ok {
+		t.Fatal("Victim on empty cache returned ok")
+	}
+	c.Insert("small", 2)
+	c.Insert("large", 50)
+	key, size, ok := c.Victim()
+	if !ok || key != "large" || size != 50 {
+		t.Fatalf("Victim = (%s,%d,%v), want (large,50,true)", key, size, ok)
+	}
+}
+
+func TestGDSUpdateExistingKey(t *testing.T) {
+	c := NewGDS(100)
+	c.Insert("a", 10)
+	c.Insert("a", 70)
+	if c.Used() != 70 || c.Len() != 1 {
+		t.Fatalf("Used=%d Len=%d, want 70, 1", c.Used(), c.Len())
+	}
+	c.Insert("b", 20)
+	c.Insert("a", 90) // growing a over capacity evicts b
+	if c.Contains("b") {
+		t.Fatal("b survived overflow caused by growing a")
+	}
+	if !c.Contains("a") {
+		t.Fatal("a lost while growing")
+	}
+}
+
+func TestGDSRejectsOversizedAndNegative(t *testing.T) {
+	c := NewGDS(100)
+	c.Insert("a", 50)
+	if c.Insert("huge", 101) {
+		t.Fatal("oversized insert accepted")
+	}
+	if c.Insert("neg", -5) {
+		t.Fatal("negative insert accepted")
+	}
+	if !c.Contains("a") {
+		t.Fatal("rejection disturbed existing entries")
+	}
+	if c.Stats().Rejected != 2 {
+		t.Fatalf("Rejected = %d, want 2", c.Stats().Rejected)
+	}
+}
+
+func TestGDSRemove(t *testing.T) {
+	c := NewGDS(100)
+	c.Insert("a", 10)
+	c.Insert("b", 20)
+	if !c.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if c.Remove("a") {
+		t.Fatal("double remove = true")
+	}
+	if c.Used() != 20 || c.Len() != 1 {
+		t.Fatalf("Used=%d Len=%d", c.Used(), c.Len())
+	}
+}
+
+func TestGDSZeroSizeObject(t *testing.T) {
+	// Zero-size objects must not divide by zero.
+	c := NewGDS(100)
+	if !c.Insert("empty", 0) {
+		t.Fatal("zero-size insert rejected")
+	}
+	if _, ok := c.Lookup("empty"); !ok {
+		t.Fatal("zero-size object not found")
+	}
+}
+
+func TestGDSNilCostDefaultsToUniform(t *testing.T) {
+	c := NewGDSWithCost(100, nil)
+	c.Insert("small", 1)
+	c.Insert("large", 90)
+	c.Insert("x", 20)
+	if c.Contains("large") {
+		t.Fatal("nil cost did not behave as UniformCost")
+	}
+}
+
+func TestGDSNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewGDS(-1)
+}
+
+func TestGDSEvictCallback(t *testing.T) {
+	c := NewGDS(20)
+	evictions := map[string]int64{}
+	c.SetEvictCallback(func(key string, size int64) { evictions[key] = size })
+	c.Insert("a", 15)
+	c.Insert("b", 15) // evicts a
+	if evictions["a"] != 15 {
+		t.Fatalf("evictions = %v", evictions)
+	}
+}

@@ -1,0 +1,155 @@
+package cache
+
+import "container/list"
+
+// LRU is a least-recently-used cache over whole files with an optional
+// admission cutoff: files larger than MaxFileSize are never cached. This is
+// the paper's alternative replacement policy ("LRU where files with a size
+// of more than [the cutoff] are never cached").
+type LRU struct {
+	capacity    int64
+	maxFileSize int64
+	used        int64
+	ll          *list.List // front = most recently used
+	entries     map[string]*list.Element
+	stats       Stats
+	onEvict     func(string, int64)
+}
+
+type lruEntry struct {
+	key  string
+	size int64
+}
+
+// NewLRU returns an LRU cache with the given byte capacity and no admission
+// cutoff. It panics if capacity is negative.
+func NewLRU(capacity int64) *LRU {
+	return NewLRUWithCutoff(capacity, 0)
+}
+
+// NewLRUWithCutoff returns an LRU cache that refuses to cache files larger
+// than maxFileSize bytes. A maxFileSize of 0 disables the cutoff. It panics
+// if capacity or maxFileSize is negative.
+func NewLRUWithCutoff(capacity, maxFileSize int64) *LRU {
+	if capacity < 0 {
+		panic("cache: negative LRU capacity")
+	}
+	if maxFileSize < 0 {
+		panic("cache: negative LRU file-size cutoff")
+	}
+	return &LRU{
+		capacity:    capacity,
+		maxFileSize: maxFileSize,
+		ll:          list.New(),
+		entries:     make(map[string]*list.Element),
+	}
+}
+
+// Lookup implements Cache.
+func (c *LRU) Lookup(key string) (int64, bool) {
+	if el, ok := c.entries[key]; ok {
+		c.ll.MoveToFront(el)
+		size := el.Value.(*lruEntry).size
+		c.stats.Hits++
+		c.stats.BytesHit += uint64(size)
+		return size, true
+	}
+	c.stats.Misses++
+	return 0, false
+}
+
+// Contains implements Cache.
+func (c *LRU) Contains(key string) bool {
+	_, ok := c.entries[key]
+	return ok
+}
+
+// Insert implements Cache.
+//
+// Room is made by evicting least-recently-used entries before the object is
+// admitted, so the incoming object is never its own insertion's victim.
+func (c *LRU) Insert(key string, size int64) bool {
+	if size < 0 || size > c.capacity || (c.maxFileSize > 0 && size > c.maxFileSize) {
+		c.stats.Rejected++
+		return false
+	}
+	if el, ok := c.entries[key]; ok {
+		ent := el.Value.(*lruEntry)
+		c.used -= ent.size
+		c.ll.Remove(el)
+		delete(c.entries, key)
+		c.makeRoom(size)
+		c.entries[key] = c.ll.PushFront(ent)
+		ent.size = size
+		c.used += size
+		return true
+	}
+	c.makeRoom(size)
+	c.entries[key] = c.ll.PushFront(&lruEntry{key: key, size: size})
+	c.used += size
+	c.stats.Insertions++
+	return true
+}
+
+// makeRoom removes least-recently-used entries until an object of the given
+// size fits.
+func (c *LRU) makeRoom(need int64) {
+	for c.used+need > c.capacity {
+		el := c.ll.Back()
+		if el == nil {
+			return
+		}
+		ent := el.Value.(*lruEntry)
+		c.removeElement(el)
+		c.stats.Evictions++
+		c.stats.BytesEvicted += uint64(ent.size)
+		if c.onEvict != nil {
+			c.onEvict(ent.key, ent.size)
+		}
+	}
+}
+
+// Remove implements Cache.
+func (c *LRU) Remove(key string) bool {
+	el, ok := c.entries[key]
+	if !ok {
+		return false
+	}
+	c.removeElement(el)
+	return true
+}
+
+func (c *LRU) removeElement(el *list.Element) {
+	ent := el.Value.(*lruEntry)
+	c.ll.Remove(el)
+	delete(c.entries, ent.key)
+	c.used -= ent.size
+}
+
+// Len implements Cache.
+func (c *LRU) Len() int { return len(c.entries) }
+
+// Used implements Cache.
+func (c *LRU) Used() int64 { return c.used }
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int64 { return c.capacity }
+
+// Stats implements Cache.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// SetEvictCallback implements Cache.
+func (c *LRU) SetEvictCallback(fn func(string, int64)) { c.onEvict = fn }
+
+// Oldest returns the least-recently-used key, or "" if the cache is empty.
+// The LB/GC front-end model uses it to find global eviction victims.
+func (c *LRU) Oldest() (key string, size int64, ok bool) {
+	el := c.ll.Back()
+	if el == nil {
+		return "", 0, false
+	}
+	ent := el.Value.(*lruEntry)
+	return ent.key, ent.size, true
+}
+
+var _ Cache = (*LRU)(nil)

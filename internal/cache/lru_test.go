@@ -1,0 +1,197 @@
+package cache
+
+import "testing"
+
+func TestLRUBasicHitMiss(t *testing.T) {
+	c := NewLRU(100)
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("lookup on empty cache hit")
+	}
+	if !c.Insert("a", 10) {
+		t.Fatal("insert failed")
+	}
+	size, ok := c.Lookup("a")
+	if !ok || size != 10 {
+		t.Fatalf("Lookup(a) = (%d, %v), want (10, true)", size, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Insertions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	c := NewLRU(30)
+	c.Insert("a", 10)
+	c.Insert("b", 10)
+	c.Insert("c", 10)
+	c.Lookup("a") // a is now MRU; b is LRU
+	c.Insert("d", 10)
+	if c.Contains("b") {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if !c.Contains(k) {
+			t.Fatalf("%s missing", k)
+		}
+	}
+}
+
+func TestLRUEvictsMultipleForLargeInsert(t *testing.T) {
+	c := NewLRU(30)
+	c.Insert("a", 10)
+	c.Insert("b", 10)
+	c.Insert("c", 10)
+	c.Insert("big", 25)
+	if !c.Contains("big") {
+		t.Fatal("big not cached")
+	}
+	if c.Used() > c.Capacity() {
+		t.Fatalf("used %d > capacity %d", c.Used(), c.Capacity())
+	}
+	// 25 fits only alone in a 30-byte cache holding 10-byte entries:
+	// a, b and c must all be evicted, in LRU order.
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	if c.Contains("a") || c.Contains("b") || c.Contains("c") {
+		t.Fatal("wrong victims")
+	}
+}
+
+func TestLRURejectsOversized(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("a", 10)
+	if c.Insert("huge", 101) {
+		t.Fatal("oversized insert accepted")
+	}
+	if !c.Contains("a") {
+		t.Fatal("rejected insert evicted existing entries")
+	}
+	if c.Stats().Rejected != 1 {
+		t.Fatalf("Rejected = %d, want 1", c.Stats().Rejected)
+	}
+}
+
+func TestLRURejectsNegativeSize(t *testing.T) {
+	c := NewLRU(100)
+	if c.Insert("neg", -1) {
+		t.Fatal("negative-size insert accepted")
+	}
+}
+
+func TestLRUAdmissionCutoff(t *testing.T) {
+	// The paper's LRU variant never caches files above a size cutoff.
+	c := NewLRUWithCutoff(1<<20, 500)
+	if c.Insert("big", 501) {
+		t.Fatal("file above cutoff was cached")
+	}
+	if !c.Insert("small", 500) {
+		t.Fatal("file at cutoff rejected")
+	}
+}
+
+func TestLRUUpdateExistingKeySize(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("a", 10)
+	c.Insert("a", 60)
+	if c.Used() != 60 {
+		t.Fatalf("Used = %d, want 60", c.Used())
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	size, ok := c.Lookup("a")
+	if !ok || size != 60 {
+		t.Fatalf("Lookup = (%d,%v), want (60,true)", size, ok)
+	}
+	// Growing an entry can trigger evictions of others.
+	c.Insert("b", 30)
+	c.Insert("b", 45) // 60+45 > 100 -> evict a (LRU)
+	if c.Contains("a") {
+		t.Fatal("a should have been evicted after b grew")
+	}
+}
+
+func TestLRURemove(t *testing.T) {
+	c := NewLRU(100)
+	c.Insert("a", 10)
+	if !c.Remove("a") {
+		t.Fatal("Remove(a) = false")
+	}
+	if c.Remove("a") {
+		t.Fatal("double Remove(a) = true")
+	}
+	if c.Used() != 0 || c.Len() != 0 {
+		t.Fatalf("Used=%d Len=%d after removal", c.Used(), c.Len())
+	}
+	if c.Stats().Evictions != 0 {
+		t.Fatal("Remove counted as eviction")
+	}
+}
+
+func TestLRUEvictCallback(t *testing.T) {
+	c := NewLRU(20)
+	var evicted []string
+	c.SetEvictCallback(func(key string, size int64) {
+		evicted = append(evicted, key)
+		if size != 10 {
+			t.Fatalf("evict size = %d, want 10", size)
+		}
+	})
+	c.Insert("a", 10)
+	c.Insert("b", 10)
+	c.Insert("c", 10) // evicts a
+	c.Insert("d", 10) // evicts b
+	if len(evicted) != 2 || evicted[0] != "a" || evicted[1] != "b" {
+		t.Fatalf("evicted = %v, want [a b]", evicted)
+	}
+	c.SetEvictCallback(nil)
+	c.Insert("e", 10) // must not panic
+}
+
+func TestLRUOldest(t *testing.T) {
+	c := NewLRU(100)
+	if _, _, ok := c.Oldest(); ok {
+		t.Fatal("Oldest on empty cache returned ok")
+	}
+	c.Insert("a", 10)
+	c.Insert("b", 20)
+	key, size, ok := c.Oldest()
+	if !ok || key != "a" || size != 10 {
+		t.Fatalf("Oldest = (%s,%d,%v), want (a,10,true)", key, size, ok)
+	}
+	c.Lookup("a")
+	key, _, _ = c.Oldest()
+	if key != "b" {
+		t.Fatalf("Oldest after touching a = %s, want b", key)
+	}
+}
+
+func TestLRUZeroCapacity(t *testing.T) {
+	c := NewLRU(0)
+	if c.Insert("a", 1) {
+		t.Fatal("insert into zero-capacity cache accepted")
+	}
+	if c.Insert("empty", 0) != true {
+		t.Fatal("zero-size object should fit in zero-capacity cache")
+	}
+}
+
+func TestLRUNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLRU(-1)
+}
+
+func TestLRUNegativeCutoffPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLRUWithCutoff(10, -1)
+}

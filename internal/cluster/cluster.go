@@ -1,0 +1,285 @@
+// Package cluster implements the LARD paper's trace-driven cluster
+// simulator (Section 3): a front end distributing requests over simulated
+// back-end nodes, each with a CPU queue, one or more disk queues, and a
+// whole-file main-memory cache.
+//
+// "The assumption is that front end and networks are fast enough not to
+// limit the cluster's performance ... Therefore, the front end is assumed
+// to have no overhead and all networks have infinite capacity in the
+// simulations." The front end runs a core.Strategy over its own
+// active-connection accounting and enforces the cluster-wide admission
+// bound S = (n−1)·T_high + T_low + 1. The request arrival rate is matched
+// to the aggregate throughput of the server (closed loop): a new request
+// enters whenever the number outstanding drops below S.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"lard/internal/core"
+	"lard/internal/sim"
+	"lard/internal/trace"
+)
+
+// Cluster is a fully wired simulation: engine, nodes, strategy, and the
+// closed-loop front end. Build one with New, run it with Run, or use the
+// package-level Simulate convenience.
+type Cluster struct {
+	cfg      Config
+	eng      *sim.Engine
+	nodes    []*Node
+	gms      *GMS
+	strategy core.Strategy
+	tr       *trace.Trace
+
+	// Front-end state.
+	loads       []int // active connections per node (the LoadReader view)
+	maxOut      int
+	outstanding int
+	peak        int
+	next        int
+	dropped     int
+
+	// Delay accounting.
+	delaySum     time.Duration
+	delayMax     time.Duration
+	nodeDelaySum []time.Duration
+	nodeDelayCnt []int64
+}
+
+// New builds a cluster simulation for the given configuration and trace.
+func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tr == nil || tr.Len() == 0 {
+		return nil, fmt.Errorf("cluster: empty trace")
+	}
+	eng := sim.NewEngine()
+	underBound := int(cfg.UnderutilizationFraction * float64(cfg.Params.TLow))
+
+	c := &Cluster{
+		cfg:          cfg,
+		eng:          eng,
+		tr:           tr,
+		loads:        make([]int, cfg.Nodes),
+		maxOut:       cfg.Params.MaxOutstanding(cfg.Nodes),
+		nodeDelaySum: make([]time.Duration, cfg.Nodes),
+		nodeDelayCnt: make([]int64, cfg.Nodes),
+	}
+
+	diskFor := diskAssignment(tr, cfg.Disks)
+	for i := 0; i < cfg.Nodes; i++ {
+		n := newNode(i, eng, cfg.Cost, cfg.newCache(), cfg.Disks, underBound)
+		n.diskFor = diskFor
+		c.nodes = append(c.nodes, n)
+	}
+
+	switch cfg.Strategy {
+	case WRR:
+		c.strategy = core.NewWRR(c)
+	case LB:
+		c.strategy = core.NewLB(c)
+	case LBGC:
+		c.strategy = core.NewLBGC(c, cfg.CacheBytes)
+	case LARD:
+		c.strategy = core.NewLARD(c, cfg.Params)
+	case LARDR:
+		c.strategy = core.NewLARDR(c, cfg.Params)
+	case WRRGMS:
+		c.strategy = core.NewWRR(c)
+		c.gms = newGMS(c.nodes)
+	default:
+		return nil, fmt.Errorf("cluster: unknown strategy %v", cfg.Strategy)
+	}
+
+	c.scheduleFailures()
+	return c, nil
+}
+
+// NodeCount implements core.LoadReader.
+func (c *Cluster) NodeCount() int { return len(c.nodes) }
+
+// Load implements core.LoadReader: the front end's own accounting of
+// active (handed-off, incomplete) connections per node.
+func (c *Cluster) Load(node int) int { return c.loads[node] }
+
+// Strategy returns the strategy instance driving the cluster, for
+// diagnostics (e.g. LARD move counters).
+func (c *Cluster) Strategy() core.Strategy { return c.strategy }
+
+// Run replays the entire trace and returns the collected metrics.
+func (c *Cluster) Run() Result {
+	c.pump()
+	c.eng.Run()
+	return c.collect()
+}
+
+// pump admits requests while capacity remains — the closed loop.
+func (c *Cluster) pump() {
+	for c.outstanding < c.maxOut && c.next < c.tr.Len() {
+		r := c.tr.At(c.next)
+		c.next++
+		req := core.Request{Target: r.Target, Size: r.Size}
+		node := c.strategy.Select(c.eng.Now(), req)
+		if node < 0 {
+			// Total outage: the request cannot be served.
+			c.dropped++
+			continue
+		}
+		c.outstanding++
+		if c.outstanding > c.peak {
+			c.peak = c.outstanding
+		}
+		c.loads[node]++
+		start := c.eng.Now()
+		n := c.nodes[node]
+		n.Handle(req, func() {
+			c.loads[node]--
+			c.outstanding--
+			d := c.eng.Now() - start
+			c.delaySum += d
+			if d > c.delayMax {
+				c.delayMax = d
+			}
+			c.nodeDelaySum[node] += d
+			c.nodeDelayCnt[node]++
+			c.pump()
+		})
+	}
+}
+
+// scheduleFailures wires the configured failure events into the engine.
+func (c *Cluster) scheduleFailures() {
+	fa, _ := c.strategy.(core.FailureAware)
+	for _, f := range c.cfg.Failures {
+		f := f
+		c.eng.At(f.DownAt, func() {
+			if fa != nil {
+				fa.NodeDown(f.Node)
+			}
+		})
+		if f.UpAt > 0 {
+			c.eng.At(f.UpAt, func() {
+				// A restored node restarts with a cold cache.
+				c.nodes[f.Node].cache = c.cfg.newCache()
+				if fa != nil {
+					fa.NodeUp(f.Node)
+				}
+				c.pump()
+			})
+		}
+	}
+}
+
+// collect assembles the Result after the engine has drained.
+func (c *Cluster) collect() Result {
+	end := c.eng.Now()
+	res := Result{
+		Strategy: c.cfg.Strategy.String(),
+		Nodes:    c.cfg.Nodes,
+		Requests: c.tr.Len() - c.dropped,
+		Dropped:  c.dropped,
+		SimTime:  end,
+	}
+	if end > 0 {
+		res.Throughput = float64(res.Requests) / end.Seconds()
+	}
+
+	var hits, misses, remote, reqs uint64
+	var underSum, cpuSum, diskSum float64
+	var maxNodeDelay, minNodeDelay time.Duration
+	minSet := false
+	for i, n := range c.nodes {
+		n.finishStats(end)
+		st := NodeStats{
+			Requests:     n.requests,
+			Hits:         n.hits,
+			Misses:       n.misses,
+			RemoteHits:   n.remote,
+			CPUUtil:      n.cpu.Utilization(end),
+			UnderFrac:    n.underutilizedFraction(end),
+			CacheEntries: n.cache.Len(),
+			CacheUsed:    n.cache.Used(),
+		}
+		var dutil float64
+		for _, d := range n.disks {
+			dutil += d.Utilization(end)
+		}
+		st.DiskUtil = dutil / float64(len(n.disks))
+		if c.nodeDelayCnt[i] > 0 {
+			st.AvgDelay = c.nodeDelaySum[i] / time.Duration(c.nodeDelayCnt[i])
+			if !minSet || st.AvgDelay < minNodeDelay {
+				minNodeDelay = st.AvgDelay
+				minSet = true
+			}
+			if st.AvgDelay > maxNodeDelay {
+				maxNodeDelay = st.AvgDelay
+			}
+		}
+		res.PerNode = append(res.PerNode, st)
+		hits += n.hits
+		misses += n.misses
+		remote += n.remote
+		reqs += n.requests
+		res.BytesServed += n.bytesSent
+		underSum += st.UnderFrac
+		cpuSum += st.CPUUtil
+		diskSum += st.DiskUtil
+	}
+	if reqs > 0 {
+		res.HitRatio = float64(hits) / float64(reqs)
+		res.MissRatio = float64(misses) / float64(reqs)
+		res.RemoteFraction = float64(remote) / float64(reqs)
+	}
+	nn := float64(len(c.nodes))
+	res.IdleFraction = underSum / nn
+	res.CPUUtilization = cpuSum / nn
+	res.DiskUtilization = diskSum / nn
+	if res.Requests > 0 {
+		res.AvgDelay = c.delaySum / time.Duration(res.Requests)
+	}
+	res.MaxDelay = c.delayMax
+	res.PeakOutstanding = c.peak
+	if minSet {
+		res.NodeDelayDiff = maxNodeDelay - minNodeDelay
+	}
+	return res
+}
+
+// Simulate is the one-call convenience: build and run.
+func Simulate(cfg Config, tr *trace.Trace) (Result, error) {
+	c, err := New(cfg, tr)
+	if err != nil {
+		return Result{}, err
+	}
+	return c.Run(), nil
+}
+
+// diskAssignment stripes targets across disks "in round-robin fashion
+// based on decreasing order of request frequency in the trace", returning
+// nil when a single disk makes striping moot.
+func diskAssignment(tr *trace.Trace, disks int) func(string) int {
+	if disks <= 1 {
+		return nil
+	}
+	counts := tr.Counts()
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := counts[order[a]], counts[order[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b]
+	})
+	assign := make(map[string]int, len(order))
+	for rank, idx := range order {
+		assign[tr.Targets[idx].Name] = rank % disks
+	}
+	return func(target string) int { return assign[target] }
+}

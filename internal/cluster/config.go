@@ -1,0 +1,215 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lard/internal/cache"
+	"lard/internal/core"
+)
+
+// StrategyKind names the request-distribution configurations evaluated in
+// the paper's simulations (Section 4).
+type StrategyKind int
+
+const (
+	// WRR is weighted round-robin (load-only, the baseline).
+	WRR StrategyKind = iota
+	// LB is hash-based locality partitioning.
+	LB
+	// LBGC is LB with the idealized front-end global-cache model.
+	LBGC
+	// LARD is basic locality-aware request distribution.
+	LARD
+	// LARDR is LARD with replication.
+	LARDR
+	// WRRGMS is WRR over back ends sharing a global memory system.
+	WRRGMS
+)
+
+// AllStrategies returns every simulated configuration, in the paper's
+// presentation order.
+func AllStrategies() []StrategyKind {
+	return []StrategyKind{WRR, LB, LBGC, LARD, LARDR, WRRGMS}
+}
+
+// String returns the paper's name for the configuration.
+func (k StrategyKind) String() string {
+	switch k {
+	case WRR:
+		return "WRR"
+	case LB:
+		return "LB"
+	case LBGC:
+		return "LB/GC"
+	case LARD:
+		return "LARD"
+	case LARDR:
+		return "LARD/R"
+	case WRRGMS:
+		return "WRR/GMS"
+	default:
+		return fmt.Sprintf("StrategyKind(%d)", int(k))
+	}
+}
+
+// ParseStrategy converts a user-supplied name ("wrr", "lard/r", "lardr",
+// "wrr/gms", …) to a StrategyKind.
+func ParseStrategy(s string) (StrategyKind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "wrr":
+		return WRR, nil
+	case "lb":
+		return LB, nil
+	case "lb/gc", "lbgc":
+		return LBGC, nil
+	case "lard":
+		return LARD, nil
+	case "lard/r", "lardr":
+		return LARDR, nil
+	case "wrr/gms", "wrrgms", "gms":
+		return WRRGMS, nil
+	default:
+		return 0, fmt.Errorf("cluster: unknown strategy %q (want wrr, lb, lb/gc, lard, lard/r, or wrr/gms)", s)
+	}
+}
+
+// CachePolicy selects the back-end cache replacement policy.
+type CachePolicy int
+
+const (
+	// GDS is Greedy-Dual-Size, the paper's default.
+	GDS CachePolicy = iota
+	// LRU is least-recently-used with a large-file admission cutoff.
+	LRU
+)
+
+// String returns the policy name.
+func (p CachePolicy) String() string {
+	switch p {
+	case GDS:
+		return "GDS"
+	case LRU:
+		return "LRU"
+	default:
+		return fmt.Sprintf("CachePolicy(%d)", int(p))
+	}
+}
+
+// FailureEvent schedules a back-end failure and recovery for the failover
+// experiments (Section 2.6 discusses recovery; the experiment itself is an
+// extension of the paper's evaluation).
+type FailureEvent struct {
+	Node   int
+	DownAt time.Duration
+	// UpAt restores the node; zero means the node stays down. A restored
+	// node starts with a cold cache.
+	UpAt time.Duration
+}
+
+// DefaultCacheBytes is the paper's default per-node cache size: "we chose
+// to set the default node cache size in our simulations to 32 MB".
+const DefaultCacheBytes = 32 << 20
+
+// DefaultLRUCutoff is the large-file admission cutoff used with the LRU
+// policy ("files with a size of more than 500 KB are never cached").
+const DefaultLRUCutoff = 500 << 10
+
+// Config describes one simulation run.
+type Config struct {
+	// Strategy is the request-distribution configuration under test.
+	Strategy StrategyKind
+
+	// Nodes is the number of back-end nodes.
+	Nodes int
+
+	// CacheBytes is the per-node main-memory cache size.
+	CacheBytes int64
+
+	// CachePolicy is the replacement policy (GDS by default).
+	CachePolicy CachePolicy
+
+	// LRUCutoff is the LRU large-file admission cutoff (0 = none).
+	LRUCutoff int64
+
+	// Disks is the number of disks per node (Figure 13/14 sweeps). Files
+	// are striped across disks "in round-robin fashion based on
+	// decreasing order of request frequency in the trace".
+	Disks int
+
+	// Cost is the processing cost model.
+	Cost CostModel
+
+	// Params are the LARD thresholds; they also set the cluster-wide
+	// admission bound S for every strategy (the front end "limits the
+	// number of outstanding requests at the back ends" under all
+	// strategies considered).
+	Params core.Params
+
+	// UnderutilizationFraction defines node underutilization as load
+	// below this fraction of T_low (the paper uses 40%).
+	UnderutilizationFraction float64
+
+	// Failures optionally injects back-end failures.
+	Failures []FailureEvent
+}
+
+// DefaultConfig returns the paper's default simulation setup for the given
+// strategy and cluster size: 32 MB GDS caches, one disk per node, the
+// Pentium II cost model, T_low = 25 / T_high = 65 / K = 20 s.
+func DefaultConfig(strategy StrategyKind, nodes int) Config {
+	return Config{
+		Strategy:                 strategy,
+		Nodes:                    nodes,
+		CacheBytes:               DefaultCacheBytes,
+		CachePolicy:              GDS,
+		LRUCutoff:                DefaultLRUCutoff,
+		Disks:                    1,
+		Cost:                     DefaultCostModel(),
+		Params:                   core.DefaultParams(),
+		UnderutilizationFraction: 0.4,
+	}
+}
+
+// Validate reports whether the configuration is runnable.
+func (c Config) Validate() error {
+	switch {
+	case c.Nodes < 1:
+		return fmt.Errorf("cluster: Nodes = %d, need >= 1", c.Nodes)
+	case c.CacheBytes < 0:
+		return fmt.Errorf("cluster: negative CacheBytes")
+	case c.Disks < 1:
+		return fmt.Errorf("cluster: Disks = %d, need >= 1", c.Disks)
+	case c.UnderutilizationFraction < 0 || c.UnderutilizationFraction > 1:
+		return fmt.Errorf("cluster: UnderutilizationFraction %v outside [0,1]", c.UnderutilizationFraction)
+	}
+	if err := c.Cost.Validate(); err != nil {
+		return err
+	}
+	if err := c.Params.Validate(); err != nil {
+		return err
+	}
+	for _, f := range c.Failures {
+		if f.Node < 0 || f.Node >= c.Nodes {
+			return fmt.Errorf("cluster: failure event for node %d of %d", f.Node, c.Nodes)
+		}
+		if f.UpAt != 0 && f.UpAt <= f.DownAt {
+			return fmt.Errorf("cluster: failure event recovers at %v before failing at %v", f.UpAt, f.DownAt)
+		}
+		if c.Strategy == WRRGMS {
+			return fmt.Errorf("cluster: failure injection is not supported with WRR/GMS")
+		}
+	}
+	return nil
+}
+
+// newCache constructs one back-end cache per the configured policy.
+func (c Config) newCache() cache.Cache {
+	switch c.CachePolicy {
+	case LRU:
+		return cache.NewLRUWithCutoff(c.CacheBytes, c.LRUCutoff)
+	default:
+		return cache.NewGDS(c.CacheBytes)
+	}
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCostModelPaperCalibration(t *testing.T) {
+	m := DefaultCostModel()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// "Connection establishment and teardown costs are set at 145 µs of
+	// CPU time each."
+	if m.EstablishTime() != 145*time.Microsecond {
+		t.Fatalf("EstablishTime = %v", m.EstablishTime())
+	}
+	if m.TeardownTime() != 145*time.Microsecond {
+		t.Fatalf("TeardownTime = %v", m.TeardownTime())
+	}
+	// "An 8 KByte document can be served from the main memory cache at a
+	// rate of approximately 1075 requests/sec": 145+145+16·40 = 930 µs.
+	svc := m.CachedServiceTime(8 << 10)
+	if svc != 930*time.Microsecond {
+		t.Fatalf("CachedServiceTime(8KB) = %v, want 930µs", svc)
+	}
+	rate := 1 / svc.Seconds()
+	if rate < 1070 || rate > 1080 {
+		t.Fatalf("implied cached rate = %.0f req/s, want ≈1075", rate)
+	}
+}
+
+func TestTransmitTimeRoundsUpPerUnit(t *testing.T) {
+	m := DefaultCostModel()
+	if got := m.TransmitTime(1); got != 40*time.Microsecond {
+		t.Fatalf("TransmitTime(1) = %v", got)
+	}
+	if got := m.TransmitTime(512); got != 40*time.Microsecond {
+		t.Fatalf("TransmitTime(512) = %v", got)
+	}
+	if got := m.TransmitTime(513); got != 80*time.Microsecond {
+		t.Fatalf("TransmitTime(513) = %v", got)
+	}
+	if got := m.TransmitTime(0); got != 0 {
+		t.Fatalf("TransmitTime(0) = %v", got)
+	}
+}
+
+func TestDiskReadTimeSmallFile(t *testing.T) {
+	m := DefaultCostModel()
+	// A 4 KB file: 28 ms latency + one 410 µs transfer unit.
+	want := 28*time.Millisecond + 410*time.Microsecond
+	if got := m.DiskReadTime(4 << 10); got != want {
+		t.Fatalf("DiskReadTime(4KB) = %v, want %v", got, want)
+	}
+	// "Approximately 10 MB/s peak transfer rate": 4 KB / 410 µs ≈ 9.99 MB/s.
+	rate := float64(4<<10) / (410 * time.Microsecond).Seconds() / (1 << 20)
+	if rate < 9.5 || rate > 10.5 {
+		t.Fatalf("implied transfer rate = %.2f MB/s", rate)
+	}
+}
+
+func TestDiskReadTimeLargeFilePaysExtraSeeks(t *testing.T) {
+	m := DefaultCostModel()
+	// "For files larger than 44 KB an additional 14 ms is charged for
+	// every 44 KB of file length in excess of 44 KB."
+	within := m.DiskReadTime(44 << 10)
+	beyond := m.DiskReadTime(88 << 10)
+	extra := beyond - within
+	// One extra 44 KB block: 14 ms + 11 transfer units (44KB/4KB).
+	want := 14*time.Millisecond + 11*410*time.Microsecond
+	if extra != want {
+		t.Fatalf("extra for second 44KB block = %v, want %v", extra, want)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	m := DefaultCostModel()
+	b := m.Blocks(100 << 10) // 100 KB = 44 + 44 + 12
+	if len(b) != 3 {
+		t.Fatalf("Blocks(100KB) = %v", b)
+	}
+	if b[0] != 44<<10 || b[1] != 44<<10 || b[2] != 12<<10 {
+		t.Fatalf("Blocks = %v", b)
+	}
+	if got := m.Blocks(0); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("Blocks(0) = %v", got)
+	}
+	var sum int64
+	for _, v := range m.Blocks(12345) {
+		sum += v
+	}
+	if sum != 12345 {
+		t.Fatalf("blocks sum = %d", sum)
+	}
+}
+
+func TestBlockReadTimeLatencies(t *testing.T) {
+	m := DefaultCostModel()
+	first := m.BlockReadTime(0, 4096)
+	later := m.BlockReadTime(1, 4096)
+	if first-later != 14*time.Millisecond {
+		t.Fatalf("first %v vs later %v: latency difference should be 14ms", first, later)
+	}
+	if got := m.BlockReadTime(0, 0); got != 28*time.Millisecond {
+		t.Fatalf("empty first block = %v", got)
+	}
+}
+
+func TestCPUSpeedScalesOnlyCPU(t *testing.T) {
+	m := DefaultCostModel().WithCPUSpeed(2)
+	if got := m.EstablishTime(); got != 72500*time.Nanosecond {
+		t.Fatalf("2x EstablishTime = %v, want 72.5µs", got)
+	}
+	if got := m.TransmitTime(512); got != 20*time.Microsecond {
+		t.Fatalf("2x TransmitTime = %v", got)
+	}
+	// Disk timing is unchanged.
+	if got := m.DiskReadTime(4 << 10); got != DefaultCostModel().DiskReadTime(4<<10) {
+		t.Fatalf("CPU speed changed disk time: %v", got)
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	bad := []func(*CostModel){
+		func(m *CostModel) { m.ConnEstablish = -1 },
+		func(m *CostModel) { m.TransmitUnit = 0 },
+		func(m *CostModel) { m.DiskFirstLatency = -1 },
+		func(m *CostModel) { m.DiskTransferUnit = 0 },
+		func(m *CostModel) { m.DiskBlock = 0 },
+		func(m *CostModel) { m.CPUSpeed = 0 },
+	}
+	for i, mutate := range bad {
+		m := DefaultCostModel()
+		mutate(&m)
+		if m.Validate() == nil {
+			t.Fatalf("case %d: invalid model accepted", i)
+		}
+	}
+}

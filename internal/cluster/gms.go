@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"lard/internal/core"
+)
+
+// GMS simulates a global memory system over the back-end nodes' main
+// memories, "loosely based on the GMS described in Feeley et al." and used
+// by the paper's WRR/GMS configuration (Section 4).
+//
+// The model is deliberately generous to GMS, as in the paper: "It was
+// assumed that maintaining the global cache directory and implementing
+// global cache replacement has no cost." Concretely:
+//
+//   - A zero-cost global directory maps every cached object to the set of
+//     nodes holding it in memory.
+//   - A request for an object absent from the local cache but present in
+//     a remote node's memory is a remote hit: no disk access occurs, but
+//     the transfer costs CPU — a send on the holder and a receive on the
+//     requester, each equal to the object's transmit cost — after which
+//     the object is inserted into the requester's local cache (as in
+//     Feeley et al., fetched pages become locally resident) and
+//     transmitted to the client. A remote hit therefore costs three
+//     transmit times of aggregate CPU versus one for a local hit.
+//   - Replacement is the local GDS policy on each node; evictions update
+//     the directory for free.
+//
+// Hot objects end up replicated in many nodes' memories (shrinking the
+// aggregate effective cache towards WRR's), while the long tail is served
+// from remote memory instead of disk (approaching LARD's aggregation but
+// at triple the per-byte CPU cost). Those two effects are what keep
+// WRR/GMS between WRR and LARD in the paper's figures.
+type GMS struct {
+	// holders maps each in-memory object to the nodes holding it.
+	holders map[string]map[int]bool
+	nodes   []*Node
+}
+
+// newGMS builds a global memory system over the nodes, which keep using
+// their own local caches; the GMS adds the directory and remote-fetch
+// path. Each node's cache evictions are hooked to maintain the directory.
+func newGMS(nodes []*Node) *GMS {
+	g := &GMS{
+		holders: make(map[string]map[int]bool),
+		nodes:   nodes,
+	}
+	for _, n := range nodes {
+		n.gms = g
+		id := n.id
+		n.cache.SetEvictCallback(func(key string, _ int64) {
+			g.drop(id, key)
+		})
+	}
+	return g
+}
+
+// insert records that node now holds target in its local cache.
+func (g *GMS) insert(node int, target string, size int64) {
+	if !g.nodes[node].cache.Insert(target, size) {
+		return
+	}
+	set, ok := g.holders[target]
+	if !ok {
+		set = make(map[int]bool, 2)
+		g.holders[target] = set
+	}
+	set[node] = true
+}
+
+// drop removes node from target's holder set.
+func (g *GMS) drop(node int, target string) {
+	if set, ok := g.holders[target]; ok {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(g.holders, target)
+		}
+	}
+}
+
+// remoteHolder returns the holder of target with the shortest CPU backlog,
+// excluding the requester, or -1 if none exists.
+func (g *GMS) remoteHolder(target string, requester int) int {
+	best := -1
+	var bestBacklog int64
+	for id := range g.holders[target] {
+		if id == requester {
+			continue
+		}
+		backlog := int64(g.nodes[id].cpu.Backlog())
+		if best == -1 || backlog < bestBacklog || (backlog == bestBacklog && id < best) {
+			best, bestBacklog = id, backlog
+		}
+	}
+	return best
+}
+
+// serveGMS handles the cache-consultation step of a request on a node that
+// participates in a GMS.
+func (n *Node) serveGMS(req core.Request, done func()) {
+	g := n.gms
+	if _, ok := n.cache.Lookup(req.Target); ok {
+		n.hits++
+		n.transmit(req.Size, done)
+		return
+	}
+	if owner := g.remoteHolder(req.Target, n.id); owner >= 0 {
+		// Remote memory hit: the holder sends (CPU on holder), we receive
+		// (CPU here) and keep a local copy, then transmit to the client.
+		// The steps of one request remain sequential across the two nodes.
+		n.hits++
+		n.remote++
+		sender := g.nodes[owner]
+		sendCost := sender.cost.TransmitTime(req.Size)
+		sender.cpu.Schedule(sendCost, func() {
+			recvCost := n.cost.TransmitTime(req.Size)
+			n.cpu.Schedule(recvCost, func() {
+				g.insert(n.id, req.Target, req.Size)
+				n.transmit(req.Size, done)
+			})
+		})
+		return
+	}
+	n.misses++
+	n.readAndServe(req, done)
+}

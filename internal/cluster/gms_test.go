@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"testing"
+
+	"lard/internal/cache"
+	"lard/internal/core"
+	"lard/internal/sim"
+)
+
+// newGMSNodes builds n nodes sharing a GMS, each with the given cache.
+func newGMSNodes(t *testing.T, n int, cacheBytes int64) (*sim.Engine, []*Node, *GMS) {
+	t.Helper()
+	eng := sim.NewEngine()
+	var nodes []*Node
+	for i := 0; i < n; i++ {
+		nodes = append(nodes, newNode(i, eng, DefaultCostModel(), cache.NewGDS(cacheBytes), 1, 10))
+	}
+	g := newGMS(nodes)
+	return eng, nodes, g
+}
+
+func TestGMSRemoteHitAvoidsDisk(t *testing.T) {
+	eng, nodes, _ := newGMSNodes(t, 2, 1<<20)
+	// Node 0 reads /a from disk and caches it.
+	nodes[0].Handle(core.Request{Target: "/a", Size: 4 << 10}, func() {})
+	eng.Run()
+	if nodes[0].misses != 1 {
+		t.Fatalf("node0 misses = %d", nodes[0].misses)
+	}
+	// Node 1's request for /a is a remote memory hit: no disk access.
+	nodes[1].Handle(core.Request{Target: "/a", Size: 4 << 10}, func() {})
+	eng.Run()
+	if nodes[1].misses != 0 {
+		t.Fatalf("node1 missed despite global copy")
+	}
+	if nodes[1].remote != 1 {
+		t.Fatalf("node1 remote = %d, want 1", nodes[1].remote)
+	}
+	if nodes[1].disks[0].Jobs() != 0 {
+		t.Fatalf("node1 went to disk on a remote hit")
+	}
+}
+
+func TestGMSRemoteHitReplicatesLocally(t *testing.T) {
+	eng, nodes, g := newGMSNodes(t, 2, 1<<20)
+	nodes[0].Handle(core.Request{Target: "/a", Size: 4 << 10}, func() {})
+	eng.Run()
+	nodes[1].Handle(core.Request{Target: "/a", Size: 4 << 10}, func() {})
+	eng.Run()
+	// As in Feeley et al., the fetched object becomes locally resident:
+	// both nodes now hold it, and the next access on node 1 is local.
+	if len(g.holders["/a"]) != 2 {
+		t.Fatalf("holders = %v, want both nodes", g.holders["/a"])
+	}
+	nodes[1].Handle(core.Request{Target: "/a", Size: 4 << 10}, func() {})
+	eng.Run()
+	if nodes[1].remote != 1 {
+		t.Fatalf("second access was remote again (remote=%d)", nodes[1].remote)
+	}
+}
+
+func TestGMSRemoteHitCostsMoreThanLocal(t *testing.T) {
+	measure := func(remote bool) (latency int64) {
+		eng, nodes, _ := newGMSNodes(t, 2, 1<<20)
+		nodes[0].Handle(core.Request{Target: "/a", Size: 8 << 10}, func() {})
+		eng.Run()
+		server := 0
+		if remote {
+			server = 1
+		}
+		start := eng.Now()
+		var end int64
+		nodes[server].Handle(core.Request{Target: "/a", Size: 8 << 10}, func() { end = int64(eng.Now() - start) })
+		eng.Run()
+		return end
+	}
+	local, remote := measure(false), measure(true)
+	// Remote = local + send + receive = local + 2 transmit times.
+	if remote <= local {
+		t.Fatalf("remote hit (%d) not costlier than local (%d)", remote, local)
+	}
+	extra := remote - local
+	twoTransmits := int64(2 * DefaultCostModel().TransmitTime(8<<10))
+	if extra != twoTransmits {
+		t.Fatalf("remote extra cost = %d, want %d (two transmit times)", extra, twoTransmits)
+	}
+}
+
+func TestGMSEvictionMaintainsDirectory(t *testing.T) {
+	eng, nodes, g := newGMSNodes(t, 2, 10<<10) // tiny caches
+	nodes[0].Handle(core.Request{Target: "/a", Size: 8 << 10}, func() {})
+	eng.Run()
+	if len(g.holders["/a"]) != 1 {
+		t.Fatalf("holders = %v", g.holders["/a"])
+	}
+	// A second large object evicts /a from node 0's cache; the directory
+	// must drop the holder too.
+	nodes[0].Handle(core.Request{Target: "/b", Size: 8 << 10}, func() {})
+	eng.Run()
+	if len(g.holders["/a"]) != 0 {
+		t.Fatalf("stale directory entry for /a: %v", g.holders["/a"])
+	}
+	// And a new request for /a on node 1 must go to disk, not to a ghost.
+	nodes[1].Handle(core.Request{Target: "/a", Size: 8 << 10}, func() {})
+	eng.Run()
+	if nodes[1].misses != 1 {
+		t.Fatalf("node1 misses = %d, want 1", nodes[1].misses)
+	}
+}
+
+func TestGMSRemoteHolderPrefersShortestBacklog(t *testing.T) {
+	eng, nodes, g := newGMSNodes(t, 3, 1<<20)
+	// Both node 0 and node 1 hold /a.
+	nodes[0].Handle(core.Request{Target: "/a", Size: 4 << 10}, func() {})
+	eng.Run()
+	nodes[1].Handle(core.Request{Target: "/a", Size: 4 << 10}, func() {})
+	eng.Run()
+	// Pile CPU work on node 0: node 2's fetch should come from node 1.
+	nodes[0].cpu.Schedule(1e9, nil)
+	if got := g.remoteHolder("/a", 2); got != 1 {
+		t.Fatalf("remoteHolder = %d, want 1 (shortest backlog)", got)
+	}
+	// The requester itself is excluded.
+	if got := g.remoteHolder("/a", 1); got != 0 {
+		t.Fatalf("remoteHolder excluding 1 = %d, want 0", got)
+	}
+	if got := g.remoteHolder("/zzz", 2); got != -1 {
+		t.Fatalf("remoteHolder for unknown target = %d, want -1", got)
+	}
+}
+
+func TestGMSUncacheableObjectNotTracked(t *testing.T) {
+	eng, nodes, g := newGMSNodes(t, 2, 4<<10)
+	nodes[0].Handle(core.Request{Target: "/huge", Size: 1 << 20}, func() {})
+	eng.Run()
+	if len(g.holders["/huge"]) != 0 {
+		t.Fatalf("uncacheable object in directory: %v", g.holders["/huge"])
+	}
+}

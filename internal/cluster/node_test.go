@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"lard/internal/cache"
+	"lard/internal/core"
+	"lard/internal/sim"
+)
+
+// newTestNode builds a bare node for unit-level lifecycle tests.
+func newTestNode(t *testing.T, cacheBytes int64, disks int) (*sim.Engine, *Node) {
+	t.Helper()
+	eng := sim.NewEngine()
+	n := newNode(0, eng, DefaultCostModel(), cache.NewGDS(cacheBytes), disks, 10)
+	return eng, n
+}
+
+func TestNodeHitLifecycleCost(t *testing.T) {
+	eng, n := newTestNode(t, 1<<20, 1)
+	// Warm the cache.
+	warmDone := false
+	n.Handle(core.Request{Target: "/a", Size: 8 << 10}, func() { warmDone = true })
+	eng.Run()
+	if !warmDone {
+		t.Fatal("warm request did not complete")
+	}
+	// A hit costs exactly establish + transmit + teardown = 930 µs.
+	start := eng.Now()
+	var end time.Duration
+	n.Handle(core.Request{Target: "/a", Size: 8 << 10}, func() { end = eng.Now() })
+	eng.Run()
+	if got := end - start; got != 930*time.Microsecond {
+		t.Fatalf("hit latency = %v, want 930µs", got)
+	}
+}
+
+func TestNodeMissLifecycleCost(t *testing.T) {
+	eng, n := newTestNode(t, 1<<20, 1)
+	var end time.Duration
+	n.Handle(core.Request{Target: "/b", Size: 4 << 10}, func() { end = eng.Now() })
+	eng.Run()
+	// establish(145µs) + read(28ms+410µs) + transmit(8*40µs) + teardown(145µs).
+	want := 145*time.Microsecond + 28*time.Millisecond + 410*time.Microsecond +
+		8*40*time.Microsecond + 145*time.Microsecond
+	if end != want {
+		t.Fatalf("miss latency = %v, want %v", end, want)
+	}
+	if n.hits != 0 || n.misses != 1 {
+		t.Fatalf("hits=%d misses=%d", n.hits, n.misses)
+	}
+}
+
+func TestNodeActiveCountTracksLifecycle(t *testing.T) {
+	eng, n := newTestNode(t, 1<<20, 1)
+	n.Handle(core.Request{Target: "/a", Size: 1024}, func() {})
+	n.Handle(core.Request{Target: "/b", Size: 1024}, func() {})
+	if n.Active() != 2 {
+		t.Fatalf("Active = %d, want 2", n.Active())
+	}
+	eng.Run()
+	if n.Active() != 0 {
+		t.Fatalf("Active after drain = %d", n.Active())
+	}
+}
+
+func TestNodeUnderutilizationIntegral(t *testing.T) {
+	eng, n := newTestNode(t, 1<<20, 1)
+	// The node idles (active=0 < bound=10) for the first 100ms, then
+	// serves one request (still under the bound), so it is under the
+	// whole time.
+	eng.At(100*time.Millisecond, func() {
+		n.Handle(core.Request{Target: "/a", Size: 1024}, func() {})
+	})
+	eng.Run()
+	end := eng.Now()
+	n.finishStats(end)
+	if got := n.underutilizedFraction(end); got != 1.0 {
+		t.Fatalf("under fraction = %v, want 1.0 (never reached bound)", got)
+	}
+}
+
+func TestNodeLeavesUnderWhenBusy(t *testing.T) {
+	eng, n := newTestNode(t, 1<<25, 1)
+	// Drive 20 concurrent requests (above the bound of 10) for the whole
+	// run: the node must NOT be fully underutilized.
+	for i := 0; i < 20; i++ {
+		n.Handle(core.Request{Target: "/hot", Size: 64 << 10}, func() {})
+	}
+	eng.Run()
+	end := eng.Now()
+	n.finishStats(end)
+	if got := n.underutilizedFraction(end); got > 0.5 {
+		t.Fatalf("under fraction = %v with 20 concurrent requests", got)
+	}
+}
+
+func TestNodeDiskStriping(t *testing.T) {
+	eng, n := newTestNode(t, 1<<10, 2) // cache too small: all misses
+	n.diskFor = func(target string) int {
+		if target == "/d1" {
+			return 1
+		}
+		return 0
+	}
+	n.Handle(core.Request{Target: "/d0", Size: 4 << 10}, func() {})
+	n.Handle(core.Request{Target: "/d1", Size: 4 << 10}, func() {})
+	eng.Run()
+	if n.disks[0].Jobs() != 1 || n.disks[1].Jobs() != 1 {
+		t.Fatalf("disk jobs = %d, %d; want 1, 1", n.disks[0].Jobs(), n.disks[1].Jobs())
+	}
+	// Out-of-range assignments fall back to disk 0.
+	n.diskFor = func(string) int { return 99 }
+	n.Handle(core.Request{Target: "/d2", Size: 4 << 10}, func() {})
+	eng.Run()
+	if n.disks[0].Jobs() != 2 {
+		t.Fatalf("fallback disk jobs = %d", n.disks[0].Jobs())
+	}
+}
+
+func TestNodeParallelDisksOverlap(t *testing.T) {
+	// Two misses on different disks finish in roughly one read time; on
+	// one disk they serialize.
+	run := func(disks int) time.Duration {
+		eng, n := newTestNode(t, 1<<10, disks)
+		if disks == 2 {
+			calls := 0
+			n.diskFor = func(string) int { calls++; return calls % 2 }
+		}
+		n.Handle(core.Request{Target: "/x", Size: 4 << 10}, func() {})
+		n.Handle(core.Request{Target: "/y", Size: 4 << 10}, func() {})
+		eng.Run()
+		return eng.Now()
+	}
+	serial, parallel := run(1), run(2)
+	if parallel >= serial {
+		t.Fatalf("2 disks (%v) not faster than 1 disk (%v)", parallel, serial)
+	}
+}
+
+func TestNodeCoalescedWaitersServedFromMemory(t *testing.T) {
+	eng, n := newTestNode(t, 1<<20, 1)
+	done := 0
+	for i := 0; i < 5; i++ {
+		n.Handle(core.Request{Target: "/same", Size: 4 << 10}, func() { done++ })
+	}
+	eng.Run()
+	if done != 5 {
+		t.Fatalf("completed %d of 5", done)
+	}
+	if n.disks[0].Jobs() != 1 {
+		t.Fatalf("disk jobs = %d, want 1 (coalesced)", n.disks[0].Jobs())
+	}
+	if n.misses != 5 {
+		t.Fatalf("misses = %d; coalesced requests still count as misses", n.misses)
+	}
+	// Subsequent request hits.
+	n.Handle(core.Request{Target: "/same", Size: 4 << 10}, func() {})
+	eng.Run()
+	if n.hits != 1 {
+		t.Fatalf("hits = %d", n.hits)
+	}
+}
+
+func TestNodeZeroSizeRequest(t *testing.T) {
+	eng, n := newTestNode(t, 1<<20, 1)
+	completed := false
+	n.Handle(core.Request{Target: "/empty", Size: 0}, func() { completed = true })
+	eng.Run()
+	if !completed {
+		t.Fatal("zero-size request did not complete")
+	}
+}
+
+func TestNodeBytesSentAccounting(t *testing.T) {
+	eng, n := newTestNode(t, 1<<20, 1)
+	n.Handle(core.Request{Target: "/a", Size: 1000}, func() {})
+	eng.Run()
+	n.Handle(core.Request{Target: "/a", Size: 1000}, func() {})
+	eng.Run()
+	if n.bytesSent != 2000 {
+		t.Fatalf("bytesSent = %d, want 2000 (miss + hit)", n.bytesSent)
+	}
+}

@@ -1,0 +1,203 @@
+// Package core implements the request-distribution strategies of the LARD
+// paper (Section 2) — the paper's primary contribution.
+//
+// A Strategy decides, for each incoming request, which back-end node should
+// serve it. The same Strategy implementations drive both the trace-driven
+// cluster simulator (internal/cluster) and the live prototype front end
+// (internal/frontend), mirroring how the paper evaluates one policy in both
+// settings.
+//
+// Implemented strategies:
+//
+//   - WRR: weighted round-robin over back-end load, the paper's
+//     "state-of-the-art" baseline (Section 2.2).
+//   - LB: locality-based hash partitioning of the target name space
+//     (Section 2.3).
+//   - LBGC: LB with a front-end model of a global cache — on a hit route
+//     to the caching node, on a miss route to the node caching the
+//     globally oldest target (Section 4, "LB/GC").
+//   - LARD: basic locality-aware request distribution (Figure 2).
+//   - LARDR: LARD with replication (Figure 3).
+//
+// Strategies are deterministic and not safe for concurrent use; callers
+// that dispatch from multiple goroutines (the live front end) must
+// serialize calls. The paper's front end is likewise a single dispatch
+// point.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Request carries the request attributes visible to the front end after
+// inspecting the connection's first request: the target (URL plus
+// arguments, per the paper's definition) and, when known, its size.
+type Request struct {
+	Target string
+	Size   int64
+}
+
+// LoadReader exposes back-end load information to strategies. The paper's
+// front end derives load from its own connection bookkeeping: "a node's
+// load is measured as the number of active connections", requiring no
+// communication with the back ends.
+type LoadReader interface {
+	// NodeCount returns the number of back-end nodes (alive or not).
+	NodeCount() int
+
+	// Load returns the number of active connections assigned to node:
+	// handed off and not yet completed.
+	Load(node int) int
+}
+
+// Strategy selects a back-end node for each request.
+type Strategy interface {
+	// Name returns the strategy's short name as used in the paper's
+	// figures (e.g. "WRR", "LARD/R").
+	Name() string
+
+	// Select returns the node that should serve r, given the current
+	// (virtual or wall-clock) time. It returns -1 if no back-end node is
+	// available.
+	Select(now time.Duration, r Request) int
+}
+
+// FailureAware is implemented by strategies that support the paper's
+// back-end failure recovery (Section 2.6): on failure the front end
+// "simply re-assigns targets assigned to the failed back end as if they
+// had not been assigned before".
+type FailureAware interface {
+	// NodeDown marks a node failed; Select will no longer return it.
+	NodeDown(node int)
+
+	// NodeUp restores a failed node.
+	NodeUp(node int)
+}
+
+// Params holds the LARD tuning parameters (Section 2.4).
+type Params struct {
+	// TLow is the load "below which a back end is likely to have idle
+	// resources".
+	TLow int
+
+	// THigh is the load "above which a node is likely to cause substantial
+	// delay in serving requests". A target is moved when its node exceeds
+	// THigh while another sits below TLow, or unconditionally at 2×THigh.
+	THigh int
+
+	// K is the replication timer of LARD/R: a server set that has not
+	// changed for K shrinks by one node.
+	K time.Duration
+
+	// MappingCapacity bounds the number of targets tracked in the
+	// front end's mapping, evicting least-recently-used assignments
+	// (Section 2.6: "the mappings can be maintained in an LRU cache").
+	// Zero means unbounded.
+	MappingCapacity int
+}
+
+// DefaultParams returns the settings the paper found "to give good
+// performance across all workloads we tested": TLow = 25 and THigh = 65
+// active connections, K = 20 s.
+func DefaultParams() Params {
+	return Params{TLow: 25, THigh: 65, K: 20 * time.Second}
+}
+
+// Validate reports whether the parameters are usable.
+func (p Params) Validate() error {
+	switch {
+	case p.TLow < 1:
+		return fmt.Errorf("core: TLow = %d, need >= 1", p.TLow)
+	case p.THigh <= p.TLow:
+		return fmt.Errorf("core: THigh = %d must exceed TLow = %d", p.THigh, p.TLow)
+	case p.K < 0:
+		return fmt.Errorf("core: negative K")
+	case p.MappingCapacity < 0:
+		return fmt.Errorf("core: negative MappingCapacity")
+	}
+	return nil
+}
+
+// MaxOutstanding returns S = (n−1)·T_high + T_low + 1, the total number of
+// connections the front end admits to an n-node cluster. The paper chooses
+// S so that "at most n−1 nodes can have a load ≥ T_high while no node has
+// load < T_low", leaving room for bounded imbalance without idling nodes.
+func (p Params) MaxOutstanding(n int) int {
+	if n < 1 {
+		return 0
+	}
+	return (n-1)*p.THigh + p.TLow + 1
+}
+
+// nodeSet tracks which nodes are alive and provides the load-based node
+// picks shared by the strategies.
+type nodeSet struct {
+	loads LoadReader
+	down  []bool
+	// rr rotates tie-breaks so equal-load nodes are picked round-robin.
+	rr int
+}
+
+func newNodeSet(loads LoadReader) nodeSet {
+	if loads == nil {
+		panic("core: nil LoadReader")
+	}
+	n := loads.NodeCount()
+	if n < 1 {
+		panic("core: LoadReader reports no nodes")
+	}
+	return nodeSet{loads: loads, down: make([]bool, n)}
+}
+
+func (s *nodeSet) alive(node int) bool {
+	return node >= 0 && node < len(s.down) && !s.down[node]
+}
+
+func (s *nodeSet) setDown(node int, down bool) {
+	if node >= 0 && node < len(s.down) {
+		s.down[node] = down
+	}
+}
+
+// aliveNodes returns the alive node indices in ascending order.
+func (s *nodeSet) aliveNodes() []int {
+	out := make([]int, 0, len(s.down))
+	for i, d := range s.down {
+		if !d {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// leastLoaded returns the alive node with the minimum load, rotating the
+// starting point so ties are broken round-robin, or -1 if none is alive.
+func (s *nodeSet) leastLoaded() int {
+	n := len(s.down)
+	best, bestLoad := -1, 0
+	for k := 0; k < n; k++ {
+		i := (s.rr + k) % n
+		if s.down[i] {
+			continue
+		}
+		l := s.loads.Load(i)
+		if best == -1 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if best >= 0 {
+		s.rr = (best + 1) % n
+	}
+	return best
+}
+
+// anyBelow reports whether some alive node has load < bound.
+func (s *nodeSet) anyBelow(bound int) bool {
+	for i, d := range s.down {
+		if !d && s.loads.Load(i) < bound {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeLoads is a LoadReader backed by a mutable slice, for driving
+// strategies through exact load scenarios.
+type fakeLoads struct {
+	loads []int
+}
+
+func (f *fakeLoads) NodeCount() int   { return len(f.loads) }
+func (f *fakeLoads) Load(i int) int   { return f.loads[i] }
+func (f *fakeLoads) set(loads ...int) { f.loads = loads }
+
+func TestDefaultParams(t *testing.T) {
+	p := DefaultParams()
+	if p.TLow != 25 || p.THigh != 65 {
+		t.Fatalf("defaults = %+v, want TLow 25, THigh 65", p)
+	}
+	if p.K != 20*time.Second {
+		t.Fatalf("K = %v, want 20s", p.K)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	cases := []Params{
+		{TLow: 0, THigh: 65, K: time.Second},
+		{TLow: 25, THigh: 25, K: time.Second},
+		{TLow: 25, THigh: 10, K: time.Second},
+		{TLow: 25, THigh: 65, K: -time.Second},
+		{TLow: 25, THigh: 65, K: time.Second, MappingCapacity: -1},
+	}
+	for i, p := range cases {
+		if p.Validate() == nil {
+			t.Fatalf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+}
+
+func TestMaxOutstanding(t *testing.T) {
+	p := DefaultParams()
+	// S = (n-1)*T_high + T_low + 1.
+	cases := map[int]int{
+		1:  26,  // 0*65 + 25 + 1
+		2:  91,  // 65 + 26
+		8:  481, // 7*65 + 26
+		16: 1001,
+	}
+	for n, want := range cases {
+		if got := p.MaxOutstanding(n); got != want {
+			t.Fatalf("MaxOutstanding(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if got := p.MaxOutstanding(0); got != 0 {
+		t.Fatalf("MaxOutstanding(0) = %d, want 0", got)
+	}
+}
+
+// The paper's argument for S: with S connections admitted, at most n−1
+// nodes can be at or above T_high while no node is below T_low.
+func TestMaxOutstandingPaperProperty(t *testing.T) {
+	p := DefaultParams()
+	for n := 1; n <= 16; n++ {
+		s := p.MaxOutstanding(n)
+		// If all n nodes had load >= T_high, total >= n*T_high > S.
+		if n*p.THigh <= s {
+			t.Fatalf("n=%d: S=%d admits all nodes at T_high", n, s)
+		}
+		// All n nodes can simultaneously exceed T_low (be fully utilized).
+		if n*(p.TLow+1) > s {
+			t.Fatalf("n=%d: S=%d cannot keep all nodes above T_low", n, s)
+		}
+	}
+}
+
+func TestNodeSetLeastLoaded(t *testing.T) {
+	loads := &fakeLoads{loads: []int{5, 2, 9, 2}}
+	ns := newNodeSet(loads)
+	// Strict minimum.
+	if got := ns.leastLoaded(); got != 1 {
+		t.Fatalf("leastLoaded = %d, want 1", got)
+	}
+	// Tie between 1 and 3: rotation starts after the previous pick, so the
+	// next call must find node 3 first.
+	if got := ns.leastLoaded(); got != 3 {
+		t.Fatalf("leastLoaded tie-break = %d, want 3 (round-robin)", got)
+	}
+}
+
+func TestNodeSetLeastLoadedSkipsDown(t *testing.T) {
+	loads := &fakeLoads{loads: []int{1, 0, 5}}
+	ns := newNodeSet(loads)
+	ns.setDown(1, true)
+	if got := ns.leastLoaded(); got != 0 {
+		t.Fatalf("leastLoaded = %d, want 0 (node 1 down)", got)
+	}
+	ns.setDown(0, true)
+	ns.setDown(2, true)
+	if got := ns.leastLoaded(); got != -1 {
+		t.Fatalf("leastLoaded with all down = %d, want -1", got)
+	}
+	ns.setDown(2, false)
+	if got := ns.leastLoaded(); got != 2 {
+		t.Fatalf("leastLoaded after NodeUp = %d, want 2", got)
+	}
+}
+
+func TestNodeSetAnyBelow(t *testing.T) {
+	loads := &fakeLoads{loads: []int{30, 40}}
+	ns := newNodeSet(loads)
+	if ns.anyBelow(25) {
+		t.Fatal("anyBelow(25) = true with loads 30, 40")
+	}
+	if !ns.anyBelow(31) {
+		t.Fatal("anyBelow(31) = false with load 30 present")
+	}
+	ns.setDown(0, true)
+	if ns.anyBelow(31) {
+		t.Fatal("down node counted by anyBelow")
+	}
+}
+
+func TestNodeSetAliveNodes(t *testing.T) {
+	ns := newNodeSet(&fakeLoads{loads: []int{0, 0, 0}})
+	ns.setDown(1, true)
+	alive := ns.aliveNodes()
+	if len(alive) != 2 || alive[0] != 0 || alive[1] != 2 {
+		t.Fatalf("aliveNodes = %v", alive)
+	}
+	// Out-of-range setDown is ignored.
+	ns.setDown(-1, true)
+	ns.setDown(99, true)
+	if len(ns.aliveNodes()) != 2 {
+		t.Fatal("out-of-range setDown changed the set")
+	}
+}
+
+func TestNewNodeSetPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { newNodeSet(nil) },
+		func() { newNodeSet(&fakeLoads{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

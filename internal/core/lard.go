@@ -1,0 +1,120 @@
+package core
+
+import "time"
+
+// LARD implements the basic locality-aware request distribution strategy,
+// a direct transcription of the paper's Figure 2:
+//
+//	while true
+//	    fetch next request r
+//	    if server[r.target] = null then
+//	        n, server[r.target] ← {least loaded node}
+//	    else
+//	        n ← server[r.target]
+//	        if (n.load > T_high && ∃ node with load < T_low) ||
+//	           n.load ≥ 2·T_high then
+//	            n, server[r.target] ← {least loaded node}
+//	    send r to n
+//
+// The first request for a target assigns it to a lightly loaded node;
+// subsequent requests stick to that node — building locality — unless the
+// node is overloaded while another has idle capacity (or is at twice
+// T_high), in which case the target moves. Combined with the admission
+// bound S (Params.MaxOutstanding), any reassignment is guaranteed to move
+// the target between nodes whose loads differ by at least T_high − T_low.
+type LARD struct {
+	nodes   nodeSet
+	params  Params
+	server  *mapping[int]
+	moves   uint64
+	assigns uint64
+
+	// Move-cause diagnostics: movesIdle counts reassignments triggered by
+	// the (load > T_high && ∃ load < T_low) clause, movesPanic those from
+	// the load ≥ 2·T_high clause.
+	movesIdle  uint64
+	movesPanic uint64
+}
+
+// NewLARD returns a basic LARD strategy. It panics if params are invalid.
+func NewLARD(loads LoadReader, params Params) *LARD {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &LARD{
+		nodes:  newNodeSet(loads),
+		params: params,
+		server: newMapping[int](params.MappingCapacity),
+	}
+}
+
+// Name implements Strategy.
+func (s *LARD) Name() string { return "LARD" }
+
+// Select implements Strategy.
+func (s *LARD) Select(_ time.Duration, r Request) int {
+	node, ok := s.server.get(r.Target)
+	if !ok || !s.nodes.alive(node) {
+		node = s.nodes.leastLoaded()
+		if node < 0 {
+			return -1
+		}
+		s.server.put(r.Target, node)
+		s.assigns++
+		return node
+	}
+	load := s.nodes.loads.Load(node)
+	idleExists := load > s.params.THigh && s.nodes.anyBelow(s.params.TLow)
+	panicked := load >= 2*s.params.THigh
+	if idleExists || panicked {
+		moved := s.nodes.leastLoaded()
+		if moved >= 0 && moved != node {
+			s.server.put(r.Target, moved)
+			s.moves++
+			if idleExists {
+				s.movesIdle++
+			} else {
+				s.movesPanic++
+			}
+			return moved
+		}
+	}
+	return node
+}
+
+// NodeDown implements FailureAware. Mappings to the failed node are left
+// in place but ignored by Select (the liveness check re-assigns on the
+// next request), which is exactly the paper's recovery story: "the front
+// end simply re-assigns targets assigned to the failed back end as if they
+// had not been assigned before."
+func (s *LARD) NodeDown(node int) { s.nodes.setDown(node, true) }
+
+// NodeUp implements FailureAware.
+func (s *LARD) NodeUp(node int) { s.nodes.setDown(node, false) }
+
+// Assignment returns the node currently assigned to target, if any. It
+// does not refresh the mapping's recency and is intended for tests and
+// diagnostics.
+func (s *LARD) Assignment(target string) (node int, ok bool) {
+	// get refreshes recency; acceptable for a diagnostic accessor.
+	return s.server.get(target)
+}
+
+// MappedTargets returns the number of targets currently tracked.
+func (s *LARD) MappedTargets() int { return s.server.len() }
+
+// Moves returns how many times a target was reassigned due to load
+// imbalance; Assignments returns how many first-time assignments occurred.
+func (s *LARD) Moves() uint64 { return s.moves }
+
+// MovesByCause splits Moves into those triggered by the idle-node clause
+// and those by the 2×T_high clause.
+func (s *LARD) MovesByCause() (idle, panic uint64) { return s.movesIdle, s.movesPanic }
+
+// Assignments returns the number of first-time target assignments.
+func (s *LARD) Assignments() uint64 { return s.assigns }
+
+var (
+	_ Strategy     = (*LARD)(nil)
+	_ FailureAware = (*LARD)(nil)
+)

@@ -1,0 +1,203 @@
+package core
+
+import "time"
+
+// LARDR implements LARD with replication, a direct transcription of the
+// paper's Figure 3:
+//
+//	while true
+//	    fetch next request r
+//	    if serverSet[r.target] = ∅ then
+//	        n, serverSet[r.target] ← {least loaded node}
+//	    else
+//	        n ← {least loaded node in serverSet[r.target]}
+//	        m ← {most loaded node in serverSet[r.target]}
+//	        if (n.load > T_high && ∃ node with load < T_low) ||
+//	           n.load ≥ 2·T_high then
+//	            p ← {least loaded node}
+//	            add p to serverSet[r.target]
+//	            n ← p
+//	        if |serverSet[r.target]| > 1 &&
+//	           time() − serverSet[r.target].lastMod > K then
+//	            remove m from serverSet[r.target]
+//	    send r to n
+//	    if serverSet[r.target] changed in this iteration then
+//	        serverSet[r.target].lastMod ← time()
+//
+// A target hot enough to overload a single node accumulates multiple
+// servers and requests fan out over them (each request goes to the least
+// loaded member); a set that has been stable for K seconds shrinks by its
+// most loaded member, so "the degree of replication for a target does not
+// remain unnecessarily high once it is requested less often".
+type LARDR struct {
+	nodes    nodeSet
+	params   Params
+	sets     *mapping[targetSet]
+	grows    uint64
+	shrinks  uint64
+	assigns  uint64
+	maxDepth int
+}
+
+type targetSet struct {
+	nodes   []int
+	lastMod time.Duration
+}
+
+// NewLARDR returns a LARD-with-replication strategy. It panics if params
+// are invalid.
+func NewLARDR(loads LoadReader, params Params) *LARDR {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &LARDR{
+		nodes:  newNodeSet(loads),
+		params: params,
+		sets:   newMapping[targetSet](params.MappingCapacity),
+	}
+}
+
+// Name implements Strategy.
+func (s *LARDR) Name() string { return "LARD/R" }
+
+// Select implements Strategy.
+func (s *LARDR) Select(now time.Duration, r Request) int {
+	set, ok := s.sets.get(r.Target)
+	if ok {
+		set.nodes = s.pruneDead(set.nodes)
+	}
+	if !ok || len(set.nodes) == 0 {
+		n := s.nodes.leastLoaded()
+		if n < 0 {
+			return -1
+		}
+		s.sets.put(r.Target, targetSet{nodes: []int{n}, lastMod: now})
+		s.assigns++
+		return n
+	}
+
+	n := s.leastLoadedOf(set.nodes)
+	m := s.mostLoadedOf(set.nodes)
+	changed := false
+
+	load := s.nodes.loads.Load(n)
+	if (load > s.params.THigh && s.nodes.anyBelow(s.params.TLow)) || load >= 2*s.params.THigh {
+		if p := s.nodes.leastLoaded(); p >= 0 && !containsNode(set.nodes, p) {
+			set.nodes = append(set.nodes, p)
+			n = p
+			changed = true
+			s.grows++
+			if len(set.nodes) > s.maxDepth {
+				s.maxDepth = len(set.nodes)
+			}
+		}
+	}
+
+	if len(set.nodes) > 1 && now-set.lastMod > s.params.K {
+		set.nodes = removeNode(set.nodes, m)
+		changed = true
+		s.shrinks++
+		if n == m {
+			// The node we were about to use left the set; fall back to the
+			// least loaded remaining member.
+			n = s.leastLoadedOf(set.nodes)
+		}
+	}
+
+	if changed {
+		set.lastMod = now
+	}
+	s.sets.put(r.Target, set)
+	return n
+}
+
+// pruneDead drops failed nodes from a server set.
+func (s *LARDR) pruneDead(nodes []int) []int {
+	out := nodes[:0]
+	for _, n := range nodes {
+		if s.nodes.alive(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// leastLoadedOf returns the member with minimum load (first wins ties).
+func (s *LARDR) leastLoadedOf(nodes []int) int {
+	best, bestLoad := -1, 0
+	for _, n := range nodes {
+		l := s.nodes.loads.Load(n)
+		if best == -1 || l < bestLoad {
+			best, bestLoad = n, l
+		}
+	}
+	return best
+}
+
+// mostLoadedOf returns the member with maximum load (last wins ties, so a
+// tied set never removes the node Select is about to use when n was chosen
+// first-wins).
+func (s *LARDR) mostLoadedOf(nodes []int) int {
+	best, bestLoad := -1, -1
+	for _, n := range nodes {
+		l := s.nodes.loads.Load(n)
+		if l >= bestLoad {
+			best, bestLoad = n, l
+		}
+	}
+	return best
+}
+
+func containsNode(nodes []int, n int) bool {
+	for _, v := range nodes {
+		if v == n {
+			return true
+		}
+	}
+	return false
+}
+
+func removeNode(nodes []int, n int) []int {
+	out := nodes[:0]
+	for _, v := range nodes {
+		if v != n {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// NodeDown implements FailureAware: failed nodes are pruned from server
+// sets lazily on the next request for each target.
+func (s *LARDR) NodeDown(node int) { s.nodes.setDown(node, true) }
+
+// NodeUp implements FailureAware.
+func (s *LARDR) NodeUp(node int) { s.nodes.setDown(node, false) }
+
+// ServerSet returns a copy of the current server set for target, for tests
+// and diagnostics.
+func (s *LARDR) ServerSet(target string) []int {
+	set, ok := s.sets.get(target)
+	if !ok {
+		return nil
+	}
+	return append([]int(nil), set.nodes...)
+}
+
+// MappedTargets returns the number of targets currently tracked.
+func (s *LARDR) MappedTargets() int { return s.sets.len() }
+
+// Grows and Shrinks report how many replication additions and removals
+// occurred; MaxReplication reports the deepest server set seen.
+func (s *LARDR) Grows() uint64 { return s.grows }
+
+// Shrinks returns the number of server-set removals.
+func (s *LARDR) Shrinks() uint64 { return s.shrinks }
+
+// MaxReplication returns the largest server-set size observed.
+func (s *LARDR) MaxReplication() int { return s.maxDepth }
+
+var (
+	_ Strategy     = (*LARDR)(nil)
+	_ FailureAware = (*LARDR)(nil)
+)

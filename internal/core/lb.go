@@ -1,0 +1,56 @@
+package core
+
+import (
+	"hash/fnv"
+	"time"
+)
+
+// LB is the pure locality-based strategy (Section 2.3): "partitioning the
+// name space of the database in some way and assigning requests for all
+// targets in a particular partition to a particular back end. For instance,
+// a hash function can be used to perform the partitioning."
+//
+// LB maximizes cache aggregation — each back end caches only its partition
+// of the working set — but ignores load entirely, so a popular partition
+// can overload its node while others idle.
+type LB struct {
+	nodes nodeSet
+}
+
+// NewLB returns an LB strategy. It consults the LoadReader only for the
+// node count (and liveness bookkeeping), never for load.
+func NewLB(loads LoadReader) *LB {
+	return &LB{nodes: newNodeSet(loads)}
+}
+
+// Name implements Strategy.
+func (s *LB) Name() string { return "LB" }
+
+// Select implements Strategy: FNV-1a hash of the target name over the
+// alive nodes.
+func (s *LB) Select(_ time.Duration, r Request) int {
+	alive := s.nodes.aliveNodes()
+	if len(alive) == 0 {
+		return -1
+	}
+	return alive[hashTarget(r.Target)%uint64(len(alive))]
+}
+
+// NodeDown implements FailureAware. Targets of the failed node re-hash
+// over the remaining nodes.
+func (s *LB) NodeDown(node int) { s.nodes.setDown(node, true) }
+
+// NodeUp implements FailureAware.
+func (s *LB) NodeUp(node int) { s.nodes.setDown(node, false) }
+
+// hashTarget hashes a target name for partitioning.
+func hashTarget(target string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(target))
+	return h.Sum64()
+}
+
+var (
+	_ Strategy     = (*LB)(nil)
+	_ FailureAware = (*LB)(nil)
+)

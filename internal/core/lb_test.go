@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLBDeterministicPartitioning(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0, 0, 0}}
+	s := NewLB(loads)
+	if s.Name() != "LB" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	first := s.Select(0, Request{Target: "/some/file.html"})
+	for i := 0; i < 10; i++ {
+		if got := s.Select(0, Request{Target: "/some/file.html"}); got != first {
+			t.Fatalf("same target moved: %d then %d", first, got)
+		}
+	}
+}
+
+func TestLBIgnoresLoad(t *testing.T) {
+	loads := &fakeLoads{loads: []int{1000, 0}}
+	s := NewLB(loads)
+	// Find a target that maps to the overloaded node 0 and confirm it
+	// stays there regardless of load.
+	for i := 0; i < 100; i++ {
+		target := fmt.Sprintf("/t%d", i)
+		if s.Select(0, Request{Target: target}) == 0 {
+			loads.set(5000, 0)
+			if got := s.Select(0, Request{Target: target}); got != 0 {
+				t.Fatalf("LB moved target off overloaded node")
+			}
+			return
+		}
+	}
+	t.Fatal("no target hashed to node 0 in 100 tries")
+}
+
+func TestLBPartitionsRoughlyEvenly(t *testing.T) {
+	// "A good hashing function partitions both the name space and the
+	// working set more or less evenly among the back ends."
+	loads := &fakeLoads{loads: make([]int, 8)}
+	s := NewLB(loads)
+	counts := make([]int, 8)
+	const targets = 8000
+	for i := 0; i < targets; i++ {
+		counts[s.Select(0, Request{Target: fmt.Sprintf("/dir%d/file%d.html", i%37, i)})]++
+	}
+	want := targets / 8
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Fatalf("node %d got %d targets, want %d±20%% (counts %v)", i, c, want, counts)
+		}
+	}
+}
+
+func TestLBFailureRehashes(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0, 0}}
+	s := NewLB(loads)
+	target := "/sticky.html"
+	orig := s.Select(0, Request{Target: target})
+	s.NodeDown(orig)
+	moved := s.Select(0, Request{Target: target})
+	if moved == orig || moved == -1 {
+		t.Fatalf("target not re-hashed after failure: %d -> %d", orig, moved)
+	}
+	s.NodeUp(orig)
+	if got := s.Select(0, Request{Target: target}); got != orig {
+		t.Fatalf("target did not return to original node after recovery: %d", got)
+	}
+	s.NodeDown(0)
+	s.NodeDown(1)
+	s.NodeDown(2)
+	if got := s.Select(0, Request{Target: target}); got != -1 {
+		t.Fatalf("Select = %d with all down, want -1", got)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestLBGCHitRoutesToCachingNode(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0}}
+	s := NewLBGC(loads, 1000)
+	if s.Name() != "LB/GC" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	first := s.Select(0, Request{Target: "/a", Size: 100})
+	// Pile load onto the caching node; a modelled hit must still go there.
+	loads.loads[first] = 500
+	if got := s.Select(0, Request{Target: "/a", Size: 100}); got != first {
+		t.Fatalf("hit routed to %d, cached on %d", got, first)
+	}
+}
+
+func TestLBGCFillsFreeNodesFirst(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0}}
+	s := NewLBGC(loads, 300)
+	// Each miss goes to the node with the most modelled free space, so
+	// placements alternate while both have room.
+	n1 := s.Select(0, Request{Target: "/a", Size: 100})
+	n2 := s.Select(0, Request{Target: "/b", Size: 100})
+	if n1 == n2 {
+		t.Fatalf("both first misses placed on node %d", n1)
+	}
+}
+
+func TestLBGCMissEvictsGloballyOldest(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0}}
+	s := NewLBGC(loads, 100)
+	// Fill both modelled caches: /a is the globally oldest entry.
+	na := s.Select(0, Request{Target: "/a", Size: 100})
+	nb := s.Select(0, Request{Target: "/b", Size: 100})
+	if na == nb {
+		t.Fatalf("setup failed: same node %d", na)
+	}
+	// New target: no free space anywhere; must go to /a's node.
+	nc := s.Select(0, Request{Target: "/c", Size: 100})
+	if nc != na {
+		t.Fatalf("miss routed to %d, want globally-oldest owner %d", nc, na)
+	}
+	// /a was evicted from the model; requesting it again is a miss whose
+	// globally-oldest victim is now /b.
+	na2 := s.Select(0, Request{Target: "/a", Size: 100})
+	if na2 != nb {
+		t.Fatalf("re-request of evicted /a routed to %d, want %d", na2, nb)
+	}
+}
+
+func TestLBGCHitRefreshesGlobalAge(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0}}
+	s := NewLBGC(loads, 100)
+	na := s.Select(0, Request{Target: "/a", Size: 100})
+	nb := s.Select(0, Request{Target: "/b", Size: 100})
+	s.Select(0, Request{Target: "/a", Size: 100}) // hit: /b is now oldest
+	nc := s.Select(0, Request{Target: "/c", Size: 100})
+	if nc != nb {
+		t.Fatalf("miss went to %d, want %d (owner of oldest /b)", nc, nb)
+	}
+	_ = na
+}
+
+func TestLBGCOversizedObjectNotTracked(t *testing.T) {
+	loads := &fakeLoads{loads: []int{3, 1}}
+	s := NewLBGC(loads, 100)
+	got := s.Select(0, Request{Target: "/huge", Size: 500})
+	if got != 1 {
+		t.Fatalf("oversized object routed to %d, want least-loaded 1", got)
+	}
+	if s.ModelledEntries() != 0 {
+		t.Fatalf("oversized object tracked in model")
+	}
+}
+
+func TestLBGCModelRespectsNodeCapacity(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0, 0}}
+	s := NewLBGC(loads, 250)
+	for i := 0; i < 50; i++ {
+		s.Select(0, Request{Target: fmt.Sprintf("/f%d", i), Size: 100})
+	}
+	for i, used := range s.nodeUsed {
+		if used > 250 {
+			t.Fatalf("node %d modelled usage %d exceeds capacity", i, used)
+		}
+	}
+	// 3 nodes × 250 bytes hold at most 2 entries of 100 bytes each.
+	if s.ModelledEntries() > 6 {
+		t.Fatalf("ModelledEntries = %d, want <= 6", s.ModelledEntries())
+	}
+}
+
+func TestLBGCNodeDownForgetsEntries(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0}}
+	s := NewLBGC(loads, 1000)
+	n := s.Select(0, Request{Target: "/a", Size: 100})
+	before := s.ModelledEntries()
+	s.NodeDown(n)
+	if s.ModelledEntries() >= before {
+		t.Fatalf("entries not dropped on failure: %d -> %d", before, s.ModelledEntries())
+	}
+	got := s.Select(0, Request{Target: "/a", Size: 100})
+	if got == n || got == -1 {
+		t.Fatalf("target still routed to failed node %d (got %d)", n, got)
+	}
+	s.NodeUp(n)
+}
+
+func TestLBGCAllNodesDown(t *testing.T) {
+	s := NewLBGC(&fakeLoads{loads: []int{0}}, 100)
+	s.NodeDown(0)
+	if got := s.Select(0, Request{Target: "/a", Size: 10}); got != -1 {
+		t.Fatalf("Select = %d, want -1", got)
+	}
+}
+
+func TestLBGCNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLBGC(&fakeLoads{loads: []int{0}}, -1)
+}

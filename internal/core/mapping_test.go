@@ -1,0 +1,108 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMappingGetPut(t *testing.T) {
+	m := newMapping[int](0)
+	if _, ok := m.get("x"); ok {
+		t.Fatal("empty mapping returned a value")
+	}
+	m.put("x", 3)
+	if v, ok := m.get("x"); !ok || v != 3 {
+		t.Fatalf("get(x) = (%d, %v)", v, ok)
+	}
+	m.put("x", 7)
+	if v, _ := m.get("x"); v != 7 {
+		t.Fatalf("updated value = %d, want 7", v)
+	}
+	if m.len() != 1 {
+		t.Fatalf("len = %d, want 1", m.len())
+	}
+}
+
+func TestMappingRemove(t *testing.T) {
+	m := newMapping[string](0)
+	m.put("a", "1")
+	m.remove("a")
+	if _, ok := m.get("a"); ok {
+		t.Fatal("removed key still present")
+	}
+	m.remove("missing") // must not panic
+	if m.len() != 0 {
+		t.Fatalf("len = %d", m.len())
+	}
+}
+
+func TestMappingLRUBound(t *testing.T) {
+	m := newMapping[int](3)
+	for i := 0; i < 5; i++ {
+		m.put(fmt.Sprintf("k%d", i), i)
+	}
+	if m.len() != 3 {
+		t.Fatalf("len = %d, want 3", m.len())
+	}
+	// k0 and k1 (oldest) were evicted.
+	for _, gone := range []string{"k0", "k1"} {
+		if _, ok := m.get(gone); ok {
+			t.Fatalf("%s survived past the capacity bound", gone)
+		}
+	}
+	for _, kept := range []string{"k2", "k3", "k4"} {
+		if _, ok := m.get(kept); !ok {
+			t.Fatalf("%s evicted wrongly", kept)
+		}
+	}
+}
+
+func TestMappingLRURecencyOnGet(t *testing.T) {
+	m := newMapping[int](2)
+	m.put("a", 1)
+	m.put("b", 2)
+	m.get("a") // refresh a; b becomes LRU
+	m.put("c", 3)
+	if _, ok := m.get("b"); ok {
+		t.Fatal("b should have been the LRU victim")
+	}
+	if _, ok := m.get("a"); !ok {
+		t.Fatal("a was evicted despite recent access")
+	}
+}
+
+func TestMappingUnboundedGrowth(t *testing.T) {
+	m := newMapping[int](0)
+	for i := 0; i < 10000; i++ {
+		m.put(fmt.Sprintf("k%d", i), i)
+	}
+	if m.len() != 10000 {
+		t.Fatalf("len = %d, want 10000", m.len())
+	}
+}
+
+func TestMappingEach(t *testing.T) {
+	m := newMapping[int](0)
+	m.put("a", 1)
+	m.put("b", 2)
+	seen := map[string]int{}
+	m.each(func(k string, v *int) {
+		seen[k] = *v
+		*v *= 10 // mutate through the pointer
+	})
+	if len(seen) != 2 || seen["a"] != 1 || seen["b"] != 2 {
+		t.Fatalf("each saw %v", seen)
+	}
+	if v, _ := m.get("a"); v != 10 {
+		t.Fatalf("mutation not visible: a = %d", v)
+	}
+}
+
+func TestMappingNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	newMapping[int](-1)
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// driveRandomly pushes a strategy through a randomized closed-loop-like
+// load pattern and verifies universal invariants:
+//
+//   - Select returns a node in [0, n) or -1,
+//   - Select never returns a down node,
+//   - with at least one alive node, Select never returns -1.
+func driveRandomly(s Strategy, fa FailureAware, loads *fakeLoads, seed int64, steps int) error {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(loads.loads)
+	down := make([]bool, n)
+	aliveCount := n
+	for i := 0; i < steps; i++ {
+		switch rng.Intn(10) {
+		case 0: // random load perturbation
+			loads.loads[rng.Intn(n)] = rng.Intn(200)
+		case 1: // fail or restore a node
+			if fa != nil {
+				node := rng.Intn(n)
+				if down[node] {
+					fa.NodeUp(node)
+					down[node] = false
+					aliveCount++
+				} else if aliveCount > 1 || rng.Intn(4) == 0 {
+					fa.NodeDown(node)
+					down[node] = true
+					aliveCount--
+				}
+			}
+		}
+		target := fmt.Sprintf("/t%d", rng.Intn(50))
+		got := s.Select(time.Duration(i)*time.Second, Request{Target: target})
+		if got < -1 || got >= n {
+			return fmt.Errorf("step %d: Select returned %d with %d nodes", i, got, n)
+		}
+		if got >= 0 && down[got] {
+			return fmt.Errorf("step %d: Select returned down node %d", i, got)
+		}
+		if got == -1 && aliveCount > 0 {
+			return fmt.Errorf("step %d: Select returned -1 with %d alive nodes", i, aliveCount)
+		}
+		if got >= 0 {
+			loads.loads[got]++
+		}
+		// Random completions keep loads bounded.
+		if j := rng.Intn(n); loads.loads[j] > 0 {
+			loads.loads[j]--
+		}
+	}
+	return nil
+}
+
+func TestPropertyStrategiesNeverMisroute(t *testing.T) {
+	build := map[string]func(*fakeLoads) (Strategy, FailureAware){
+		"WRR": func(l *fakeLoads) (Strategy, FailureAware) {
+			s := NewWRR(l)
+			return s, s
+		},
+		"LB": func(l *fakeLoads) (Strategy, FailureAware) {
+			s := NewLB(l)
+			return s, s
+		},
+		"LBGC": func(l *fakeLoads) (Strategy, FailureAware) {
+			s := NewLBGC(l, 1<<20)
+			return s, s
+		},
+		"LARD": func(l *fakeLoads) (Strategy, FailureAware) {
+			s := NewLARD(l, DefaultParams())
+			return s, s
+		},
+		"LARDR": func(l *fakeLoads) (Strategy, FailureAware) {
+			s := NewLARDR(l, DefaultParams())
+			return s, s
+		},
+	}
+	for name, mk := range build {
+		name, mk := name, mk
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64, nodes uint8) bool {
+				n := int(nodes)%8 + 2
+				loads := &fakeLoads{loads: make([]int, n)}
+				s, fa := mk(loads)
+				if err := driveRandomly(s, fa, loads, seed, 400); err != nil {
+					t.Log(err)
+					return false
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: under stable, balanced load LARD's assignment for a target
+// never changes — locality is only sacrificed on real imbalance.
+func TestPropertyLARDStableUnderBalance(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		loads := &fakeLoads{loads: make([]int, 4)}
+		s := NewLARD(loads, DefaultParams())
+		assigned := map[string]int{}
+		for i := 0; i < 500; i++ {
+			// Loads stay strictly between TLow and THigh: no trigger can
+			// fire.
+			for j := range loads.loads {
+				loads.loads[j] = 30 + rng.Intn(30)
+			}
+			target := fmt.Sprintf("/t%d", rng.Intn(30))
+			got := s.Select(0, Request{Target: target})
+			if prev, ok := assigned[target]; ok && prev != got {
+				return false
+			}
+			assigned[target] = got
+		}
+		return s.Moves() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: whenever LARD reassigns a target, the load difference between
+// the old and new node is at least T_high − T_low (the paper's Section 2.4
+// guarantee, which holds whenever the admission bound S is respected).
+func TestPropertyLARDMoveGapBound(t *testing.T) {
+	p := DefaultParams()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 4
+		loads := &fakeLoads{loads: make([]int, n)}
+		s := NewLARD(loads, p)
+		s.Select(0, Request{Target: "/x"}) // initial assignment
+		for i := 0; i < 300; i++ {
+			// Draw loads that respect the S bound.
+			budget := p.MaxOutstanding(n)
+			for j := range loads.loads {
+				v := rng.Intn(p.THigh * 2)
+				if v > budget {
+					v = budget
+				}
+				loads.loads[j] = v
+				budget -= v
+			}
+			before, ok := s.Assignment("/x")
+			if !ok {
+				return false
+			}
+			after := s.Select(0, Request{Target: "/x"})
+			if after != before {
+				gap := loads.loads[before] - loads.loads[after]
+				if gap < p.THigh-p.TLow {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LARD/R server sets never contain duplicates or dead nodes,
+// and never exceed the cluster size.
+func TestPropertyLARDRSetWellFormed(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 5
+		loads := &fakeLoads{loads: make([]int, n)}
+		s := NewLARDR(loads, DefaultParams())
+		for i := 0; i < 400; i++ {
+			for j := range loads.loads {
+				loads.loads[j] = rng.Intn(200)
+			}
+			target := fmt.Sprintf("/t%d", rng.Intn(5))
+			s.Select(time.Duration(i)*time.Second, Request{Target: target})
+			set := s.ServerSet(target)
+			if len(set) > n {
+				return false
+			}
+			seen := map[int]bool{}
+			for _, node := range set {
+				if node < 0 || node >= n || seen[node] {
+					return false
+				}
+				seen[node] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,40 @@
+package core
+
+import "time"
+
+// WRR is the paper's baseline: "weighted round-robin request distribution
+// ... weighted by some measure of the load on the different back ends"
+// (Section 2.2). Each request goes to the currently least-loaded alive
+// node, with ties broken round-robin — the limiting behaviour of weighted
+// round-robin when the weight is the (inverse) number of open connections,
+// which is the load measure the paper's front end maintains.
+//
+// WRR produces near-perfect load balancing but ignores locality: every
+// back end sees (a sample of) the entire working set.
+type WRR struct {
+	nodes nodeSet
+}
+
+// NewWRR returns a WRR strategy over the given load information.
+func NewWRR(loads LoadReader) *WRR {
+	return &WRR{nodes: newNodeSet(loads)}
+}
+
+// Name implements Strategy.
+func (s *WRR) Name() string { return "WRR" }
+
+// Select implements Strategy.
+func (s *WRR) Select(_ time.Duration, _ Request) int {
+	return s.nodes.leastLoaded()
+}
+
+// NodeDown implements FailureAware.
+func (s *WRR) NodeDown(node int) { s.nodes.setDown(node, true) }
+
+// NodeUp implements FailureAware.
+func (s *WRR) NodeUp(node int) { s.nodes.setDown(node, false) }
+
+var (
+	_ Strategy     = (*WRR)(nil)
+	_ FailureAware = (*WRR)(nil)
+)

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWRRPicksLeastLoaded(t *testing.T) {
+	loads := &fakeLoads{loads: []int{10, 3, 7}}
+	s := NewWRR(loads)
+	if s.Name() != "WRR" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if got := s.Select(0, Request{Target: "/x"}); got != 1 {
+		t.Fatalf("Select = %d, want 1", got)
+	}
+}
+
+func TestWRRIgnoresTarget(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 5}}
+	s := NewWRR(loads)
+	a := s.Select(0, Request{Target: "/a"})
+	b := s.Select(0, Request{Target: "/b"})
+	if a != 0 || b != 0 {
+		t.Fatalf("WRR should always pick the least-loaded node: %d, %d", a, b)
+	}
+}
+
+func TestWRRBalancesUnderFeedback(t *testing.T) {
+	// With load feedback (each selection increments the node's load),
+	// WRR must spread requests perfectly evenly.
+	loads := &fakeLoads{loads: make([]int, 4)}
+	s := NewWRR(loads)
+	counts := make([]int, 4)
+	for i := 0; i < 400; i++ {
+		n := s.Select(0, Request{Target: "/t"})
+		counts[n]++
+		loads.loads[n]++
+	}
+	for i, c := range counts {
+		if c != 100 {
+			t.Fatalf("node %d received %d requests, want 100 (counts %v)", i, c, counts)
+		}
+	}
+}
+
+func TestWRRRoundRobinOnTies(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0, 0}}
+	s := NewWRR(loads)
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		seen[s.Select(0, Request{})] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("tied loads not rotated: saw %v", seen)
+	}
+}
+
+func TestWRRFailure(t *testing.T) {
+	loads := &fakeLoads{loads: []int{0, 0}}
+	s := NewWRR(loads)
+	s.NodeDown(0)
+	for i := 0; i < 5; i++ {
+		if got := s.Select(0, Request{}); got != 1 {
+			t.Fatalf("Select = %d with node 0 down", got)
+		}
+	}
+	s.NodeDown(1)
+	if got := s.Select(0, Request{}); got != -1 {
+		t.Fatalf("Select = %d with all nodes down, want -1", got)
+	}
+	s.NodeUp(0)
+	if got := s.Select(0, Request{}); got != 0 {
+		t.Fatalf("Select = %d after NodeUp(0)", got)
+	}
+}
+
+func TestWRRSelectIsTimeIndependent(t *testing.T) {
+	loads := &fakeLoads{loads: []int{1, 0}}
+	s := NewWRR(loads)
+	if s.Select(0, Request{}) != s.Select(time.Hour, Request{}) {
+		t.Fatal("WRR selection depended on time")
+	}
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+func TestWRRTenfoldCacheShape(t *testing.T) {
+	// Cache-size effects need request density: at very small scales
+	// compulsory misses dominate and no cache size helps, so this test
+	// uses a longer trace than the other shape tests.
+	opt := Options{Seed: 42, Scale: 0.1, Nodes: []int{4, 8}}
+	tables, err := WRRTenfoldCache(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	small, _ := tab.Get("WRR 32MB")
+	big, _ := tab.Get("WRR 320MB")
+	lardr, _ := tab.Get("LARD/R 32MB")
+	s8 := at(t, small, 8)
+	b8 := at(t, big, 8)
+	l8 := at(t, lardr, 8)
+	// Tenfold cache must lift WRR substantially. How closely it matches
+	// LARD is trace-structure-sensitive: under WRR every node pays its
+	// own compulsory miss per target, which the paper's two-month logs
+	// amortize far better than a synthetic trace can — EXPERIMENTS.md
+	// records the divergence. The robust directional claims:
+	if b8 < s8*1.2 {
+		t.Fatalf("10x cache WRR %.0f not well above 1x %.0f", b8, s8)
+	}
+	if l8 <= b8 {
+		t.Fatalf("LARD/R with 32MB (%.0f) should still lead WRR with 320MB (%.0f) on synthetic traces", l8, b8)
+	}
+}
+
+func TestLRUAblationShape(t *testing.T) {
+	tables, err := LRUAblation(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := tables[0]
+	if len(tab.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(tab.Series))
+	}
+	wrrGDS, _ := tab.Get("WRR/GDS")
+	wrrLRU, _ := tab.Get("WRR/LRU")
+	lardGDS, _ := tab.Get("LARD/R/GDS")
+	lardLRU, _ := tab.Get("LARD/R/LRU")
+	// The relative ordering survives the policy swap.
+	if at(t, lardLRU, 8) <= at(t, wrrLRU, 8) {
+		t.Fatalf("LRU: LARD/R %.0f not above WRR %.0f", at(t, lardLRU, 8), at(t, wrrLRU, 8))
+	}
+	// LRU does not *beat* GDS for the locality strategy (the paper saw
+	// up to 30% lower throughput with LRU).
+	if at(t, lardLRU, 8) > at(t, lardGDS, 8)*1.1 {
+		t.Fatalf("LRU above GDS: %.0f vs %.0f", at(t, lardLRU, 8), at(t, lardGDS, 8))
+	}
+	_ = wrrGDS
+}
+
+func TestAblationsRegistered(t *testing.T) {
+	for _, id := range []string{"wrr10x", "lru"} {
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("%s not registered", id)
+		}
+	}
+}

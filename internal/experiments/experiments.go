@@ -1,0 +1,287 @@
+// Package experiments regenerates every table and figure of the LARD
+// paper's evaluation (Sections 4 and 6) from the reproduction's simulator
+// and workload generators.
+//
+// Each experiment produces one or more Tables — the textual equivalent of
+// the paper's figures: a set of labelled series over a common X axis. The
+// cmd/lardsim CLI and the top-level benchmark harness are thin wrappers
+// around this package.
+//
+// Absolute numbers depend on the synthetic traces standing in for the
+// paper's (unavailable) server logs; the *shapes* — who wins, by what
+// factor, where curves cross — are the reproduction targets, and
+// EXPERIMENTS.md records them side by side with the paper's.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is the textual equivalent of one paper figure: labelled series
+// sharing an X axis.
+type Table struct {
+	// ID is the experiment identifier ("figure7", "delay", …).
+	ID string
+
+	// Title describes the table, quoting the paper's figure caption.
+	Title string
+
+	// XLabel and YLabel name the axes.
+	XLabel, YLabel string
+
+	// Series holds one labelled curve per strategy/configuration.
+	Series []Series
+}
+
+// Series is one curve: Y[i] is the value at X[i].
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Value returns the Y value at x, or NaN-free (0, false) if absent.
+func (s Series) Value(x float64) (float64, bool) {
+	for i, xv := range s.X {
+		if xv == x {
+			return s.Y[i], true
+		}
+	}
+	return 0, false
+}
+
+// Get returns the series with the given label.
+func (t *Table) Get(label string) (Series, bool) {
+	for _, s := range t.Series {
+		if s.Label == label {
+			return s, true
+		}
+	}
+	return Series{}, false
+}
+
+// WriteTo renders the table as fixed-width text with one row per X value
+// and one column per series.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s: %s\n", t.ID, t.Title)
+	fmt.Fprintf(&sb, "# Y = %s\n", t.YLabel)
+
+	xs := t.xValues()
+	fmt.Fprintf(&sb, "%-12s", t.XLabel)
+	for _, s := range t.Series {
+		fmt.Fprintf(&sb, " %14s", s.Label)
+	}
+	sb.WriteByte('\n')
+	for _, x := range xs {
+		fmt.Fprintf(&sb, "%-12.4g", x)
+		for _, s := range t.Series {
+			if y, ok := s.Value(x); ok {
+				fmt.Fprintf(&sb, " %14.4g", y)
+			} else {
+				fmt.Fprintf(&sb, " %14s", "-")
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// xValues returns the sorted union of all series' X values.
+func (t *Table) xValues() []float64 {
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range t.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// Options configures an experiment run.
+type Options struct {
+	// Seed drives trace generation; identical seeds reproduce identical
+	// tables.
+	Seed int64
+
+	// Scale multiplies the paper-sized request counts (1.0 = full length;
+	// the default 0.2 keeps a full figure sweep under a couple of
+	// minutes). The target catalog and data-set size are never scaled, so
+	// the working-set geometry is preserved.
+	Scale float64
+
+	// Nodes lists the cluster sizes to sweep (default 1,2,4,6,8,12,16).
+	Nodes []int
+
+	// Progress, when non-nil, receives one line per completed simulation.
+	Progress io.Writer
+}
+
+// withDefaults fills in zero values.
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Scale <= 0 {
+		o.Scale = 0.2
+	}
+	if len(o.Nodes) == 0 {
+		o.Nodes = []int{1, 2, 4, 6, 8, 12, 16}
+	}
+	return o
+}
+
+func (o Options) progressf(format string, args ...any) {
+	if o.Progress != nil {
+		fmt.Fprintf(o.Progress, format+"\n", args...)
+	}
+}
+
+// Experiment ties a paper artifact to its regeneration code.
+type Experiment struct {
+	// ID is the lookup key ("figure7", "hotspot", …).
+	ID string
+
+	// Title summarizes what the paper artifact shows.
+	Title string
+
+	// Paper states the published result this experiment reproduces, for
+	// side-by-side comparison in the output.
+	Paper string
+
+	// Run regenerates the artifact.
+	Run func(Options) ([]*Table, error)
+}
+
+// All returns every registered experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{
+			ID:    "figure5",
+			Title: "Rice University trace cumulative request/size distributions",
+			Paper: "2.3M reqs over 37703 files (1418 MB); covering 97/99% of requests needs several hundred MB",
+			Run:   Figure5,
+		},
+		{
+			ID:    "figure6",
+			Title: "IBM trace cumulative request/size distributions",
+			Paper: "15.6M reqs over 38527 files (1029 MB); far less memory covers the same request fractions",
+			Run:   Figure6,
+		},
+		{
+			ID:    "figure7",
+			Title: "Throughput vs cluster size, Rice trace, all strategies",
+			Paper: "LARD/R exceeds WRR ~3.9x at 8 nodes and ~4.5x at 16; superlinear LARD speedup at 8-10 nodes",
+			Run:   Figure7,
+		},
+		{
+			ID:    "figure8",
+			Title: "Cache miss ratio vs cluster size, Rice trace",
+			Paper: "WRR flat (no cache aggregation); LARD/LARD/R decline below 10%/5%; LB/GC lowest",
+			Run:   Figure8,
+		},
+		{
+			ID:    "figure9",
+			Title: "Node underutilization time vs cluster size, Rice trace",
+			Paper: "WRR lowest idle time; LB worst (no load awareness); LARD close to WRR",
+			Run:   Figure9,
+		},
+		{
+			ID:    "figure10",
+			Title: "Throughput vs cluster size, IBM trace, all strategies",
+			Paper: "smaller working set: superlinear speedup only up to ~5 nodes; LARD/R > 2x WRR at >= 5 nodes",
+			Run:   Figure10,
+		},
+		{
+			ID:    "figure11",
+			Title: "WRR throughput vs CPU speed (1x-4x, memory 1x/1.5x/2x/3x), Rice trace",
+			Paper: "WRR cannot benefit from added CPU at all since it is disk bound",
+			Run:   Figure11,
+		},
+		{
+			ID:    "figure12",
+			Title: "LARD/R throughput vs CPU speed (1x-4x, memory 1x/1.5x/2x/3x), Rice trace",
+			Paper: "LARD/R capitalizes on added CPU: cache aggregation makes the system CPU bound",
+			Run:   Figure12,
+		},
+		{
+			ID:    "figure13",
+			Title: "WRR throughput vs disks per node (1-4), Rice trace",
+			Paper: "WRR greatly benefits from multiple disks (disk-subsystem bound)",
+			Run:   Figure13,
+		},
+		{
+			ID:    "figure14",
+			Title: "LARD/R throughput vs disks per node (1-4), Rice trace",
+			Paper: "a second disk yields a mild gain; additional disks achieve no further benefit",
+			Run:   Figure14,
+		},
+		{
+			ID:    "hotspot",
+			Title: "LARD vs LARD/R with artificial high-frequency targets (Section 4.2)",
+			Paper: "LARD/R exceeds LARD when hot targets (>20 KB) draw a large fraction of requests",
+			Run:   Hotspot,
+		},
+		{
+			ID:    "chess",
+			Title: "Chess (Deep Blue) trace: best case for WRR, worst for LARD (Section 4.2)",
+			Paper: "LARD and LARD/R closely match WRR's performance",
+			Run:   Chess,
+		},
+		{
+			ID:    "delay",
+			Title: "Average request delay, LARD/R vs WRR (Section 4.4)",
+			Paper: "LARD/R delay is a fraction of WRR's on Rice; about one half on IBM",
+			Run:   Delay,
+		},
+		{
+			ID:    "sensitivity",
+			Title: "Sensitivity to T_high - T_low (Section 2.4)",
+			Paper: "delay difference grows ~linearly with T_high-T_low; throughput rises mildly then flattens",
+			Run:   Sensitivity,
+		},
+		{
+			ID:    "failover",
+			Title: "Back-end failure and recovery under LARD (Section 2.6, extension)",
+			Paper: "the front end re-assigns targets of a failed back end as if never assigned",
+			Run:   Failover,
+		},
+		{
+			ID:    "mapcap",
+			Title: "Bounded (LRU) mapping table ablation (Section 2.6, extension)",
+			Paper: "discarding mappings for idle targets is of little consequence",
+			Run:   MappingCapacity,
+		},
+		{
+			ID:    "wrr10x",
+			Title: "WRR with a tenfold node cache vs LARD/R (Section 4.1 verification)",
+			Paper: "it would take a ten times larger cache in each node for WRR to match LARD",
+			Run:   WRRTenfoldCache,
+		},
+		{
+			ID:    "lru",
+			Title: "GDS vs LRU back-end replacement policy (Section 3.1 check)",
+			Paper: "relative ordering unaffected; absolute throughput up to 30% lower with LRU",
+			Run:   LRUAblation,
+		},
+	}
+}
+
+// Lookup returns the experiment with the given ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

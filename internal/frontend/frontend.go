@@ -1,0 +1,462 @@
+// Package frontend implements the live prototype's front end (Section 6):
+// it accepts client connections, inspects the first request's target,
+// picks a back end with a core.Strategy (the same policy code the
+// simulator runs), hands the connection off via the handoff protocol, and
+// then forwards bytes without further inspection.
+//
+// The layering mirrors the paper's Figure 15: the *dispatcher* (policy) is
+// consulted once per handoff; the *handoff* module transfers the
+// connection; the *forwarding* module is a dumb fast path.
+package frontend
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lard/internal/core"
+	"lard/internal/handoff"
+)
+
+// StrategyFactory constructs the dispatch policy over the front end's own
+// load accounting (the front end is the core.LoadReader: it counts active
+// connections per back end, exactly as the paper's front end does).
+type StrategyFactory func(loads core.LoadReader) core.Strategy
+
+// WRR returns a weighted round-robin factory.
+func WRR() StrategyFactory {
+	return func(l core.LoadReader) core.Strategy { return core.NewWRR(l) }
+}
+
+// LB returns a hash-partitioning factory.
+func LB() StrategyFactory {
+	return func(l core.LoadReader) core.Strategy { return core.NewLB(l) }
+}
+
+// LARD returns a basic-LARD factory.
+func LARD(p core.Params) StrategyFactory {
+	return func(l core.LoadReader) core.Strategy { return core.NewLARD(l, p) }
+}
+
+// LARDR returns a LARD-with-replication factory.
+func LARDR(p core.Params) StrategyFactory {
+	return func(l core.LoadReader) core.Strategy { return core.NewLARDR(l, p) }
+}
+
+// Config describes a front end.
+type Config struct {
+	// Backends lists the back ends' handoff addresses ("host:port").
+	Backends []string
+
+	// NewStrategy builds the dispatch policy (default LARDR with the
+	// paper's parameters).
+	NewStrategy StrategyFactory
+
+	// RehandoffPerRequest enables the paper's alternative HTTP/1.1
+	// design: each request on a persistent connection is re-dispatched,
+	// so "different requests on the same connection can be served by
+	// different back ends". The default (false) hands the whole
+	// connection to one back end.
+	RehandoffPerRequest bool
+
+	// DialTimeout bounds back-end dials (default 5s).
+	DialTimeout time.Duration
+
+	// HeaderTimeout bounds how long a client may take to deliver a
+	// request head (default 30s).
+	HeaderTimeout time.Duration
+
+	// MaxHeaderBytes bounds the request head (default 64 KB).
+	MaxHeaderBytes int
+
+	// ErrorLog receives connection-level errors (default: discarded).
+	ErrorLog *log.Logger
+}
+
+// Stats is a snapshot of front-end activity.
+type Stats struct {
+	Accepted        uint64
+	Handoffs        uint64
+	Rehandoffs      uint64
+	Errors          uint64
+	Rejected        uint64 // requests refused because no back end was available
+	ClientToBackend int64
+	BackendToClient int64
+	ActivePerNode   []int
+}
+
+// Server is a running front end. Create with New; start with Serve or
+// ListenAndServe.
+type Server struct {
+	cfg      Config
+	start    time.Time
+	strategy core.Strategy
+
+	// mu serializes the dispatcher (strategy + load table), like the
+	// paper's single dispatch point.
+	mu    sync.Mutex
+	loads []int
+
+	accepted   atomic.Uint64
+	handoffs   atomic.Uint64
+	rehandoffs atomic.Uint64
+	errors     atomic.Uint64
+	rejected   atomic.Uint64
+	forward    handoff.ForwardStats
+
+	lnMu   sync.Mutex
+	ln     net.Listener
+	closed atomic.Bool
+}
+
+// New builds a front end for the given configuration.
+func New(cfg Config) (*Server, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("frontend: no back ends configured")
+	}
+	if cfg.NewStrategy == nil {
+		cfg.NewStrategy = LARDR(core.DefaultParams())
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.HeaderTimeout <= 0 {
+		cfg.HeaderTimeout = 30 * time.Second
+	}
+	if cfg.MaxHeaderBytes <= 0 {
+		cfg.MaxHeaderBytes = 64 << 10
+	}
+	s := &Server{
+		cfg:   cfg,
+		start: time.Now(),
+		loads: make([]int, len(cfg.Backends)),
+	}
+	s.strategy = cfg.NewStrategy(s)
+	if s.strategy == nil {
+		return nil, errors.New("frontend: strategy factory returned nil")
+	}
+	return s, nil
+}
+
+// NodeCount implements core.LoadReader.
+func (s *Server) NodeCount() int { return len(s.cfg.Backends) }
+
+// Load implements core.LoadReader. It is only ever consulted by the
+// strategy while the dispatcher lock is held.
+func (s *Server) Load(node int) int { return s.loads[node] }
+
+// Stats returns a snapshot of the front end's counters.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	active := append([]int(nil), s.loads...)
+	s.mu.Unlock()
+	return Stats{
+		Accepted:        s.accepted.Load(),
+		Handoffs:        s.handoffs.Load(),
+		Rehandoffs:      s.rehandoffs.Load(),
+		Errors:          s.errors.Load(),
+		Rejected:        s.rejected.Load(),
+		ClientToBackend: s.forward.ClientToBackend.Load(),
+		BackendToClient: s.forward.BackendToClient.Load(),
+		ActivePerNode:   active,
+	}
+}
+
+// SetBackendDown marks a back end failed or restored, when the strategy
+// supports it (Section 2.6 recovery).
+func (s *Server) SetBackendDown(node int, down bool) {
+	fa, ok := s.strategy.(core.FailureAware)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if down {
+		fa.NodeDown(node)
+	} else {
+		fa.NodeUp(node)
+	}
+}
+
+// ListenAndServe listens on addr and serves until Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts client connections on ln until Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.lnMu.Lock()
+	s.ln = ln
+	s.lnMu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		s.accepted.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+// Addr returns the serving address once Serve has been called.
+func (s *Server) Addr() net.Addr {
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Close stops accepting connections.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.lnMu.Lock()
+	defer s.lnMu.Unlock()
+	if s.ln != nil {
+		return s.ln.Close()
+	}
+	return nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.ErrorLog != nil {
+		s.cfg.ErrorLog.Printf(format, args...)
+	}
+}
+
+// handleConn runs a client connection through dispatch + handoff. In the
+// default mode the whole connection goes to one back end; in re-handoff
+// mode each request is dispatched separately (rehandoff.go).
+func (s *Server) handleConn(client net.Conn) {
+	if s.cfg.RehandoffPerRequest {
+		s.handlePerRequest(client)
+		return
+	}
+	defer client.Close()
+
+	client.SetReadDeadline(time.Now().Add(s.cfg.HeaderTimeout))
+	br := bufio.NewReaderSize(client, 16<<10)
+	head, err := readRequestHead(br, s.cfg.MaxHeaderBytes)
+	if err != nil {
+		s.errors.Add(1)
+		s.logf("frontend: reading request head from %v: %v", client.RemoteAddr(), err)
+		return
+	}
+	client.SetReadDeadline(time.Time{})
+
+	node := s.dispatch(head.target, head.contentLength)
+	if node < 0 {
+		s.rejected.Add(1)
+		writeServiceUnavailable(client)
+		return
+	}
+	defer s.release(node)
+
+	backend, err := s.dialAndHandoff(node, client, head, br, 0)
+	if err != nil {
+		s.errors.Add(1)
+		s.logf("frontend: handoff to backend %d: %v", node, err)
+		writeBadGateway(client)
+		return
+	}
+	s.handoffs.Add(1)
+	// Forwarding fast path: the dispatcher never sees this connection
+	// again.
+	handoff.Forward(client, backend, &s.forward)
+}
+
+// dispatch runs the policy under the dispatcher lock and claims a load
+// slot on the chosen node.
+func (s *Server) dispatch(target string, size int64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	node := s.strategy.Select(time.Since(s.start), core.Request{Target: target, Size: size})
+	if node >= 0 {
+		s.loads[node]++
+	}
+	return node
+}
+
+// release returns a load slot.
+func (s *Server) release(node int) {
+	s.mu.Lock()
+	s.loads[node]--
+	s.mu.Unlock()
+}
+
+// dialAndHandoff connects to the chosen back end and transfers the
+// connection: the handoff message carries the parsed head plus any bytes
+// the reader buffered beyond it.
+func (s *Server) dialAndHandoff(node int, client net.Conn, head requestHead, br *bufio.Reader, flags byte) (net.Conn, error) {
+	backend, err := net.DialTimeout("tcp", s.cfg.Backends[node], s.cfg.DialTimeout)
+	if err != nil {
+		// A dead back end is reported to the policy so its targets are
+		// re-assigned "as if they had not been assigned before".
+		s.mu.Lock()
+		if fa, ok := s.strategy.(core.FailureAware); ok {
+			fa.NodeDown(node)
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
+	initial := head.raw
+	if n := br.Buffered(); n > 0 {
+		extra, _ := br.Peek(n)
+		br.Discard(n)
+		initial = append(append([]byte(nil), initial...), extra...)
+	}
+	if err := handoff.Send(backend, client.RemoteAddr().String(), initial, flags); err != nil {
+		backend.Close()
+		return nil, err
+	}
+	return backend, nil
+}
+
+// requestHead is the parsed first request of a connection.
+type requestHead struct {
+	raw           []byte // the exact head bytes, terminated by CRLF CRLF
+	method        string
+	target        string
+	proto         string
+	contentLength int64
+	keepAlive     bool
+}
+
+// readRequestHead consumes one HTTP request head (through the blank line)
+// and parses the pieces the dispatcher needs.
+func readRequestHead(br *bufio.Reader, maxBytes int) (requestHead, error) {
+	var h requestHead
+	var raw bytes.Buffer
+	firstLine := ""
+	for {
+		line, err := br.ReadString('\n')
+		raw.WriteString(line)
+		if err != nil {
+			return h, fmt.Errorf("truncated request head: %w", err)
+		}
+		if raw.Len() > maxBytes {
+			return h, fmt.Errorf("request head exceeds %d bytes", maxBytes)
+		}
+		trimmed := trimCRLF(line)
+		if firstLine == "" {
+			if trimmed == "" {
+				continue // tolerate leading blank lines
+			}
+			firstLine = trimmed
+			var ok bool
+			h.method, h.target, h.proto, ok = parseRequestLine(trimmed)
+			if !ok {
+				return h, fmt.Errorf("malformed request line %q", trimmed)
+			}
+			h.keepAlive = h.proto != "HTTP/1.0"
+			continue
+		}
+		if trimmed == "" {
+			break // end of head
+		}
+		if name, value, ok := splitHeader(trimmed); ok {
+			switch name {
+			case "content-length":
+				fmt.Sscanf(value, "%d", &h.contentLength)
+			case "connection":
+				switch {
+				case equalsFold(value, "close"):
+					h.keepAlive = false
+				case equalsFold(value, "keep-alive"):
+					h.keepAlive = true
+				}
+			}
+		}
+	}
+	h.raw = raw.Bytes()
+	return h, nil
+}
+
+// parseRequestLine splits "METHOD target HTTP/x.y".
+func parseRequestLine(line string) (method, target, proto string, ok bool) {
+	sp1 := -1
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' {
+			sp1 = i
+			break
+		}
+	}
+	if sp1 <= 0 {
+		return "", "", "", false
+	}
+	sp2 := -1
+	for i := len(line) - 1; i > sp1; i-- {
+		if line[i] == ' ' {
+			sp2 = i
+			break
+		}
+	}
+	if sp2 <= sp1+1 {
+		return "", "", "", false
+	}
+	return line[:sp1], line[sp1+1 : sp2], line[sp2+1:], true
+}
+
+func trimCRLF(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func splitHeader(line string) (name, value string, ok bool) {
+	for i := 0; i < len(line); i++ {
+		if line[i] == ':' {
+			name = toLower(line[:i])
+			value = trimSpace(line[i+1:])
+			return name, value, true
+		}
+	}
+	return "", "", false
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'A' <= c && c <= 'Z' {
+			b[i] = c + 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+func equalsFold(a, b string) bool { return toLower(a) == toLower(b) }
+
+func writeServiceUnavailable(c net.Conn) {
+	const body = "no back-end node available\n"
+	fmt.Fprintf(c, "HTTP/1.1 503 Service Unavailable\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", len(body), body)
+}
+
+func writeBadGateway(c net.Conn) {
+	const body = "back-end handoff failed\n"
+	fmt.Fprintf(c, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", len(body), body)
+}

@@ -1,0 +1,398 @@
+package frontend
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lard/internal/backend"
+	"lard/internal/core"
+	"lard/internal/handoff"
+	"lard/internal/loadgen"
+	"lard/internal/trace"
+)
+
+// miniCluster is a live prototype cluster on loopback: n back ends behind
+// one front end.
+type miniCluster struct {
+	fe       *Server
+	feAddr   string
+	backends []*backend.Server
+}
+
+// startCluster builds and starts a cluster with the given policy and
+// back-end count. The store serves the catalog of tr.
+func startCluster(t *testing.T, n int, factory StrategyFactory, tr *trace.Trace, cacheBytes int64) *miniCluster {
+	t.Helper()
+	mc := &miniCluster{}
+	store := backend.NewDocStore(tr.Targets)
+	var addrs []string
+	for i := 0; i < n; i++ {
+		be := backend.New(backend.Config{
+			Store:         store,
+			CacheBytes:    cacheBytes,
+			DiskTimeScale: 0.001, // 28µs "seeks": fast tests, real ordering
+		})
+		ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: be.Handler()}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close(); ln.Close() })
+		mc.backends = append(mc.backends, be)
+		addrs = append(addrs, ln.Addr().String())
+	}
+	fe, err := New(Config{Backends: addrs, NewStrategy: factory})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	t.Cleanup(func() { fe.Close() })
+	mc.fe = fe
+	mc.feAddr = ln.Addr().String()
+	return mc
+}
+
+func smallTrace(t *testing.T, files, requests int) *trace.Trace {
+	t.Helper()
+	cfg := trace.SyntheticConfig{
+		Name:         "live",
+		Targets:      files,
+		Requests:     requests,
+		DataSetBytes: int64(files) * 4096,
+		ZipfAlpha:    0.9,
+		SizeSigma:    0.4,
+		MinFileBytes: 512,
+	}
+	return trace.MustGenerate(cfg, 99)
+}
+
+func TestEndToEndSingleRequest(t *testing.T) {
+	tr := smallTrace(t, 20, 100)
+	mc := startCluster(t, 2, WRR(), tr, 1<<20)
+	target := tr.At(0).Target
+	resp, err := http.Get("http://" + mc.feAddr + target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	want := backend.ContentBytes(target, tr.At(0).Size)
+	if !bytes.Equal(body, want) {
+		t.Fatalf("content corrupted through handoff: %d vs %d bytes", len(body), len(want))
+	}
+	st := mc.fe.Stats()
+	if st.Handoffs != 1 || st.Accepted != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestLARDBeatsWRRHitRatioLive(t *testing.T) {
+	// The paper's prototype result (Figure 18's mechanism): with per-node
+	// caches that cannot hold the working set, LARD's partitioning yields
+	// far better cluster-wide hit ratios than WRR on real HTTP traffic.
+	tr := smallTrace(t, 60, 600)
+	perNodeCache := int64(20 * 4096) // each node caches ~1/3 of the catalog
+
+	hitRatio := func(factory StrategyFactory) float64 {
+		mc := startCluster(t, 3, factory, tr, perNodeCache)
+		st, err := loadgen.Run(context.Background(), loadgen.Config{
+			BaseURL: "http://" + mc.feAddr,
+			Trace:   tr,
+			Clients: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Errors > 0 {
+			t.Fatalf("loadgen errors: %d", st.Errors)
+		}
+		var hits, reqs uint64
+		for _, be := range mc.backends {
+			s := be.Stats()
+			hits += s.Hits
+			reqs += s.Requests
+		}
+		if reqs == 0 {
+			t.Fatal("no requests reached back ends")
+		}
+		return float64(hits) / float64(reqs)
+	}
+
+	wrr := hitRatio(WRR())
+	lard := hitRatio(LARD(core.DefaultParams()))
+	if lard <= wrr+0.1 {
+		t.Fatalf("live LARD hit ratio %.3f not well above WRR %.3f", lard, wrr)
+	}
+}
+
+func TestPersistentConnectionsSingleBackend(t *testing.T) {
+	// Default mode: one handoff serves many requests on a keep-alive
+	// connection.
+	tr := smallTrace(t, 10, 50)
+	mc := startCluster(t, 2, LARDR(core.DefaultParams()), tr, 1<<20)
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	for i := 0; i < 10; i++ {
+		r := tr.At(i)
+		resp, err := client.Get("http://" + mc.feAddr + r.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	client.CloseIdleConnections()
+	st := mc.fe.Stats()
+	if st.Accepted != 1 {
+		t.Fatalf("Accepted = %d, want 1 (keep-alive)", st.Accepted)
+	}
+	if st.Handoffs != 1 {
+		t.Fatalf("Handoffs = %d, want 1 in whole-connection mode", st.Handoffs)
+	}
+}
+
+func TestRehandoffPerRequestMode(t *testing.T) {
+	// Re-handoff mode: requests on one connection may be served by
+	// different back ends; content must survive the relay.
+	tr := smallTrace(t, 30, 100)
+	store := backend.NewDocStore(tr.Targets)
+	var addrs []string
+	var bes []*backend.Server
+	for i := 0; i < 2; i++ {
+		be := backend.New(backend.Config{Store: store, CacheBytes: 1 << 20})
+		ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: be.Handler()}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close(); ln.Close() })
+		addrs = append(addrs, ln.Addr().String())
+		bes = append(bes, be)
+	}
+	fe, err := New(Config{
+		Backends:            addrs,
+		NewStrategy:         LB(), // deterministic target→backend spread
+		RehandoffPerRequest: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	t.Cleanup(func() { fe.Close() })
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	for i := 0; i < 30; i++ {
+		r := tr.At(i)
+		resp, err := client.Get("http://" + ln.Addr().String() + r.Target)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if !bytes.Equal(body, backend.ContentBytes(r.Target, r.Size)) {
+			t.Fatalf("request %d: corrupted body (%d bytes)", i, len(body))
+		}
+	}
+	client.CloseIdleConnections()
+	// With LB over 2 back ends and 30 distinct-ish targets, both back
+	// ends must have seen traffic through one client connection.
+	if bes[0].Stats().Requests == 0 || bes[1].Stats().Requests == 0 {
+		t.Fatalf("rehandoff did not spread: %d vs %d",
+			bes[0].Stats().Requests, bes[1].Stats().Requests)
+	}
+	st := fe.Stats()
+	if st.Rehandoffs == 0 {
+		t.Fatal("no re-handoffs recorded")
+	}
+}
+
+func TestBackendFailureReturns502AndMarksDown(t *testing.T) {
+	tr := smallTrace(t, 10, 10)
+	mc := startCluster(t, 2, LARD(core.DefaultParams()), tr, 1<<20)
+	// Fresh connections each time: a kept-alive connection is already
+	// handed off and correctly bypasses the dispatcher.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	// Point backend 0 at a dead address by marking it down directly.
+	mc.fe.SetBackendDown(0, true)
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get("http://" + mc.feAddr + tr.At(i).Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d with one live backend", i, resp.StatusCode)
+		}
+	}
+	if got := mc.backends[0].Stats().Requests; got != 0 {
+		t.Fatalf("downed backend served %d requests", got)
+	}
+	// All backends down → 503 on a fresh connection.
+	mc.fe.SetBackendDown(1, true)
+	resp, err := client.Get("http://" + mc.feAddr + tr.At(0).Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if mc.fe.Stats().Rejected == 0 {
+		t.Fatal("rejection not counted")
+	}
+}
+
+func TestDialFailureMarksNodeDown(t *testing.T) {
+	// A front end configured with one dead address and one live back end
+	// must converge onto the live one after the first dial failure.
+	tr := smallTrace(t, 5, 5)
+	store := backend.NewDocStore(tr.Targets)
+	be := backend.New(backend.Config{Store: store, CacheBytes: 1 << 20})
+	ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: be.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close() // nothing listens here any more
+
+	fe, err := New(Config{
+		Backends:    []string{deadAddr, ln.Addr().String()},
+		NewStrategy: WRR(),
+		DialTimeout: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(feLn)
+	t.Cleanup(func() { fe.Close() })
+
+	ok := 0
+	for i := 0; i < 6; i++ {
+		resp, err := http.Get("http://" + feLn.Addr().String() + tr.At(0).Target)
+		if err != nil {
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == 200 {
+			ok++
+		}
+	}
+	// At most the first request can fail (502); after NodeDown everything
+	// lands on the live back end.
+	if ok < 5 {
+		t.Fatalf("only %d of 6 requests succeeded after dial failure", ok)
+	}
+}
+
+func TestParseRequestLine(t *testing.T) {
+	cases := []struct {
+		in                    string
+		method, target, proto string
+		ok                    bool
+	}{
+		{"GET / HTTP/1.1", "GET", "/", "HTTP/1.1", true},
+		{"GET /a/b?q=1 HTTP/1.0", "GET", "/a/b?q=1", "HTTP/1.0", true},
+		{"POST /form HTTP/1.1", "POST", "/form", "HTTP/1.1", true},
+		{"GET /odd path HTTP/1.1", "GET", "/odd path", "HTTP/1.1", true},
+		{"GET", "", "", "", false},
+		{"GET /x", "", "", "", false},
+		{"", "", "", "", false},
+	}
+	for _, tc := range cases {
+		m, tg, p, ok := parseRequestLine(tc.in)
+		if ok != tc.ok || m != tc.method || tg != tc.target || p != tc.proto {
+			t.Fatalf("parseRequestLine(%q) = (%q,%q,%q,%v)", tc.in, m, tg, p, ok)
+		}
+	}
+}
+
+func TestReadRequestHead(t *testing.T) {
+	raw := "GET /x HTTP/1.1\r\nHost: h\r\nContent-Length: 12\r\nConnection: close\r\n\r\n"
+	h, err := readRequestHead(bufio.NewReader(strings.NewReader(raw)), 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.target != "/x" || h.contentLength != 12 || h.keepAlive {
+		t.Fatalf("head = %+v", h)
+	}
+	if string(h.raw) != raw {
+		t.Fatalf("raw = %q", h.raw)
+	}
+	// Header limit enforcement.
+	big := "GET /x HTTP/1.1\r\n" + strings.Repeat("A: b\r\n", 1000) + "\r\n"
+	if _, err := readRequestHead(bufio.NewReader(strings.NewReader(big)), 256); err == nil {
+		t.Fatal("oversized head accepted")
+	}
+	// Malformed request line.
+	if _, err := readRequestHead(bufio.NewReader(strings.NewReader("NONSENSE\r\n\r\n")), 1<<16); err == nil {
+		t.Fatal("malformed request line accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no backends accepted")
+	}
+	if _, err := New(Config{
+		Backends:    []string{"127.0.0.1:1"},
+		NewStrategy: func(core.LoadReader) core.Strategy { return nil },
+	}); err == nil {
+		t.Fatal("nil strategy accepted")
+	}
+}
+
+func TestStatsSnapshot(t *testing.T) {
+	tr := smallTrace(t, 5, 5)
+	mc := startCluster(t, 2, WRR(), tr, 1<<20)
+	resp, err := http.Get("http://" + mc.feAddr + tr.At(0).Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	st := mc.fe.Stats()
+	if st.BackendToClient == 0 {
+		t.Fatalf("no forwarded bytes recorded: %+v", st)
+	}
+	if len(st.ActivePerNode) != 2 {
+		t.Fatalf("ActivePerNode = %v", st.ActivePerNode)
+	}
+	if fmt.Sprint(st) == "" {
+		t.Fatal("unprintable stats")
+	}
+}

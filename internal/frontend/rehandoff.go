@@ -1,0 +1,192 @@
+package frontend
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+
+	"lard/internal/handoff"
+)
+
+// This file implements the paper's alternative persistent-connection
+// design (Section 5): "the protocol allows the front end ... to hand off a
+// connection multiple times, so that different requests on the same
+// connection can be served by different back ends."
+//
+// Per-request re-handoff requires the front end to retain HTTP framing
+// (it must know where each request and response ends), so this path is a
+// minimal HTTP/1.x relay: request bodies are delimited by Content-Length,
+// responses by Content-Length or connection close. Responses without a
+// length (e.g. chunked) downgrade the connection to
+// forward-until-close on the current back end.
+
+// handlePerRequest relays one client connection, re-dispatching every
+// request.
+func (s *Server) handlePerRequest(client net.Conn) {
+	defer client.Close()
+
+	br := bufio.NewReaderSize(client, 16<<10)
+	var (
+		backend     net.Conn
+		backendNode = -1
+		backendBR   *bufio.Reader
+	)
+	defer func() {
+		if backend != nil {
+			backend.Close()
+			s.release(backendNode)
+		}
+	}()
+
+	for {
+		client.SetReadDeadline(time.Now().Add(s.cfg.HeaderTimeout))
+		head, err := readRequestHead(br, s.cfg.MaxHeaderBytes)
+		if err != nil {
+			if head.raw == nil || len(head.raw) == 0 {
+				return // clean close between requests
+			}
+			s.errors.Add(1)
+			s.logf("frontend: rehandoff head: %v", err)
+			return
+		}
+		client.SetReadDeadline(time.Time{})
+
+		node := s.dispatch(head.target, head.contentLength)
+		if node < 0 {
+			s.rejected.Add(1)
+			writeServiceUnavailable(client)
+			return
+		}
+
+		// Re-handoff: switch back ends when the policy says so.
+		if backend == nil || node != backendNode {
+			if backend != nil {
+				backend.Close()
+				s.release(backendNode)
+				s.rehandoffs.Add(1)
+			}
+			conn, err := s.dialRehandoff(node, client, head)
+			if err != nil {
+				s.release(node)
+				s.errors.Add(1)
+				s.logf("frontend: rehandoff dial backend %d: %v", node, err)
+				writeBadGateway(client)
+				return
+			}
+			backend = conn
+			backendNode = node
+			backendBR = bufio.NewReaderSize(backend, 16<<10)
+			s.handoffs.Add(1)
+		} else {
+			// Same back end: the dispatch above claimed a second slot for
+			// this request; give it back and reuse the existing one.
+			s.release(node)
+			if _, err := backend.Write(head.raw); err != nil {
+				s.errors.Add(1)
+				s.logf("frontend: rehandoff write: %v", err)
+				return
+			}
+		}
+
+		// Relay the request body, if any.
+		if head.contentLength > 0 {
+			n, err := io.CopyN(backend, br, head.contentLength)
+			s.forward.ClientToBackend.Add(n)
+			if err != nil {
+				s.errors.Add(1)
+				return
+			}
+		}
+
+		// Relay the response; keepAlive may be cleared by the response's
+		// own framing.
+		keepAlive, err := s.relayResponse(client, backendBR, head.method)
+		if err != nil {
+			s.errors.Add(1)
+			s.logf("frontend: rehandoff response: %v", err)
+			return
+		}
+		if !keepAlive || !head.keepAlive {
+			return
+		}
+	}
+}
+
+// dialRehandoff opens a back-end connection and sends the handoff message
+// for one request.
+func (s *Server) dialRehandoff(node int, client net.Conn, head requestHead) (net.Conn, error) {
+	backend, err := net.DialTimeout("tcp", s.cfg.Backends[node], s.cfg.DialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if err := handoff.Send(backend, client.RemoteAddr().String(), head.raw, handoff.FlagRehandoff); err != nil {
+		backend.Close()
+		return nil, err
+	}
+	return backend, nil
+}
+
+// relayResponse copies one HTTP response from the back end to the client,
+// returning whether the back-end connection remains usable for another
+// request.
+func (s *Server) relayResponse(client net.Conn, backendBR *bufio.Reader, method string) (keepAlive bool, err error) {
+	var raw []byte
+	status := ""
+	contentLength := int64(-1)
+	keepAlive = true
+	for {
+		line, err := backendBR.ReadString('\n')
+		raw = append(raw, line...)
+		if err != nil {
+			return false, fmt.Errorf("reading response head: %w", err)
+		}
+		trimmed := trimCRLF(line)
+		if status == "" {
+			status = trimmed
+			continue
+		}
+		if trimmed == "" {
+			break
+		}
+		if name, value, ok := splitHeader(trimmed); ok {
+			switch name {
+			case "content-length":
+				if v, perr := strconv.ParseInt(value, 10, 64); perr == nil {
+					contentLength = v
+				}
+			case "connection":
+				if equalsFold(value, "close") {
+					keepAlive = false
+				}
+			case "transfer-encoding":
+				// No chunked parser on the relay path: downgrade to
+				// copy-until-close.
+				contentLength = -1
+				keepAlive = false
+			}
+		}
+	}
+	if _, err := client.Write(raw); err != nil {
+		return false, err
+	}
+	s.forward.BackendToClient.Add(int64(len(raw)))
+
+	if method == "HEAD" || contentLength == 0 {
+		return keepAlive, nil
+	}
+	if contentLength > 0 {
+		n, err := io.CopyN(client, backendBR, contentLength)
+		s.forward.BackendToClient.Add(n)
+		if err != nil {
+			return false, err
+		}
+		return keepAlive, nil
+	}
+	// Unknown length: copy until the back end closes.
+	n, _ := io.Copy(client, backendBR)
+	s.forward.BackendToClient.Add(n)
+	return false, nil
+}

@@ -1,0 +1,103 @@
+package handoff
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the front end's side of the protocol: sending the handoff
+// message and the forwarding module (the paper's fast path that relays
+// traffic without inspecting it after the handoff decision is made).
+
+// Send transfers an accepted client connection's state to the back end
+// over backendConn: the client address and the already-consumed request
+// head. After Send succeeds the caller must stop interpreting the byte
+// streams and splice them (Forward).
+func Send(backendConn net.Conn, clientAddr string, initialData []byte, flags byte) error {
+	return WriteHeader(backendConn, Header{
+		Flags:       flags,
+		ClientAddr:  clientAddr,
+		InitialData: initialData,
+	})
+}
+
+// ForwardStats counts the forwarding module's traffic.
+type ForwardStats struct {
+	// ClientToBackend and BackendToClient are byte counts.
+	ClientToBackend atomic.Int64
+	BackendToClient atomic.Int64
+}
+
+// bufPool recycles the forwarding module's copy buffers.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 32<<10)
+		return &b
+	},
+}
+
+// Forward splices client and backend until either side closes, counting
+// bytes into stats (which may be nil; counters update incrementally, so
+// long-lived connections are observable mid-flight). It closes both
+// connections before returning — the handed-off connection's lifetime
+// ends when either party hangs up, as with the paper's kernel-level
+// forwarding.
+func Forward(client, backend net.Conn, stats *ForwardStats) {
+	var c2b, b2c *atomic.Int64
+	if stats != nil {
+		c2b, b2c = &stats.ClientToBackend, &stats.BackendToClient
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		copyCounted(backend, client, c2b)
+		// Client finished sending (or died): let the back end see EOF on
+		// its receive path while its response may still be in flight.
+		closeWrite(backend)
+	}()
+	go func() {
+		defer wg.Done()
+		copyCounted(client, backend, b2c)
+		closeWrite(client)
+	}()
+	wg.Wait()
+	client.Close()
+	backend.Close()
+}
+
+// copyCounted copies src→dst with a pooled buffer, adding each chunk to
+// count (which may be nil) as it moves.
+func copyCounted(dst io.Writer, src io.Reader, count *atomic.Int64) {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	buf := *bp
+	for {
+		n, rerr := src.Read(buf)
+		if n > 0 {
+			if count != nil {
+				count.Add(int64(n))
+			}
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if rerr != nil {
+			return
+		}
+	}
+}
+
+// closeWrite half-closes a connection when supported, so the peer sees
+// EOF without losing its own transmit direction.
+func closeWrite(c net.Conn) {
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := c.(closeWriter); ok {
+		cw.CloseWrite()
+		return
+	}
+	// No half-close support: leave the connection open; Forward's final
+	// Close will tear it down.
+}

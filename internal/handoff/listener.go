@@ -1,0 +1,117 @@
+package handoff
+
+import (
+	"net"
+	"sync/atomic"
+	"time"
+)
+
+// Listener accepts handed-off connections on the back end and presents
+// them as ordinary net.Conns whose RemoteAddr is the original client's —
+// so an unmodified net/http server (or any other TCP server) can serve
+// handed-off connections directly, mirroring the paper's transparency
+// property.
+type Listener struct {
+	ln net.Listener
+
+	// HandshakeTimeout bounds how long a newly accepted connection may
+	// take to deliver its handoff header (default 5s).
+	HandshakeTimeout time.Duration
+
+	// rejected counts connections dropped for bad handshakes.
+	rejected atomic.Uint64
+}
+
+// Listen announces on the local network address and returns a handoff
+// Listener for it.
+func Listen(network, addr string) (*Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewListener(ln), nil
+}
+
+// NewListener wraps an existing listener.
+func NewListener(ln net.Listener) *Listener {
+	return &Listener{ln: ln, HandshakeTimeout: 5 * time.Second}
+}
+
+// Accept waits for the next successfully handed-off connection. A peer
+// that fails the handoff handshake is closed and counted, not surfaced as
+// an Accept error, so one malformed client cannot stop an http.Server
+// loop.
+func (l *Listener) Accept() (net.Conn, error) {
+	for {
+		raw, err := l.ln.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if l.HandshakeTimeout > 0 {
+			raw.SetReadDeadline(time.Now().Add(l.HandshakeTimeout))
+		}
+		h, err := ReadHeader(raw)
+		if err != nil {
+			raw.Close()
+			l.rejected.Add(1)
+			continue
+		}
+		raw.SetReadDeadline(time.Time{})
+		return newConn(raw, h), nil
+	}
+}
+
+// Close closes the underlying listener.
+func (l *Listener) Close() error { return l.ln.Close() }
+
+// Addr returns the listener's network address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Rejected returns how many connections were dropped for failing the
+// handoff handshake.
+func (l *Listener) Rejected() uint64 { return l.rejected.Load() }
+
+// Conn is a handed-off connection: reads drain the handoff message's
+// initial data before touching the network, and RemoteAddr reports the
+// original client's address.
+type Conn struct {
+	net.Conn
+	initial    []byte
+	clientAddr net.Addr
+	flags      byte
+}
+
+// newConn wraps a raw connection using the parsed handoff header.
+func newConn(raw net.Conn, h Header) *Conn {
+	var addr net.Addr
+	if tcp, err := net.ResolveTCPAddr("tcp", h.ClientAddr); err == nil {
+		addr = tcp
+	} else {
+		addr = clientAddr(h.ClientAddr)
+	}
+	return &Conn{Conn: raw, initial: h.InitialData, clientAddr: addr, flags: h.Flags}
+}
+
+// Read implements net.Conn, serving the handed-off initial data first.
+func (c *Conn) Read(p []byte) (int, error) {
+	if len(c.initial) > 0 {
+		n := copy(p, c.initial)
+		c.initial = c.initial[n:]
+		return n, nil
+	}
+	return c.Conn.Read(p)
+}
+
+// RemoteAddr reports the original client's address, as the paper's
+// client-transparent handoff does.
+func (c *Conn) RemoteAddr() net.Addr { return c.clientAddr }
+
+// Flags returns the handoff flags (e.g. FlagRehandoff).
+func (c *Conn) Flags() byte { return c.flags }
+
+// clientAddr is the fallback address representation when the handed-off
+// client address is not a parseable TCP address.
+type clientAddr string
+
+func (a clientAddr) Network() string { return "tcp" }
+func (a clientAddr) String() string  { return string(a) }

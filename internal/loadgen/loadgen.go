@@ -1,0 +1,190 @@
+// Package loadgen is the reproduction of the paper's client software: "an
+// event-driven program that simulates multiple HTTP clients", where "each
+// simulated HTTP client makes HTTP requests as fast as the server cluster
+// can handle them" — a closed-loop load generator.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lard/internal/trace"
+)
+
+// Config describes a load-generation run against a front end.
+type Config struct {
+	// BaseURL is the front end's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+
+	// Trace supplies the request sequence; clients share one cursor, so
+	// the cluster sees the trace order (approximately, under
+	// concurrency).
+	Trace *trace.Trace
+
+	// Clients is the number of concurrent simulated clients (default 8).
+	Clients int
+
+	// Requests caps the total requests issued (default: one pass over
+	// the trace).
+	Requests int
+
+	// KeepAlive reuses connections (HTTP/1.1 persistent connections);
+	// without it every request opens a fresh connection, exercising one
+	// handoff per request as in the paper's HTTP/1.0 measurements.
+	KeepAlive bool
+
+	// Timeout bounds each request (default 30s).
+	Timeout time.Duration
+}
+
+// Stats summarizes a run.
+type Stats struct {
+	Requests   uint64
+	Errors     uint64
+	BytesRead  int64
+	Elapsed    time.Duration
+	Throughput float64 // successful requests per second
+
+	LatencyAvg time.Duration
+	LatencyP50 time.Duration
+	LatencyP95 time.Duration
+	LatencyMax time.Duration
+}
+
+// String renders the stats in one line.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d reqs (%d errors) in %v: %.1f req/s, p50=%v p95=%v max=%v",
+		s.Requests, s.Errors, s.Elapsed.Round(time.Millisecond), s.Throughput,
+		s.LatencyP50.Round(time.Microsecond), s.LatencyP95.Round(time.Microsecond),
+		s.LatencyMax.Round(time.Microsecond))
+}
+
+// Run drives the configured load until the request budget is exhausted or
+// the context is cancelled, and returns aggregate statistics.
+func Run(ctx context.Context, cfg Config) (Stats, error) {
+	if cfg.BaseURL == "" {
+		return Stats{}, fmt.Errorf("loadgen: BaseURL required")
+	}
+	if cfg.Trace == nil || cfg.Trace.Len() == 0 {
+		return Stats{}, fmt.Errorf("loadgen: empty trace")
+	}
+	clients := cfg.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	total := cfg.Requests
+	if total <= 0 {
+		total = cfg.Trace.Len()
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+
+	transport := &http.Transport{
+		DisableKeepAlives:   !cfg.KeepAlive,
+		MaxIdleConnsPerHost: clients,
+		MaxConnsPerHost:     0,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport, Timeout: timeout}
+
+	var (
+		cursor  atomic.Int64
+		nOK     atomic.Uint64
+		nErr    atomic.Uint64
+		nBytes  atomic.Int64
+		latMu   sync.Mutex
+		latAll  []time.Duration
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+
+	worker := func() {
+		defer wg.Done()
+		lats := make([]time.Duration, 0, 1024)
+		for {
+			if ctx.Err() != nil {
+				break
+			}
+			i := cursor.Add(1) - 1
+			if i >= int64(total) {
+				break
+			}
+			r := cfg.Trace.At(int(i) % cfg.Trace.Len())
+			t0 := time.Now()
+			n, err := fetch(ctx, client, cfg.BaseURL+r.Target)
+			if err != nil {
+				nErr.Add(1)
+				continue
+			}
+			lats = append(lats, time.Since(t0))
+			nOK.Add(1)
+			nBytes.Add(n)
+		}
+		latMu.Lock()
+		latAll = append(latAll, lats...)
+		latMu.Unlock()
+	}
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go worker()
+	}
+	wg.Wait()
+
+	st := Stats{
+		Requests:  nOK.Load(),
+		Errors:    nErr.Load(),
+		BytesRead: nBytes.Load(),
+		Elapsed:   time.Since(started),
+	}
+	if st.Elapsed > 0 {
+		st.Throughput = float64(st.Requests) / st.Elapsed.Seconds()
+	}
+	summarizeLatencies(&st, latAll)
+	return st, nil
+}
+
+// fetch issues one GET and fully drains the body, returning its length.
+func fetch(ctx context.Context, client *http.Client, url string) (int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	n, err := io.Copy(io.Discard, resp.Body)
+	if err != nil {
+		return n, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return n, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return n, nil
+}
+
+// summarizeLatencies fills the latency fields from raw samples.
+func summarizeLatencies(st *Stats, lats []time.Duration) {
+	if len(lats) == 0 {
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var sum time.Duration
+	for _, d := range lats {
+		sum += d
+	}
+	st.LatencyAvg = sum / time.Duration(len(lats))
+	st.LatencyP50 = lats[len(lats)/2]
+	st.LatencyP95 = lats[len(lats)*95/100]
+	st.LatencyMax = lats[len(lats)-1]
+}

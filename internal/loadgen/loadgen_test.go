@@ -1,0 +1,177 @@
+package loadgen
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lard/internal/trace"
+)
+
+func genTrace() *trace.Trace {
+	return &trace.Trace{
+		Name: "lg",
+		Targets: []trace.Target{
+			{Name: "/a", Size: 100},
+			{Name: "/b", Size: 200},
+		},
+		Requests: []int32{0, 1, 0, 0, 1, 0, 1, 1, 0, 0},
+	}
+}
+
+func TestRunIssuesAllRequests(t *testing.T) {
+	var served atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte(strings.Repeat("x", 50)))
+	}))
+	defer ts.Close()
+
+	st, err := Run(context.Background(), Config{
+		BaseURL: ts.URL,
+		Trace:   genTrace(),
+		Clients: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 10 || st.Errors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if served.Load() != 10 {
+		t.Fatalf("server saw %d requests", served.Load())
+	}
+	if st.BytesRead != 500 {
+		t.Fatalf("BytesRead = %d", st.BytesRead)
+	}
+	if st.Throughput <= 0 {
+		t.Fatalf("Throughput = %v", st.Throughput)
+	}
+	if st.LatencyP50 <= 0 || st.LatencyMax < st.LatencyP95 || st.LatencyP95 < st.LatencyP50 {
+		t.Fatalf("latency ordering: %+v", st)
+	}
+	if st.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestRunCountsErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/b" {
+			http.Error(w, "boom", http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	st, err := Run(context.Background(), Config{BaseURL: ts.URL, Trace: genTrace(), Clients: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 4 { // four /b requests in the trace
+		t.Fatalf("Errors = %d, want 4", st.Errors)
+	}
+	if st.Requests != 6 {
+		t.Fatalf("Requests = %d, want 6", st.Requests)
+	}
+}
+
+func TestRunRequestBudgetWrapsTrace(t *testing.T) {
+	var served atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		served.Add(1)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	st, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Trace:    genTrace(),
+		Clients:  2,
+		Requests: 25, // wraps the 10-entry trace
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 25 || served.Load() != 25 {
+		t.Fatalf("requests %d served %d", st.Requests, served.Load())
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	defer close(block)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	st, err := Run(ctx, Config{BaseURL: ts.URL, Trace: genTrace(), Clients: 2, Timeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("cancellation did not stop the run promptly")
+	}
+	if st.Requests != 0 {
+		t.Fatalf("blocked server produced %d successes", st.Requests)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(context.Background(), Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x"}); err == nil {
+		t.Fatal("nil trace accepted")
+	}
+}
+
+func TestSummarizeLatenciesEmpty(t *testing.T) {
+	var st Stats
+	summarizeLatencies(&st, nil)
+	if st.LatencyAvg != 0 {
+		t.Fatal("empty latencies produced averages")
+	}
+}
+
+func TestKeepAliveMode(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewUnstartedServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	ts.Config.ConnState = func(c net.Conn, s http.ConnState) {
+		if s == http.StateNew {
+			conns.Add(1)
+		}
+	}
+	ts.Start()
+	defer ts.Close()
+	st, err := Run(context.Background(), Config{
+		BaseURL:   ts.URL,
+		Trace:     genTrace(),
+		Clients:   1,
+		KeepAlive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 10 {
+		t.Fatalf("Requests = %d", st.Requests)
+	}
+	// One client with keep-alive: a single connection carries all ten
+	// requests.
+	if conns.Load() != 1 {
+		t.Fatalf("connections = %d, want 1", conns.Load())
+	}
+}

@@ -1,0 +1,32 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineSchedule measures raw event scheduling + dispatch
+// throughput, the floor under every simulation in this repository.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if e.Pending() > 1024 {
+			e.RunUntil(e.Now() + time.Millisecond)
+		}
+	}
+	e.Run()
+}
+
+// BenchmarkServerSchedule measures the FIFO resource model's job cost.
+func BenchmarkServerSchedule(b *testing.B) {
+	e := NewEngine()
+	s := NewServer(e, "cpu")
+	for i := 0; i < b.N; i++ {
+		s.Schedule(time.Microsecond, nil)
+		if e.Pending() > 1024 {
+			e.RunUntil(e.Now() + time.Millisecond)
+		}
+	}
+	e.Run()
+}

@@ -1,0 +1,179 @@
+// Package sim provides a small, deterministic discrete-event simulation
+// engine. It is the substrate on which the cluster simulator of the LARD
+// paper (Section 3) is built.
+//
+// The engine maintains a virtual clock and a priority queue of events.
+// Events scheduled for the same instant fire in FIFO order, which makes
+// simulations fully deterministic: the same schedule of calls always
+// produces the same execution.
+//
+// Virtual time is expressed as time.Duration offsets from the start of the
+// simulation. The engine never consults the wall clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a scheduled callback. It is returned by the scheduling methods
+// so callers can cancel it before it fires.
+type Event struct {
+	at    time.Duration
+	seq   uint64
+	fn    func()
+	index int // heap index; -1 once removed
+}
+
+// Time returns the virtual time at which the event is scheduled to fire.
+func (ev *Event) Time() time.Duration { return ev.at }
+
+// Engine is a deterministic discrete-event simulator. The zero value is not
+// usable; construct one with NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+
+	// processed counts events that have fired since construction.
+	processed uint64
+}
+
+// NewEngine returns an engine with an empty event queue and the clock at 0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events waiting to fire.
+func (e *Engine) Pending() int { return e.queue.Len() }
+
+// Processed returns the total number of events that have fired.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// At schedules fn to run at virtual time t. If t is in the past, the event
+// fires at the current time (events never fire retroactively). Events
+// scheduled for the same instant fire in the order they were scheduled.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil function")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d after the current virtual time. Negative
+// durations are treated as zero.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel removes a pending event so it will not fire. It reports whether the
+// event was still pending. Cancelling an already-fired or already-cancelled
+// event is a no-op.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.index < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+	ev.fn = nil
+	return true
+}
+
+// Step fires the single earliest pending event, advancing the clock to its
+// scheduled time. It reports whether an event fired.
+func (e *Engine) Step() bool {
+	if e.stopped || e.queue.Len() == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	ev.index = -1
+	e.now = ev.at
+	fn := ev.fn
+	ev.fn = nil
+	e.processed++
+	fn()
+	return true
+}
+
+// Run fires events until the queue is empty or Stop is called. It returns
+// the number of events processed by this call.
+func (e *Engine) Run() uint64 {
+	start := e.processed
+	e.stopped = false
+	for e.Step() {
+	}
+	return e.processed - start
+}
+
+// RunUntil fires events with scheduled time <= t, then advances the clock to
+// exactly t (even if no event was pending at t). It returns the number of
+// events processed by this call.
+func (e *Engine) RunUntil(t time.Duration) uint64 {
+	start := e.processed
+	e.stopped = false
+	for !e.stopped && e.queue.Len() > 0 && e.queue[0].at <= t {
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+	return e.processed - start
+}
+
+// Stop makes the currently executing Run or RunUntil return after the
+// current event completes. The queue is left intact, so execution can be
+// resumed with another Run call.
+func (e *Engine) Stop() { e.stopped = true }
+
+// String describes the engine state, for debugging.
+func (e *Engine) String() string {
+	return fmt.Sprintf("sim.Engine{now: %v, pending: %d, processed: %d}",
+		e.now, e.queue.Len(), e.processed)
+}
+
+// eventQueue is a min-heap ordered by (time, sequence).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -1,0 +1,297 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("Now() = %v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(30*time.Millisecond, func() { order = append(order, 3) })
+	e.At(10*time.Millisecond, func() { order = append(order, 1) })
+	e.At(20*time.Millisecond, func() { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFireFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break not FIFO: order[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPastEventsClampToNow(t *testing.T) {
+	e := NewEngine()
+	var firedAt time.Duration
+	e.At(10*time.Millisecond, func() {
+		e.At(5*time.Millisecond, func() { firedAt = e.Now() })
+	})
+	e.Run()
+	if firedAt != 10*time.Millisecond {
+		t.Fatalf("past event fired at %v, want clamped to 10ms", firedAt)
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration
+	e.At(5*time.Millisecond, func() {
+		e.After(7*time.Millisecond, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 12*time.Millisecond {
+		t.Fatalf("After fired at %v, want 12ms", at)
+	}
+}
+
+func TestAfterNegativeDurationFiresNow(t *testing.T) {
+	e := NewEngine()
+	var at time.Duration = -1
+	e.At(time.Millisecond, func() {
+		e.After(-time.Second, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != time.Millisecond {
+		t.Fatalf("negative After fired at %v, want 1ms", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(time.Millisecond, func() { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("second Cancel returned true")
+	}
+	if e.Cancel(nil) {
+		t.Fatal("Cancel(nil) returned true")
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(time.Millisecond, func() {})
+	e.Run()
+	if e.Cancel(ev) {
+		t.Fatal("Cancel returned true for fired event")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	evs := make([]*Event, 10)
+	for i := 0; i < 10; i++ {
+		i := i
+		evs[i] = e.At(time.Duration(i)*time.Millisecond, func() { order = append(order, i) })
+	}
+	e.Cancel(evs[4])
+	e.Cancel(evs[7])
+	e.Run()
+	if len(order) != 8 {
+		t.Fatalf("got %d events, want 8", len(order))
+	}
+	for _, v := range order {
+		if v == 4 || v == 7 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var fired []time.Duration
+	for _, d := range []time.Duration{10, 20, 30, 40} {
+		d := d * time.Millisecond
+		e.At(d, func() { fired = append(fired, d) })
+	}
+	n := e.RunUntil(25 * time.Millisecond)
+	if n != 2 {
+		t.Fatalf("RunUntil processed %d events, want 2", n)
+	}
+	if e.Now() != 25*time.Millisecond {
+		t.Fatalf("Now() = %v, want 25ms", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", e.Pending())
+	}
+	// Boundary: an event exactly at the horizon fires.
+	n = e.RunUntil(30 * time.Millisecond)
+	if n != 1 {
+		t.Fatalf("RunUntil(30ms) processed %d events, want 1", n)
+	}
+	if e.Now() != 30*time.Millisecond {
+		t.Fatalf("Now() = %v, want 30ms", e.Now())
+	}
+}
+
+func TestRunUntilWithEmptyQueueAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(time.Second)
+	if e.Now() != time.Second {
+		t.Fatalf("Now() = %v, want 1s", e.Now())
+	}
+}
+
+func TestStopHaltsRun(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("processed %d events before Stop, want 3", count)
+	}
+	// Resume.
+	e.Run()
+	if count != 10 {
+		t.Fatalf("after resume processed %d, want 10", count)
+	}
+}
+
+func TestEventsScheduledDuringRun(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var schedule func()
+	schedule = func() {
+		depth++
+		if depth < 50 {
+			e.After(time.Millisecond, schedule)
+		}
+	}
+	e.At(0, schedule)
+	e.Run()
+	if depth != 50 {
+		t.Fatalf("depth = %d, want 50", depth)
+	}
+	if e.Now() != 49*time.Millisecond {
+		t.Fatalf("Now() = %v, want 49ms", e.Now())
+	}
+}
+
+func TestAtNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(nil) did not panic")
+		}
+	}()
+	NewEngine().At(0, nil)
+}
+
+func TestProcessedCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(time.Duration(i), func() {})
+	}
+	if got := e.Run(); got != 5 {
+		t.Fatalf("Run() = %d, want 5", got)
+	}
+	if e.Processed() != 5 {
+		t.Fatalf("Processed() = %d, want 5", e.Processed())
+	}
+}
+
+func TestEngineStringDescribesState(t *testing.T) {
+	e := NewEngine()
+	e.At(time.Millisecond, func() {})
+	s := e.String()
+	if s == "" {
+		t.Fatal("String() empty")
+	}
+}
+
+// Property: for any set of scheduled times, events fire in non-decreasing
+// time order and the clock equals the last event's time.
+func TestPropertyMonotonicFiring(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		if len(offsets) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []time.Duration
+		for _, off := range offsets {
+			d := time.Duration(off) * time.Microsecond
+			e.At(d, func() { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: deterministic replay — the same schedule processed twice yields
+// identical firing orders.
+func TestPropertyDeterministicReplay(t *testing.T) {
+	run := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine()
+		var order []int
+		for i := 0; i < 500; i++ {
+			i := i
+			e.At(time.Duration(rng.Intn(100))*time.Millisecond, func() {
+				order = append(order, i)
+			})
+		}
+		e.Run()
+		return order
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestServerIdleJobRunsImmediately(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "cpu")
+	done := time.Duration(-1)
+	completion := s.Schedule(10*time.Millisecond, func() { done = e.Now() })
+	if completion != 10*time.Millisecond {
+		t.Fatalf("completion = %v, want 10ms", completion)
+	}
+	e.Run()
+	if done != 10*time.Millisecond {
+		t.Fatalf("done at %v, want 10ms", done)
+	}
+}
+
+func TestServerFIFOQueueing(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "cpu")
+	var completions []time.Duration
+	record := func() { completions = append(completions, e.Now()) }
+	s.Schedule(10*time.Millisecond, record)
+	s.Schedule(5*time.Millisecond, record)
+	s.Schedule(1*time.Millisecond, record)
+	e.Run()
+	want := []time.Duration{10 * time.Millisecond, 15 * time.Millisecond, 16 * time.Millisecond}
+	for i := range want {
+		if completions[i] != want[i] {
+			t.Fatalf("completions = %v, want %v", completions, want)
+		}
+	}
+}
+
+func TestServerQueueDrainsThenIdles(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "disk")
+	s.Schedule(10*time.Millisecond, nil)
+	e.Run()
+	// After drain, a new job starts at Now, not at old horizon + d.
+	var done time.Duration
+	e.At(50*time.Millisecond, func() {
+		s.Schedule(5*time.Millisecond, func() { done = e.Now() })
+	})
+	e.Run()
+	if done != 55*time.Millisecond {
+		t.Fatalf("done = %v, want 55ms", done)
+	}
+}
+
+func TestServerBacklogAndBusy(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "cpu")
+	if s.Busy() {
+		t.Fatal("new server reports busy")
+	}
+	if s.Backlog() != 0 {
+		t.Fatalf("Backlog = %v, want 0", s.Backlog())
+	}
+	s.Schedule(10*time.Millisecond, nil)
+	s.Schedule(20*time.Millisecond, nil)
+	if !s.Busy() {
+		t.Fatal("server with jobs reports idle")
+	}
+	if s.Backlog() != 30*time.Millisecond {
+		t.Fatalf("Backlog = %v, want 30ms", s.Backlog())
+	}
+	e.RunUntil(12 * time.Millisecond)
+	if s.Backlog() != 18*time.Millisecond {
+		t.Fatalf("Backlog after 12ms = %v, want 18ms", s.Backlog())
+	}
+	e.Run()
+	if s.Busy() {
+		t.Fatal("drained server reports busy")
+	}
+}
+
+func TestServerNegativeDurationIsZero(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "cpu")
+	fired := false
+	c := s.Schedule(-time.Second, func() { fired = true })
+	if c != 0 {
+		t.Fatalf("completion = %v, want 0", c)
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("zero-length job did not fire")
+	}
+}
+
+func TestServerUtilization(t *testing.T) {
+	e := NewEngine()
+	s := NewServer(e, "cpu")
+	s.Schedule(30*time.Millisecond, nil)
+	s.Schedule(30*time.Millisecond, nil)
+	e.Run()
+	e.RunUntil(120 * time.Millisecond)
+	if got := s.BusyTime(); got != 60*time.Millisecond {
+		t.Fatalf("BusyTime = %v, want 60ms", got)
+	}
+	if got := s.Utilization(e.Now()); got != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", got)
+	}
+	if got := s.Utilization(0); got != 0 {
+		t.Fatalf("Utilization(0) = %v, want 0", got)
+	}
+	if got := s.Utilization(time.Millisecond); got != 1 {
+		t.Fatalf("Utilization clamps to 1, got %v", got)
+	}
+	if s.Jobs() != 2 {
+		t.Fatalf("Jobs = %d, want 2", s.Jobs())
+	}
+}
+
+func TestServerName(t *testing.T) {
+	e := NewEngine()
+	if got := NewServer(e, "disk0").Name(); got != "disk0" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestNewServerNilEnginePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewServer(nil) did not panic")
+		}
+	}()
+	NewServer(nil, "x")
+}
+
+func TestTwoServersOverlap(t *testing.T) {
+	// CPU and disk work for different requests overlaps; total elapsed time
+	// equals the max of the two independent schedules, not the sum.
+	e := NewEngine()
+	cpu := NewServer(e, "cpu")
+	disk := NewServer(e, "disk")
+	cpu.Schedule(10*time.Millisecond, nil)
+	disk.Schedule(25*time.Millisecond, nil)
+	e.Run()
+	if e.Now() != 25*time.Millisecond {
+		t.Fatalf("elapsed = %v, want 25ms (overlapped)", e.Now())
+	}
+}
+
+// Property: completion times are non-decreasing in submission order, and
+// total busy time equals the sum of service times.
+func TestPropertyServerFIFOInvariants(t *testing.T) {
+	f := func(durs []uint16) bool {
+		e := NewEngine()
+		s := NewServer(e, "cpu")
+		var sum time.Duration
+		last := time.Duration(-1)
+		for _, d := range durs {
+			dd := time.Duration(d) * time.Microsecond
+			sum += dd
+			c := s.Schedule(dd, func() {})
+			if c < last {
+				return false
+			}
+			last = c
+		}
+		e.Run()
+		if len(durs) == 0 {
+			return s.BusyTime() == 0 && e.Now() == 0
+		}
+		return s.BusyTime() == sum && e.Now() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package trace
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipfShifted(37703, 1.4, 60)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		z.Sample(rng)
+	}
+}
+
+func BenchmarkGenerateRice(b *testing.B) {
+	cfg := RiceProfile()
+	cfg.Requests = 100000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(cfg.Requests), "reqs/gen")
+}
+
+func BenchmarkComputeCDF(b *testing.B) {
+	cfg := RiceProfile()
+	cfg.Requests = 100000
+	tr := MustGenerate(cfg, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ComputeCDF(tr)
+	}
+}

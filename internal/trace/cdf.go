@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// CDF holds the cumulative request-frequency and file-size distributions of
+// a trace with targets sorted by decreasing request frequency — exactly the
+// curves plotted in the paper's Figures 5 and 6.
+type CDF struct {
+	// Files[i] describes the (i+1) most-requested targets considered
+	// together.
+	Files []CDFPoint
+
+	TotalRequests int64
+	TotalBytes    int64 // data set (catalog) bytes
+}
+
+// CDFPoint is one point on the cumulative curves: the top k targets by
+// request frequency cover CumRequests requests and CumBytes catalog bytes.
+type CDFPoint struct {
+	Rank        int   // k, 1-based
+	Requests    int64 // requests to this target alone
+	Size        int64 // this target's size
+	CumRequests int64
+	CumBytes    int64
+}
+
+// RequestFraction returns the fraction of all requests covered by the top
+// k targets at this point.
+func (p CDFPoint) requestFraction(total int64) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(p.CumRequests) / float64(total)
+}
+
+// ComputeCDF builds the Figure 5/6 curves for a trace.
+func ComputeCDF(t *Trace) *CDF {
+	counts := t.Counts()
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := counts[order[a]], counts[order[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return order[a] < order[b] // deterministic tie-break
+	})
+	c := &CDF{Files: make([]CDFPoint, 0, len(order))}
+	var cumReq, cumBytes int64
+	for rank, idx := range order {
+		cumReq += counts[idx]
+		cumBytes += t.Targets[idx].Size
+		c.Files = append(c.Files, CDFPoint{
+			Rank:        rank + 1,
+			Requests:    counts[idx],
+			Size:        t.Targets[idx].Size,
+			CumRequests: cumReq,
+			CumBytes:    cumBytes,
+		})
+	}
+	c.TotalRequests = cumReq
+	c.TotalBytes = cumBytes
+	return c
+}
+
+// BytesToCover returns the memory needed to hold the most-requested targets
+// that together cover at least the given fraction of requests — the paper's
+// "X MB of memory is needed to cover Y% of all requests" statistic.
+func (c *CDF) BytesToCover(fraction float64) int64 {
+	if fraction <= 0 || c.TotalRequests == 0 {
+		return 0
+	}
+	for _, p := range c.Files {
+		if p.requestFraction(c.TotalRequests) >= fraction {
+			return p.CumBytes
+		}
+	}
+	return c.TotalBytes
+}
+
+// TopRequestShare returns the fraction of requests going to the single
+// most-requested target (the paper reports 1-2% for Rice/IBM, motivating
+// the hot-target experiment).
+func (c *CDF) TopRequestShare() float64 {
+	if len(c.Files) == 0 || c.TotalRequests == 0 {
+		return 0
+	}
+	return float64(c.Files[0].Requests) / float64(c.TotalRequests)
+}
+
+// WriteTable renders the CDF as a fixed-width table of sample points
+// (normalized rank, cumulative request fraction, cumulative size fraction),
+// the textual equivalent of Figures 5 and 6. points controls resolution.
+func (c *CDF) WriteTable(w io.Writer, points int) error {
+	if points < 2 {
+		points = 2
+	}
+	if _, err := fmt.Fprintf(w, "%-12s %-14s %-14s\n", "files(norm)", "cum.requests", "cum.size"); err != nil {
+		return err
+	}
+	n := len(c.Files)
+	for i := 0; i < points; i++ {
+		idx := (n - 1) * i / (points - 1)
+		p := c.Files[idx]
+		_, err := fmt.Fprintf(w, "%-12.4f %-14.4f %-14.4f\n",
+			float64(p.Rank)/float64(n),
+			float64(p.CumRequests)/float64(c.TotalRequests),
+			float64(p.CumBytes)/float64(c.TotalBytes))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

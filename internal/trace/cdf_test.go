@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeCDFOrdersByFrequency(t *testing.T) {
+	tr := tinyTrace() // /a:3 reqs, /b:2, /c:1
+	c := ComputeCDF(tr)
+	if len(c.Files) != 3 {
+		t.Fatalf("points = %d", len(c.Files))
+	}
+	if c.Files[0].Requests != 3 || c.Files[1].Requests != 2 || c.Files[2].Requests != 1 {
+		t.Fatalf("frequency order wrong: %+v", c.Files)
+	}
+	if c.TotalRequests != 6 {
+		t.Fatalf("TotalRequests = %d", c.TotalRequests)
+	}
+	if c.TotalBytes != 600 {
+		t.Fatalf("TotalBytes = %d", c.TotalBytes)
+	}
+	if c.Files[2].CumRequests != 6 || c.Files[2].CumBytes != 600 {
+		t.Fatalf("final cumulative point wrong: %+v", c.Files[2])
+	}
+}
+
+func TestCDFCumulativesMonotonic(t *testing.T) {
+	cfg := RiceProfile()
+	cfg.Targets = 500
+	cfg.Requests = 20000
+	cfg.DataSetBytes = 30 << 20
+	c := ComputeCDF(MustGenerate(cfg, 9))
+	for i := 1; i < len(c.Files); i++ {
+		if c.Files[i].CumRequests < c.Files[i-1].CumRequests {
+			t.Fatal("cumulative requests decreased")
+		}
+		if c.Files[i].CumBytes < c.Files[i-1].CumBytes {
+			t.Fatal("cumulative bytes decreased")
+		}
+		if c.Files[i].Requests > c.Files[i-1].Requests {
+			t.Fatal("per-target requests not sorted descending")
+		}
+	}
+}
+
+func TestBytesToCover(t *testing.T) {
+	tr := tinyTrace()
+	c := ComputeCDF(tr)
+	// Top target (/a, 100 bytes) covers 3/6 = 50% of requests.
+	if got := c.BytesToCover(0.5); got != 100 {
+		t.Fatalf("BytesToCover(0.5) = %d, want 100", got)
+	}
+	// 5/6 ≈ 83% needs /a + /b = 300 bytes.
+	if got := c.BytesToCover(0.83); got != 300 {
+		t.Fatalf("BytesToCover(0.83) = %d, want 300", got)
+	}
+	if got := c.BytesToCover(1.0); got != 600 {
+		t.Fatalf("BytesToCover(1.0) = %d, want 600", got)
+	}
+	if got := c.BytesToCover(0); got != 0 {
+		t.Fatalf("BytesToCover(0) = %d, want 0", got)
+	}
+}
+
+func TestTopRequestShare(t *testing.T) {
+	c := ComputeCDF(tinyTrace())
+	if got := c.TopRequestShare(); got != 0.5 {
+		t.Fatalf("TopRequestShare = %v, want 0.5", got)
+	}
+	empty := ComputeCDF(&Trace{Name: "empty"})
+	if empty.TopRequestShare() != 0 {
+		t.Fatal("empty trace TopRequestShare != 0")
+	}
+}
+
+func TestWriteTable(t *testing.T) {
+	var sb strings.Builder
+	c := ComputeCDF(tinyTrace())
+	if err := c.WriteTable(&sb, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 points
+		t.Fatalf("table:\n%s", out)
+	}
+	if !strings.HasSuffix(lines[3], "1.0000         1.0000        ") &&
+		!strings.Contains(lines[3], "1.0000") {
+		t.Fatalf("final row should reach 1.0: %q", lines[3])
+	}
+}

@@ -1,0 +1,171 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file reads and writes traces in two on-disk formats:
+//
+//   - Common Log Format (CLF), the format of the Apache access logs the
+//     paper's traces came from:
+//       host ident user [date] "METHOD /path HTTP/1.0" status bytes
+//     Only GET lines with 2xx/304 statuses contribute requests; the
+//     observed maximum byte count per path defines the target size (log
+//     lines report the transfer size, which for static files equals the
+//     file size on full responses).
+//
+//   - Tokenized format, the simulator's native representation (paper
+//     Section 3.2: "a stream of tokenized target requests ... associated
+//     with each token is a target size in bytes"): one "path size" pair
+//     per line.
+
+// ParseCLF builds a trace from an Apache Common Log Format stream.
+// Malformed lines are skipped; the count of skipped lines is returned.
+func ParseCLF(name string, r io.Reader) (*Trace, int, error) {
+	t := &Trace{Name: name}
+	index := make(map[string]int32)
+	skipped := 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		path, size, ok := parseCLFLine(line)
+		if !ok {
+			if strings.TrimSpace(line) != "" {
+				skipped++
+			}
+			continue
+		}
+		idx, seen := index[path]
+		if !seen {
+			idx = int32(len(t.Targets))
+			t.Targets = append(t.Targets, Target{Name: path, Size: size})
+			index[path] = idx
+		} else if size > t.Targets[idx].Size {
+			// Partial transfers under-report; keep the maximum observed.
+			t.Targets[idx].Size = size
+		}
+		t.Requests = append(t.Requests, idx)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("trace: reading CLF: %w", err)
+	}
+	return t, skipped, nil
+}
+
+// parseCLFLine extracts (path, bytes) from one CLF line, returning ok=false
+// for lines that are malformed or are not successful GETs.
+func parseCLFLine(line string) (path string, size int64, ok bool) {
+	// Locate the quoted request field.
+	q1 := strings.IndexByte(line, '"')
+	if q1 < 0 {
+		return "", 0, false
+	}
+	q2 := strings.IndexByte(line[q1+1:], '"')
+	if q2 < 0 {
+		return "", 0, false
+	}
+	req := line[q1+1 : q1+1+q2]
+	rest := strings.Fields(line[q1+q2+2:])
+	if len(rest) < 2 {
+		return "", 0, false
+	}
+	status, err := strconv.Atoi(rest[0])
+	if err != nil {
+		return "", 0, false
+	}
+	if !(status >= 200 && status < 300 || status == 304) {
+		return "", 0, false
+	}
+	size = 0
+	if rest[1] != "-" {
+		size, err = strconv.ParseInt(rest[1], 10, 64)
+		if err != nil || size < 0 {
+			return "", 0, false
+		}
+	}
+	parts := strings.Fields(req)
+	if len(parts) < 2 || parts[0] != "GET" {
+		return "", 0, false
+	}
+	path = parts[1]
+	// Strip query string: the paper keys targets by URL path + arguments,
+	// but arguments on static GETs are overwhelmingly cache-busters; keep
+	// the full target including arguments to match "a target is specified
+	// by a URL and any applicable arguments".
+	if path == "" || path[0] != '/' {
+		return "", 0, false
+	}
+	return path, size, true
+}
+
+// WriteCLF emits the trace as minimal Common Log Format lines, usable as
+// input for other tools.
+func WriteCLF(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	for i := 0; i < t.Len(); i++ {
+		r := t.At(i)
+		if _, err := fmt.Fprintf(bw, "- - - [01/Jan/1998:00:00:00 +0000] \"GET %s HTTP/1.0\" 200 %d\n", r.Target, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTokenized reads the native "path size" format.
+func ParseTokenized(name string, r io.Reader) (*Trace, error) {
+	t := &Trace{Name: name}
+	index := make(map[string]int32)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("trace: %s:%d: want \"path size\", got %q", name, lineNo, line)
+		}
+		size, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil || size < 0 {
+			return nil, fmt.Errorf("trace: %s:%d: bad size %q", name, lineNo, fields[1])
+		}
+		path := fields[0]
+		idx, seen := index[path]
+		if !seen {
+			idx = int32(len(t.Targets))
+			t.Targets = append(t.Targets, Target{Name: path, Size: size})
+			index[path] = idx
+		} else if t.Targets[idx].Size != size {
+			return nil, fmt.Errorf("trace: %s:%d: target %q size changed from %d to %d",
+				name, lineNo, path, t.Targets[idx].Size, size)
+		}
+		t.Requests = append(t.Requests, idx)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: reading tokenized trace: %w", err)
+	}
+	return t, nil
+}
+
+// WriteTokenized emits the native "path size" format, one request per line.
+func WriteTokenized(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# trace %s: %d requests, %d targets\n", t.Name, t.Len(), t.TargetCount()); err != nil {
+		return err
+	}
+	for i := 0; i < t.Len(); i++ {
+		r := t.At(i)
+		if _, err := fmt.Fprintf(bw, "%s %d\n", r.Target, r.Size); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

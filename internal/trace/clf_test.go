@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCLF = `192.168.1.1 - - [10/Oct/1997:13:55:36 -0700] "GET /index.html HTTP/1.0" 200 2326
+192.168.1.2 - frank [10/Oct/1997:13:55:37 -0700] "GET /pics/logo.gif HTTP/1.0" 200 4096
+192.168.1.1 - - [10/Oct/1997:13:55:38 -0700] "GET /index.html HTTP/1.0" 304 -
+192.168.1.3 - - [10/Oct/1997:13:55:39 -0700] "POST /cgi-bin/form HTTP/1.0" 200 512
+192.168.1.4 - - [10/Oct/1997:13:55:40 -0700] "GET /missing.html HTTP/1.0" 404 178
+192.168.1.5 - - [10/Oct/1997:13:55:41 -0700] "GET /index.html HTTP/1.0" 200 2326
+garbage line without quotes
+192.168.1.6 - - [10/Oct/1997:13:55:42 -0700] "GET /big.tar HTTP/1.0" 200 1048576
+`
+
+func TestParseCLF(t *testing.T) {
+	tr, skipped, err := ParseCLF("sample", strings.NewReader(sampleCLF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Valid GETs: index.html x3 (one 304), logo.gif, big.tar = 5 requests.
+	if tr.Len() != 5 {
+		t.Fatalf("requests = %d, want 5", tr.Len())
+	}
+	if tr.TargetCount() != 3 {
+		t.Fatalf("targets = %d, want 3", tr.TargetCount())
+	}
+	// POST, 404, and the garbage line are skipped.
+	if skipped != 3 {
+		t.Fatalf("skipped = %d, want 3", skipped)
+	}
+	// index.html size is the max observed (2326; the 304 reports "-").
+	for _, tg := range tr.Targets {
+		if tg.Name == "/index.html" && tg.Size != 2326 {
+			t.Fatalf("/index.html size = %d", tg.Size)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCLFEmptyAndBlank(t *testing.T) {
+	tr, skipped, err := ParseCLF("empty", strings.NewReader("\n\n  \n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blank and whitespace-only lines are ignored silently, not counted.
+	if tr.Len() != 0 || skipped != 0 {
+		t.Fatalf("len=%d skipped=%d", tr.Len(), skipped)
+	}
+}
+
+func TestCLFRoundTrip(t *testing.T) {
+	orig := tinyTrace()
+	var sb strings.Builder
+	if err := WriteCLF(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, skipped, err := ParseCLF("roundtrip", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("round trip skipped %d lines", skipped)
+	}
+	if back.Len() != orig.Len() || back.TargetCount() != orig.TargetCount() {
+		t.Fatalf("round trip shape: %d/%d vs %d/%d",
+			back.Len(), back.TargetCount(), orig.Len(), orig.TargetCount())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if back.At(i) != orig.At(i) {
+			t.Fatalf("request %d: %+v vs %+v", i, back.At(i), orig.At(i))
+		}
+	}
+}
+
+func TestTokenizedRoundTrip(t *testing.T) {
+	orig := tinyTrace()
+	var sb strings.Builder
+	if err := WriteTokenized(&sb, orig); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "#") {
+		t.Fatal("missing header comment")
+	}
+	back, err := ParseTokenized("roundtrip", strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != orig.Len() {
+		t.Fatalf("len %d vs %d", back.Len(), orig.Len())
+	}
+	for i := 0; i < orig.Len(); i++ {
+		if back.At(i) != orig.At(i) {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+}
+
+func TestParseTokenizedErrors(t *testing.T) {
+	cases := []string{
+		"/a\n",           // missing size
+		"/a ten\n",       // non-numeric size
+		"/a -5\n",        // negative size
+		"/a 10\n/a 20\n", // size conflict
+		"/a 10 extra oops\n",
+	}
+	for i, in := range cases {
+		if _, err := ParseTokenized("bad", strings.NewReader(in)); err == nil {
+			t.Fatalf("case %d accepted: %q", i, in)
+		}
+	}
+}
+
+func TestParseCLFLineEdgeCases(t *testing.T) {
+	cases := []struct {
+		line string
+		ok   bool
+	}{
+		{`1.1.1.1 - - [d] "GET /x HTTP/1.0" 200 100`, true},
+		{`1.1.1.1 - - [d] "GET /x HTTP/1.0" 304 -`, true},
+		{`1.1.1.1 - - [d] "HEAD /x HTTP/1.0" 200 100`, false},
+		{`1.1.1.1 - - [d] "GET /x HTTP/1.0" 500 100`, false},
+		{`1.1.1.1 - - [d] "GET x HTTP/1.0" 200 100`, false}, // path must start with /
+		{`1.1.1.1 - - [d] "GET" 200 100`, false},
+		{`no quotes here`, false},
+		{`1.1.1.1 - - [d] "GET /x HTTP/1.0" abc 100`, false},
+		{`1.1.1.1 - - [d] "GET /x HTTP/1.0" 200`, false}, // missing bytes
+		{`1.1.1.1 - - [d] "GET /x HTTP/1.0" 200 -12`, false},
+	}
+	for i, tc := range cases {
+		_, _, ok := parseCLFLine(tc.line)
+		if ok != tc.ok {
+			t.Fatalf("case %d (%q): ok = %v, want %v", i, tc.line, ok, tc.ok)
+		}
+	}
+}

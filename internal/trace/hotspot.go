@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// HotSpotConfig describes the Section 4.2 workload modification: "we
+// modified the Rice trace to include a small number of artificial high
+// frequency targets and varied their request rate between [2] and [10]% of
+// the total number of requests".
+type HotSpotConfig struct {
+	// Count is the number of artificial hot targets added to the catalog.
+	Count int
+
+	// Size is the size in bytes of each hot target. The paper observes the
+	// largest LARD/R gains "when the size of the hot targets is larger
+	// than [20] KBytes".
+	Size int64
+
+	// RequestFraction in (0, 1) is the combined share of all requests that
+	// is redirected to the hot targets.
+	RequestFraction float64
+}
+
+// Validate reports whether the hot-spot configuration is usable.
+func (c HotSpotConfig) Validate() error {
+	switch {
+	case c.Count < 1:
+		return fmt.Errorf("trace: hotspot Count = %d, need >= 1", c.Count)
+	case c.Size < 1:
+		return fmt.Errorf("trace: hotspot Size = %d, need >= 1", c.Size)
+	case c.RequestFraction <= 0 || c.RequestFraction >= 1:
+		return fmt.Errorf("trace: hotspot RequestFraction %v outside (0,1)", c.RequestFraction)
+	}
+	return nil
+}
+
+// InjectHotSpots returns a new trace in which a RequestFraction share of
+// the original requests, chosen uniformly at random, is replaced by
+// requests to Count new hot targets (round-robin across them, so each hot
+// target receives an equal share). The original catalog is retained; the
+// request count is unchanged.
+func InjectHotSpots(t *Trace, cfg HotSpotConfig, seed int64) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	targets := make([]Target, len(t.Targets), len(t.Targets)+cfg.Count)
+	copy(targets, t.Targets)
+	hotBase := int32(len(targets))
+	for i := 0; i < cfg.Count; i++ {
+		targets = append(targets, Target{
+			Name: fmt.Sprintf("/hot/target%03d.bin", i),
+			Size: cfg.Size,
+		})
+	}
+
+	reqs := make([]int32, len(t.Requests))
+	copy(reqs, t.Requests)
+	hot := 0
+	for i := range reqs {
+		if rng.Float64() < cfg.RequestFraction {
+			reqs[i] = hotBase + int32(hot%cfg.Count)
+			hot++
+		}
+	}
+
+	out := &Trace{
+		Name:     fmt.Sprintf("%s+hot(%d@%.0f%%)", t.Name, cfg.Count, cfg.RequestFraction*100),
+		Targets:  targets,
+		Requests: reqs,
+	}
+	return out, nil
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestInjectHotSpotsFraction(t *testing.T) {
+	cfg := RiceProfile()
+	cfg.Targets = 500
+	cfg.Requests = 50000
+	cfg.DataSetBytes = 30 << 20
+	base := MustGenerate(cfg, 11)
+
+	hot, err := InjectHotSpots(base, HotSpotConfig{Count: 4, Size: 25 << 10, RequestFraction: 0.1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Len() != base.Len() {
+		t.Fatalf("request count changed: %d -> %d", base.Len(), hot.Len())
+	}
+	if hot.TargetCount() != base.TargetCount()+4 {
+		t.Fatalf("catalog grew by %d, want 4", hot.TargetCount()-base.TargetCount())
+	}
+	// Count requests landing on hot targets.
+	var hotReqs int64
+	counts := hot.Counts()
+	for i := base.TargetCount(); i < hot.TargetCount(); i++ {
+		hotReqs += counts[i]
+	}
+	frac := float64(hotReqs) / float64(hot.Len())
+	if math.Abs(frac-0.1) > 0.01 {
+		t.Fatalf("hot fraction = %v, want ~0.1", frac)
+	}
+	// Hot requests are spread evenly across hot targets.
+	var min, max int64 = math.MaxInt64, 0
+	for i := base.TargetCount(); i < hot.TargetCount(); i++ {
+		if counts[i] < min {
+			min = counts[i]
+		}
+		if counts[i] > max {
+			max = counts[i]
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("hot target counts uneven: min %d, max %d", min, max)
+	}
+	if err := hot.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(hot.Name, "hot") {
+		t.Fatalf("name = %q", hot.Name)
+	}
+}
+
+func TestInjectHotSpotsSizes(t *testing.T) {
+	base := tinyTrace()
+	hot, err := InjectHotSpots(base, HotSpotConfig{Count: 2, Size: 12345, RequestFraction: 0.5}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := base.TargetCount(); i < hot.TargetCount(); i++ {
+		if hot.Targets[i].Size != 12345 {
+			t.Fatalf("hot target size = %d", hot.Targets[i].Size)
+		}
+	}
+}
+
+func TestInjectHotSpotsDoesNotMutateOriginal(t *testing.T) {
+	base := tinyTrace()
+	orig := append([]int32(nil), base.Requests...)
+	if _, err := InjectHotSpots(base, HotSpotConfig{Count: 1, Size: 10, RequestFraction: 0.9}, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range orig {
+		if base.Requests[i] != orig[i] {
+			t.Fatal("original trace mutated")
+		}
+	}
+}
+
+func TestHotSpotConfigValidate(t *testing.T) {
+	bad := []HotSpotConfig{
+		{Count: 0, Size: 10, RequestFraction: 0.5},
+		{Count: 1, Size: 0, RequestFraction: 0.5},
+		{Count: 1, Size: 10, RequestFraction: 0},
+		{Count: 1, Size: 10, RequestFraction: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := InjectHotSpots(tinyTrace(), cfg, 1); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}

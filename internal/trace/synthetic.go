@@ -1,0 +1,312 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SyntheticConfig describes a synthetic workload. The three profile
+// constructors (RiceProfile, IBMProfile, ChessProfile) return configurations
+// calibrated to the aggregate statistics the paper publishes for its traces;
+// Generate turns a config into a concrete trace.
+type SyntheticConfig struct {
+	// Name labels the generated trace.
+	Name string
+
+	// Targets is the catalog size (unique files).
+	Targets int
+
+	// Requests is the number of requests to draw.
+	Requests int
+
+	// DataSetBytes is the total catalog size; generated file sizes are
+	// scaled so the catalog sums to (approximately) this value.
+	DataSetBytes int64
+
+	// ZipfAlpha is the popularity skew: higher alpha means a smaller
+	// working set covers more of the requests (more locality).
+	ZipfAlpha float64
+
+	// ZipfShift flattens the head of the popularity distribution
+	// (probability ∝ (rank+shift)^-alpha): real traces concentrate
+	// requests in their body while the single hottest file stays at only
+	// 1-2% of requests.
+	ZipfShift float64
+
+	// SizeSigma is the lognormal shape parameter of the file-size body.
+	// Larger values widen the spread between small and large files.
+	SizeSigma float64
+
+	// ParetoTail is the fraction of files drawn from a heavy Pareto tail
+	// instead of the lognormal body, producing the few very large files
+	// typical of web data sets.
+	ParetoTail float64
+
+	// ParetoAlpha is the Pareto tail index (smaller = heavier tail).
+	ParetoAlpha float64
+
+	// PopularSmallBias in [0, 1] correlates popularity with small size:
+	// with this probability, the next-most-popular target is assigned the
+	// smallest unassigned size. The paper notes the IBM trace's "content
+	// designers have likely spent effort to minimize the sizes of high
+	// frequency documents"; this parameter reproduces that effect.
+	PopularSmallBias float64
+
+	// MinFileBytes clamps the smallest generated file.
+	MinFileBytes int64
+
+	// MaxFileBytes clamps the largest generated file (0 = uncapped). The
+	// profiles cap at a few MB: the handful of giant archives in real
+	// logs attract so few requests that they contribute negligible load,
+	// and leaving them uncapped gives the synthetic trace multi-second
+	// disk reads no 1998 web workload exhibited.
+	MaxFileBytes int64
+
+	// TemporalLocality in [0, 1) is the probability that a request
+	// re-references one of the last TemporalWindow requests instead of
+	// drawing fresh from the popularity distribution. Real server logs
+	// exhibit strong temporal locality (requests for a target cluster in
+	// time); purely independent sampling understates cache hit ratios and
+	// overstates the per-window working set.
+	TemporalLocality float64
+
+	// TemporalWindow is the recency window for TemporalLocality
+	// (default 1000 when TemporalLocality > 0).
+	TemporalWindow int
+}
+
+// Validate reports whether the configuration is generatable.
+func (c SyntheticConfig) Validate() error {
+	switch {
+	case c.Targets < 1:
+		return fmt.Errorf("trace: config %q: Targets = %d, need >= 1", c.Name, c.Targets)
+	case c.Requests < 0:
+		return fmt.Errorf("trace: config %q: negative Requests", c.Name)
+	case c.DataSetBytes < int64(c.Targets):
+		return fmt.Errorf("trace: config %q: DataSetBytes %d smaller than one byte per target", c.Name, c.DataSetBytes)
+	case c.ZipfAlpha < 0:
+		return fmt.Errorf("trace: config %q: negative ZipfAlpha", c.Name)
+	case c.ZipfShift < 0:
+		return fmt.Errorf("trace: config %q: negative ZipfShift", c.Name)
+	case c.ParetoTail < 0 || c.ParetoTail > 1:
+		return fmt.Errorf("trace: config %q: ParetoTail %v outside [0,1]", c.Name, c.ParetoTail)
+	case c.PopularSmallBias < 0 || c.PopularSmallBias > 1:
+		return fmt.Errorf("trace: config %q: PopularSmallBias %v outside [0,1]", c.Name, c.PopularSmallBias)
+	case c.MaxFileBytes < 0 || (c.MaxFileBytes > 0 && c.MaxFileBytes < c.MinFileBytes):
+		return fmt.Errorf("trace: config %q: MaxFileBytes %d below MinFileBytes %d", c.Name, c.MaxFileBytes, c.MinFileBytes)
+	case c.TemporalLocality < 0 || c.TemporalLocality >= 1:
+		return fmt.Errorf("trace: config %q: TemporalLocality %v outside [0,1)", c.Name, c.TemporalLocality)
+	case c.TemporalWindow < 0:
+		return fmt.Errorf("trace: config %q: negative TemporalWindow", c.Name)
+	}
+	return nil
+}
+
+// Scaled returns a copy of the config with the request count multiplied by
+// f (catalog unchanged), for fast simulation runs that preserve the
+// working-set geometry. f must be positive.
+func (c SyntheticConfig) Scaled(f float64) SyntheticConfig {
+	if f <= 0 {
+		panic("trace: non-positive scale factor")
+	}
+	c.Requests = int(float64(c.Requests) * f)
+	if c.Requests < 1 {
+		c.Requests = 1
+	}
+	c.Name = fmt.Sprintf("%s(x%.3g)", c.Name, f)
+	return c
+}
+
+// RiceProfile models the merged Rice University departmental logs:
+// 2.3 million requests, 37703 files, 1418 MB, weak locality (Figure 5) —
+// covering most requests needs several hundred MB of cache, far above a
+// single node's 32 MB.
+func RiceProfile() SyntheticConfig {
+	return SyntheticConfig{
+		Name:             "rice",
+		Targets:          37703,
+		Requests:         2_300_000,
+		DataSetBytes:     1418 << 20,
+		ZipfAlpha:        1.40,
+		ZipfShift:        60,
+		SizeSigma:        1.6,
+		ParetoTail:       0.015,
+		ParetoAlpha:      1.15,
+		PopularSmallBias: 0.40,
+		MinFileBytes:     128,
+		MaxFileBytes:     4 << 20,
+		TemporalLocality: 0.35,
+		TemporalWindow:   2000,
+	}
+}
+
+// IBMProfile models the www.ibm.com logs: 15.6 million requests, 38527
+// files, 1029 MB, strong locality with popular documents kept small
+// (Figure 6) — a small cache covers most requests.
+func IBMProfile() SyntheticConfig {
+	return SyntheticConfig{
+		Name:             "ibm",
+		Targets:          38527,
+		Requests:         15_600_000,
+		DataSetBytes:     1029 << 20,
+		ZipfAlpha:        1.80,
+		ZipfShift:        60,
+		SizeSigma:        1.5,
+		ParetoTail:       0.01,
+		ParetoAlpha:      1.2,
+		PopularSmallBias: 0.60,
+		MinFileBytes:     128,
+		MaxFileBytes:     4 << 20,
+		TemporalLocality: 0.35,
+		TemporalWindow:   2000,
+	}
+}
+
+// ChessProfile models the IBM Deep Blue/Kasparov match server: a very
+// large number of requests to a small set of targets whose working set
+// fits in a single node's 32 MB cache — the paper's best case for WRR and
+// worst case for LARD.
+func ChessProfile() SyntheticConfig {
+	return SyntheticConfig{
+		Name:             "chess",
+		Targets:          300,
+		Requests:         2_000_000,
+		DataSetBytes:     20 << 20,
+		ZipfAlpha:        1.4,
+		SizeSigma:        1.0,
+		ParetoTail:       0,
+		ParetoAlpha:      1.5,
+		PopularSmallBias: 0.5,
+		MinFileBytes:     256,
+	}
+}
+
+// Generate draws a concrete trace from the configuration using the given
+// seed. Identical (config, seed) pairs produce identical traces.
+func Generate(cfg SyntheticConfig, seed int64) (*Trace, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	sizes := generateSizes(cfg, rng)
+	sizes = assignSizesToRanks(sizes, cfg.PopularSmallBias, rng)
+
+	targets := make([]Target, cfg.Targets)
+	for i := range targets {
+		// Rank 0 is the most popular target.
+		targets[i] = Target{Name: fmt.Sprintf("/%s/doc%06d.html", cfg.Name, i), Size: sizes[i]}
+	}
+
+	zipf := NewZipfShifted(cfg.Targets, cfg.ZipfAlpha, cfg.ZipfShift)
+	reqs := make([]int32, cfg.Requests)
+	window := cfg.TemporalWindow
+	if window <= 0 {
+		window = 1000
+	}
+	for i := range reqs {
+		if cfg.TemporalLocality > 0 && i > 0 && rng.Float64() < cfg.TemporalLocality {
+			// Re-reference a recent request (temporal locality).
+			back := rng.Intn(min(i, window))
+			reqs[i] = reqs[i-1-back]
+			continue
+		}
+		reqs[i] = int32(zipf.Sample(rng))
+	}
+
+	tr := &Trace{Name: cfg.Name, Targets: targets, Requests: reqs}
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("trace: generated trace invalid: %w", err)
+	}
+	return tr, nil
+}
+
+// MustGenerate is Generate, panicking on error; for tests and examples with
+// known-good configurations.
+func MustGenerate(cfg SyntheticConfig, seed int64) *Trace {
+	tr, err := Generate(cfg, seed)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// generateSizes draws raw file sizes (lognormal body + Pareto tail) and
+// rescales them so the catalog totals cfg.DataSetBytes.
+func generateSizes(cfg SyntheticConfig, rng *rand.Rand) []int64 {
+	raw := make([]float64, cfg.Targets)
+	var sum float64
+	for i := range raw {
+		var s float64
+		if cfg.ParetoTail > 0 && rng.Float64() < cfg.ParetoTail {
+			// Pareto: x_m * U^(-1/alpha); x_m chosen as a large-file floor.
+			u := rng.Float64()
+			if u < 1e-9 {
+				u = 1e-9
+			}
+			s = 100_000 * math.Pow(u, -1/cfg.ParetoAlpha)
+		} else {
+			// Lognormal body around a few-KB median.
+			s = math.Exp(math.Log(5000) + cfg.SizeSigma*rng.NormFloat64())
+		}
+		raw[i] = s
+		sum += s
+	}
+	scale := float64(cfg.DataSetBytes) / sum
+	sizes := make([]int64, cfg.Targets)
+	min := cfg.MinFileBytes
+	if min < 1 {
+		min = 1
+	}
+	for i, s := range raw {
+		v := int64(s * scale)
+		if v < min {
+			v = min
+		}
+		if cfg.MaxFileBytes > 0 && v > cfg.MaxFileBytes {
+			v = cfg.MaxFileBytes
+		}
+		sizes[i] = v
+	}
+	return sizes
+}
+
+// assignSizesToRanks orders sizes by popularity rank. With bias 0 the
+// assignment is a uniform random permutation (size independent of
+// popularity); with bias b, each successive rank takes the smallest
+// remaining size with probability b, else a uniformly random remaining one.
+func assignSizesToRanks(sizes []int64, bias float64, rng *rand.Rand) []int64 {
+	n := len(sizes)
+	if bias <= 0 {
+		out := make([]int64, n)
+		perm := rng.Perm(n)
+		for i, p := range perm {
+			out[i] = sizes[p]
+		}
+		return out
+	}
+	// Sort ascending, then draw: front of the remaining window = smallest.
+	sorted := append([]int64(nil), sizes...)
+	sortInt64s(sorted)
+	out := make([]int64, 0, n)
+	lo, hi := 0, n-1
+	// Remaining sizes occupy sorted[lo..hi]; random picks swap to the back.
+	for lo <= hi {
+		if rng.Float64() < bias {
+			out = append(out, sorted[lo])
+			lo++
+			continue
+		}
+		k := lo + rng.Intn(hi-lo+1)
+		out = append(out, sorted[k])
+		sorted[k] = sorted[lo]
+		lo++
+	}
+	return out
+}
+
+func sortInt64s(v []int64) {
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

@@ -1,0 +1,287 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	z := NewZipf(1000, 0.9)
+	var sum float64
+	for i := 0; i < z.N(); i++ {
+		sum += z.Prob(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %v", sum)
+	}
+}
+
+func TestZipfRankOrdering(t *testing.T) {
+	z := NewZipf(100, 1.1)
+	for i := 1; i < z.N(); i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-12 {
+			t.Fatalf("Prob(%d)=%v > Prob(%d)=%v", i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfAlphaZeroIsUniform(t *testing.T) {
+	z := NewZipf(10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("Prob(%d) = %v, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSampleMatchesDistribution(t *testing.T) {
+	z := NewZipf(50, 1.0)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, 50)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(rng)]++
+	}
+	// Empirical frequency of rank 0 within 5% relative error.
+	got := float64(counts[0]) / n
+	want := z.Prob(0)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("rank-0 frequency %v, want ~%v", got, want)
+	}
+	// More popular ranks should dominate on aggregate.
+	if counts[0] < counts[10] || counts[10] < counts[49] {
+		t.Fatalf("counts not decreasing: %d, %d, %d", counts[0], counts[10], counts[49])
+	}
+}
+
+func TestZipfCoverageRanks(t *testing.T) {
+	z := NewZipf(100, 1.2)
+	if got := z.CoverageRanks(0); got != 0 {
+		t.Fatalf("CoverageRanks(0) = %d", got)
+	}
+	if got := z.CoverageRanks(1); got != 100 {
+		t.Fatalf("CoverageRanks(1) = %d", got)
+	}
+	k := z.CoverageRanks(0.5)
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += z.Prob(i)
+	}
+	if sum < 0.5 {
+		t.Fatalf("top %d ranks cover %v < 0.5", k, sum)
+	}
+	if k > 1 {
+		sum -= z.Prob(k - 1)
+		if sum >= 0.5 {
+			t.Fatalf("top %d ranks already cover %v; k not minimal", k-1, sum)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -1) },
+		func() { NewZipf(10, math.NaN()) },
+		func() { NewZipf(10, math.Inf(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := RiceProfile()
+	cfg.Targets = 500
+	cfg.Requests = 5000
+	cfg.DataSetBytes = 20 << 20
+	a := MustGenerate(cfg, 42)
+	b := MustGenerate(cfg, 42)
+	if a.Len() != b.Len() || a.TargetCount() != b.TargetCount() {
+		t.Fatal("same seed produced different shapes")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	c := MustGenerate(cfg, 43)
+	same := true
+	for i := range a.Requests {
+		if a.Requests[i] != c.Requests[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical request streams")
+	}
+}
+
+func TestGenerateMatchesAggregates(t *testing.T) {
+	cfg := RiceProfile()
+	cfg.Targets = 2000
+	cfg.Requests = 50000
+	cfg.DataSetBytes = 100 << 20
+	tr := MustGenerate(cfg, 7)
+	if tr.TargetCount() != 2000 {
+		t.Fatalf("targets = %d", tr.TargetCount())
+	}
+	if tr.Len() != 50000 {
+		t.Fatalf("requests = %d", tr.Len())
+	}
+	got := tr.DataSetBytes()
+	want := cfg.DataSetBytes
+	if math.Abs(float64(got-want))/float64(want) > 0.05 {
+		t.Fatalf("data set bytes %d, want within 5%% of %d", got, want)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateMinFileBytes(t *testing.T) {
+	cfg := RiceProfile()
+	cfg.Targets = 300
+	cfg.Requests = 100
+	cfg.DataSetBytes = 10 << 20
+	cfg.MinFileBytes = 1024
+	tr := MustGenerate(cfg, 3)
+	for _, tg := range tr.Targets {
+		if tg.Size < 1024 {
+			t.Fatalf("target %q size %d below MinFileBytes", tg.Name, tg.Size)
+		}
+	}
+}
+
+func TestIBMProfileHasMoreLocalityThanRice(t *testing.T) {
+	// The defining difference between Figures 5 and 6: covering a given
+	// fraction of requests needs far less memory on the IBM trace.
+	rice, ibm := RiceProfile(), IBMProfile()
+	rice.Targets, ibm.Targets = 4000, 4000
+	rice.Requests, ibm.Requests = 200000, 200000
+	rice.DataSetBytes, ibm.DataSetBytes = 150<<20, 110<<20
+
+	riceCDF := ComputeCDF(MustGenerate(rice, 1))
+	ibmCDF := ComputeCDF(MustGenerate(ibm, 1))
+	riceNeed := riceCDF.BytesToCover(0.97)
+	ibmNeed := ibmCDF.BytesToCover(0.97)
+	if ibmNeed*2 >= riceNeed {
+		t.Fatalf("IBM 97%% coverage needs %d bytes, Rice needs %d; want IBM << Rice",
+			ibmNeed, riceNeed)
+	}
+}
+
+func TestPopularSmallBiasShrinksHotDocuments(t *testing.T) {
+	cfg := IBMProfile()
+	cfg.Targets = 2000
+	cfg.Requests = 1000
+	cfg.DataSetBytes = 50 << 20
+	tr := MustGenerate(cfg, 5)
+	// Average size of the 100 most popular ranks must be well below the
+	// catalog average (ranks are popularity-ordered by construction).
+	var hot, all int64
+	for i, tg := range tr.Targets {
+		if i < 100 {
+			hot += tg.Size
+		}
+		all += tg.Size
+	}
+	hotAvg := float64(hot) / 100
+	allAvg := float64(all) / float64(len(tr.Targets))
+	if hotAvg > allAvg*0.85 {
+		t.Fatalf("hot doc avg %.0f not below catalog avg %.0f", hotAvg, allAvg)
+	}
+	// A bias of 1 pins the very smallest sizes onto the hottest ranks.
+	cfg.PopularSmallBias = 1
+	tr = MustGenerate(cfg, 5)
+	prev := int64(-1)
+	for i := 0; i < 100; i++ {
+		if tr.Targets[i].Size < prev {
+			t.Fatalf("bias=1 sizes not ascending at rank %d", i)
+		}
+		prev = tr.Targets[i].Size
+	}
+}
+
+func TestChessProfileWorkingSetFitsOneCache(t *testing.T) {
+	cfg := ChessProfile()
+	cfg.Requests = 10000
+	tr := MustGenerate(cfg, 2)
+	if tr.DataSetBytes() > 32<<20 {
+		t.Fatalf("chess data set %d bytes exceeds one 32 MB node cache", tr.DataSetBytes())
+	}
+}
+
+func TestScaled(t *testing.T) {
+	cfg := RiceProfile()
+	s := cfg.Scaled(0.1)
+	if s.Requests != cfg.Requests/10 {
+		t.Fatalf("Scaled requests = %d", s.Requests)
+	}
+	if s.Targets != cfg.Targets {
+		t.Fatal("Scaled changed catalog size")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Scaled(0) did not panic")
+		}
+	}()
+	cfg.Scaled(0)
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := RiceProfile()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*SyntheticConfig){
+		func(c *SyntheticConfig) { c.Targets = 0 },
+		func(c *SyntheticConfig) { c.Requests = -1 },
+		func(c *SyntheticConfig) { c.DataSetBytes = 0 },
+		func(c *SyntheticConfig) { c.ZipfAlpha = -0.5 },
+		func(c *SyntheticConfig) { c.ParetoTail = 1.5 },
+		func(c *SyntheticConfig) { c.PopularSmallBias = -0.1 },
+	}
+	for i, mutate := range cases {
+		c := RiceProfile()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+		if _, err := Generate(c, 1); err == nil {
+			t.Fatalf("case %d: Generate accepted invalid config", i)
+		}
+	}
+}
+
+// Property: generated traces are always valid and respect catalog bounds.
+func TestPropertyGenerateValid(t *testing.T) {
+	f := func(targets uint8, reqs uint8, seed int64) bool {
+		cfg := SyntheticConfig{
+			Name:         "prop",
+			Targets:      int(targets)%200 + 1,
+			Requests:     int(reqs) * 10,
+			DataSetBytes: 10 << 20,
+			ZipfAlpha:    1.0,
+			SizeSigma:    1.2,
+			MinFileBytes: 64,
+		}
+		tr, err := Generate(cfg, seed)
+		if err != nil {
+			return false
+		}
+		return tr.Validate() == nil && tr.Len() == cfg.Requests
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,138 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func tinyTrace() *Trace {
+	return &Trace{
+		Name: "tiny",
+		Targets: []Target{
+			{Name: "/a", Size: 100},
+			{Name: "/b", Size: 200},
+			{Name: "/c", Size: 300},
+		},
+		Requests: []int32{0, 1, 0, 2, 0, 1},
+	}
+}
+
+func TestTraceAccessors(t *testing.T) {
+	tr := tinyTrace()
+	if tr.Len() != 6 {
+		t.Fatalf("Len = %d, want 6", tr.Len())
+	}
+	if tr.TargetCount() != 3 {
+		t.Fatalf("TargetCount = %d, want 3", tr.TargetCount())
+	}
+	r := tr.At(3)
+	if r.Target != "/c" || r.Size != 300 {
+		t.Fatalf("At(3) = %+v", r)
+	}
+	if got := tr.DataSetBytes(); got != 600 {
+		t.Fatalf("DataSetBytes = %d, want 600", got)
+	}
+	if got := tr.TransferBytes(); got != 100*3+200*2+300 {
+		t.Fatalf("TransferBytes = %d", got)
+	}
+}
+
+func TestTraceCounts(t *testing.T) {
+	counts := tinyTrace().Counts()
+	want := []int64{3, 2, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("Counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestTraceSlice(t *testing.T) {
+	tr := tinyTrace()
+	s := tr.Slice(1, 4)
+	if s.Len() != 3 {
+		t.Fatalf("slice Len = %d, want 3", s.Len())
+	}
+	if s.At(0).Target != "/b" {
+		t.Fatalf("slice At(0) = %+v", s.At(0))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid bounds did not panic")
+		}
+	}()
+	tr.Slice(4, 2)
+}
+
+func TestTraceValidate(t *testing.T) {
+	if err := tinyTrace().Validate(); err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	bad := tinyTrace()
+	bad.Requests[0] = 9
+	if bad.Validate() == nil {
+		t.Fatal("out-of-range request index accepted")
+	}
+	bad = tinyTrace()
+	bad.Targets[1].Size = -1
+	if bad.Validate() == nil {
+		t.Fatal("negative size accepted")
+	}
+	bad = tinyTrace()
+	bad.Targets[1].Name = "/a"
+	if bad.Validate() == nil {
+		t.Fatal("duplicate target accepted")
+	}
+	bad = tinyTrace()
+	bad.Targets[0].Name = ""
+	if bad.Validate() == nil {
+		t.Fatal("empty target name accepted")
+	}
+}
+
+func TestTraceString(t *testing.T) {
+	s := tinyTrace().String()
+	if !strings.Contains(s, "tiny") || !strings.Contains(s, "3 files") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestMergeCombinesCatalogs(t *testing.T) {
+	a := &Trace{Name: "a",
+		Targets:  []Target{{Name: "/x", Size: 10}, {Name: "/y", Size: 20}},
+		Requests: []int32{0, 1}}
+	b := &Trace{Name: "b",
+		Targets:  []Target{{Name: "/y", Size: 20}, {Name: "/z", Size: 30}},
+		Requests: []int32{0, 1, 1}}
+	m, err := Merge("ab", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TargetCount() != 3 {
+		t.Fatalf("merged targets = %d, want 3", m.TargetCount())
+	}
+	if m.Len() != 5 {
+		t.Fatalf("merged requests = %d, want 5", m.Len())
+	}
+	// b's requests to /y must map to the shared catalog entry.
+	if m.At(2).Target != "/y" || m.At(2).Size != 20 {
+		t.Fatalf("At(2) = %+v", m.At(2))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeConflictingSizes(t *testing.T) {
+	a := &Trace{Targets: []Target{{Name: "/x", Size: 10}}, Requests: []int32{0}}
+	b := &Trace{Targets: []Target{{Name: "/x", Size: 99}}, Requests: []int32{0}}
+	if _, err := Merge("bad", a, b); err == nil {
+		t.Fatal("conflicting sizes accepted")
+	}
+}
+
+func TestMergeEmpty(t *testing.T) {
+	if _, err := Merge("none"); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+}

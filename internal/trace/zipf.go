@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Zipf samples ranks 1..N with probability proportional to
+// 1/(rank+shift)^alpha — a generalized (shifted) Zipf distribution.
+// Web-server request popularity is classically Zipf-like but with a
+// flattened head: the single most requested file accounts for only a
+// percent or two of requests (the paper reports 1-2% for its traces),
+// while the popularity *body* still concentrates most requests in a
+// modest fraction of files. The shift parameter flattens the head
+// without flattening the body, letting the synthetic profiles match both
+// published statistics at once.
+//
+// The sampler precomputes the cumulative distribution and draws by binary
+// search, so sampling is O(log N) with exact probabilities (no rejection),
+// and is deterministic for a given *rand.Rand.
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf returns a sampler over ranks 1..n with exponent alpha >= 0 and
+// no head shift. It panics if n < 1 or alpha is negative or not finite.
+func NewZipf(n int, alpha float64) *Zipf {
+	return NewZipfShifted(n, alpha, 0)
+}
+
+// NewZipfShifted returns a sampler over ranks 1..n with probability
+// proportional to (rank+shift)^-alpha. It panics if n < 1, alpha is
+// negative or not finite, or shift is negative or not finite.
+func NewZipfShifted(n int, alpha, shift float64) *Zipf {
+	if n < 1 {
+		panic("trace: Zipf needs n >= 1")
+	}
+	if alpha < 0 || math.IsNaN(alpha) || math.IsInf(alpha, 0) {
+		panic("trace: Zipf alpha must be finite and non-negative")
+	}
+	if shift < 0 || math.IsNaN(shift) || math.IsInf(shift, 0) {
+		panic("trace: Zipf shift must be finite and non-negative")
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1)+shift, -alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N) (0 = most popular) using rng.
+func (z *Zipf) Sample(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of rank i (0-based).
+func (z *Zipf) Prob(i int) float64 {
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// CoverageRanks returns the smallest k such that ranks [0, k) together
+// account for at least the given fraction of probability mass.
+func (z *Zipf) CoverageRanks(fraction float64) int {
+	if fraction <= 0 {
+		return 0
+	}
+	if fraction >= 1 {
+		return len(z.cdf)
+	}
+	return sort.SearchFloat64s(z.cdf, fraction) + 1
+}
