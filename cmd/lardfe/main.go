@@ -6,7 +6,7 @@
 //
 //	lardfe -listen 127.0.0.1:8080 \
 //	       -backends 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
-//	       -strategy lard/r
+//	       -strategy lard/r -shards 4
 package main
 
 import (
@@ -19,43 +19,44 @@ import (
 
 	"lard/internal/core"
 	"lard/internal/frontend"
+	"lard/pkg/lard"
 )
 
 func main() {
 	var (
-		listen    = flag.String("listen", "127.0.0.1:8080", "client listen address")
-		backends  = flag.String("backends", "", "comma-separated back-end handoff addresses")
-		strategy  = flag.String("strategy", "lard/r", "distribution strategy: wrr, lb, lard, lard/r")
-		tlow      = flag.Int("tlow", 25, "LARD T_low (active connections)")
-		thigh     = flag.Int("thigh", 65, "LARD T_high (active connections)")
-		k         = flag.Duration("k", 20*time.Second, "LARD/R replication timer K")
-		mapCap    = flag.Int("mapcap", 0, "LRU bound on the target mapping (0 = unbounded)")
-		rehandoff = flag.Bool("rehandoff", false, "re-dispatch every request on persistent connections")
-		statsEach = flag.Duration("stats", 0, "print stats at this interval (0 = never)")
+		listen     = flag.String("listen", "127.0.0.1:8080", "client listen address")
+		backends   = flag.String("backends", "", "comma-separated back-end handoff addresses")
+		strategy   = flag.String("strategy", "lard/r", "distribution strategy: "+strings.Join(lard.Strategies(), ", "))
+		shards     = flag.Int("shards", 1, "dispatcher shards (1 = the paper's single dispatch point)")
+		tlow       = flag.Int("tlow", 25, "LARD T_low (active connections)")
+		thigh      = flag.Int("thigh", 65, "LARD T_high (active connections)")
+		k          = flag.Duration("k", 20*time.Second, "LARD/R replication timer K")
+		mapCap     = flag.Int("mapcap", 0, "LRU bound on the target mapping (0 = unbounded)")
+		cacheBytes = flag.Int64("cachebytes", lard.DefaultCacheBytes, "per-node cache size assumed by lb/gc")
+		rehandoff  = flag.Bool("rehandoff", false, "re-dispatch every request on persistent connections")
+		statsEach  = flag.Duration("stats", 0, "print stats at this interval (0 = never)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *backends, *strategy, *tlow, *thigh, *k, *mapCap, *rehandoff, *statsEach); err != nil {
+	params := core.Params{TLow: *tlow, THigh: *thigh, K: *k, MappingCapacity: *mapCap}
+	if err := run(*listen, *backends, *strategy, *shards, params, *cacheBytes, *rehandoff, *statsEach); err != nil {
 		fmt.Fprintln(os.Stderr, "lardfe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, backends, strategy string, tlow, thigh int, k time.Duration, mapCap int, rehandoff bool, statsEach time.Duration) error {
-	var addrs []string
-	for _, a := range strings.Split(backends, ",") {
-		if a = strings.TrimSpace(a); a != "" {
-			addrs = append(addrs, a)
-		}
+func run(listen, backends, strategy string, shards int, params core.Params, cacheBytes int64, rehandoff bool, statsEach time.Duration) error {
+	addrs := splitAddrs(backends)
+	if len(addrs) == 0 {
+		return fmt.Errorf("no back ends configured (use -backends)")
 	}
-	params := core.Params{TLow: tlow, THigh: thigh, K: k, MappingCapacity: mapCap}
-	factory, err := factoryByName(strategy, params)
+	d, err := newDispatcher(strategy, shards, len(addrs), params, cacheBytes)
 	if err != nil {
 		return err
 	}
 	fe, err := frontend.New(frontend.Config{
 		Backends:            addrs,
-		NewStrategy:         factory,
+		Dispatcher:          d,
 		RehandoffPerRequest: rehandoff,
 		ErrorLog:            log.New(os.Stderr, "", log.LstdFlags),
 	})
@@ -72,21 +73,27 @@ func run(listen, backends, strategy string, tlow, thigh int, k time.Duration, ma
 			}
 		}()
 	}
-	fmt.Printf("lardfe: %s over %d back ends on %s (rehandoff=%v)\n", strategy, len(addrs), listen, rehandoff)
+	fmt.Printf("lardfe: %s over %d back ends on %s (shards=%d rehandoff=%v)\n",
+		d.Name(), len(addrs), listen, d.Shards(), rehandoff)
 	return fe.ListenAndServe(listen)
 }
 
-func factoryByName(name string, p core.Params) (frontend.StrategyFactory, error) {
-	switch strings.ToLower(strings.TrimSpace(name)) {
-	case "wrr":
-		return frontend.WRR(), nil
-	case "lb":
-		return frontend.LB(), nil
-	case "lard":
-		return frontend.LARD(p), nil
-	case "lard/r", "lardr":
-		return frontend.LARDR(p), nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q (want wrr, lb, lard, lard/r)", name)
+// newDispatcher builds the dispatch layer by registry name.
+func newDispatcher(strategy string, shards, nodes int, params core.Params, cacheBytes int64) (lard.Dispatcher, error) {
+	return lard.New(strategy,
+		lard.WithNodes(nodes),
+		lard.WithShards(shards),
+		lard.WithParams(params),
+		lard.WithCacheBytes(cacheBytes))
+}
+
+// splitAddrs parses the comma-separated -backends flag.
+func splitAddrs(backends string) []string {
+	var addrs []string
+	for _, a := range strings.Split(backends, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
 	}
+	return addrs
 }

@@ -4,26 +4,38 @@ import (
 	"testing"
 
 	"lard/internal/core"
+	"lard/pkg/lard"
 )
 
-func TestFactoryByName(t *testing.T) {
+func TestNewDispatcherByName(t *testing.T) {
 	p := core.DefaultParams()
-	for _, name := range []string{"wrr", "lb", "lard", "lard/r", "lardr", "LARD/R"} {
-		f, err := factoryByName(name, p)
+	for _, name := range []string{"wrr", "lb", "lb/gc", "lard", "lard/r", "lardr", "LARD/R"} {
+		d, err := newDispatcher(name, 1, 2, p, lard.DefaultCacheBytes)
 		if err != nil {
-			t.Fatalf("factoryByName(%q): %v", name, err)
+			t.Fatalf("newDispatcher(%q): %v", name, err)
 		}
-		loads := fakeLoads{2}
-		if s := f(loads); s == nil {
-			t.Fatalf("factory %q built nil strategy", name)
+		if d.NodeCount() != 2 {
+			t.Fatalf("dispatcher %q has %d nodes", name, d.NodeCount())
 		}
 	}
-	if _, err := factoryByName("nope", p); err == nil {
+	if _, err := newDispatcher("nope", 1, 2, p, lard.DefaultCacheBytes); err == nil {
 		t.Fatal("unknown strategy accepted")
+	}
+	d, err := newDispatcher("lard/r", 4, 8, p, lard.DefaultCacheBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", d.Shards())
 	}
 }
 
-type fakeLoads struct{ n int }
-
-func (f fakeLoads) NodeCount() int { return f.n }
-func (f fakeLoads) Load(int) int   { return 0 }
+func TestSplitAddrs(t *testing.T) {
+	got := splitAddrs(" a:1, b:2 ,,c:3 ")
+	if len(got) != 3 || got[0] != "a:1" || got[1] != "b:2" || got[2] != "c:3" {
+		t.Fatalf("splitAddrs = %v", got)
+	}
+	if splitAddrs("") != nil {
+		t.Fatal("empty input should yield no addrs")
+	}
+}

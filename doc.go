@@ -4,9 +4,14 @@
 //
 // The repository contains:
 //
+//   - pkg/lard — the public API: a strategy registry (lard.Register /
+//     lard.New) and a concurrency-safe, optionally sharded Dispatcher that
+//     owns load accounting and admission control. Every consumer below
+//     dispatches through it.
 //   - internal/core — the paper's contribution: the WRR, LB, LB/GC, LARD
 //     and LARD/R request-distribution strategies behind one Strategy
-//     interface shared by the simulator and the live prototype.
+//     interface; the pure, single-threaded policy layer beneath the
+//     public Dispatcher.
 //   - internal/sim, internal/cache, internal/trace, internal/cluster —
 //     the trace-driven cluster simulator of Section 3 (event engine,
 //     GDS/LRU caches, synthetic Rice/IBM/Chess workloads, cost model,
@@ -21,6 +26,6 @@
 //
 // The benchmark harness in bench_test.go regenerates each paper artifact
 // at a reduced scale; `go run ./cmd/lardsim -experiment all -scale 1.0`
-// performs full, paper-length runs. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for paper-versus-measured results.
+// performs full, paper-length runs. See README.md for a quickstart of the
+// public API and DESIGN.md for the layering and its concurrency story.
 package lard

@@ -1,7 +1,11 @@
 // Hotspot demonstrates LARD/R's replication dynamics (paper Sections 2.5
-// and 4.2): a single target hot enough to overload one back end gets
-// replicated across several, and the replica set shrinks again once the
-// target cools off.
+// and 4.2) through the public dispatch API: a single target hot enough to
+// overload one back end gets replicated across several, and the replica
+// set shrinks again once the target cools off.
+//
+// The example drives load the way a real front end does — by holding each
+// connection's done() open while the request is in flight — and reads the
+// replica set back through Dispatcher.Inspect.
 //
 // Run with:
 //
@@ -10,52 +14,84 @@ package main
 
 import (
 	"fmt"
+	"log"
 	"time"
 
-	"lard/internal/core"
+	"lard/pkg/lard"
 )
 
-// loads is a hand-driven load table standing in for a live cluster.
-type loads struct{ active []int }
-
-func (l *loads) NodeCount() int { return len(l.active) }
-func (l *loads) Load(i int) int { return l.active[i] }
-
 func main() {
-	cluster := &loads{active: make([]int, 4)}
-	strategy := core.NewLARDR(cluster, core.DefaultParams())
-
-	fmt.Println("Phase 1: /hot becomes popular; each assigned node is driven past")
-	fmt.Println("2*T_high, so the server set grows (Figure 3's replication rule).")
-	now := time.Duration(0)
-	for step := 0; step < 4; step++ {
-		n := strategy.Select(now, core.Request{Target: "/hot"})
-		cluster.active[n] = 130 + step // ≥ 2*T_high = 130: overloaded
-		fmt.Printf("  t=%-4v request -> node %d   serverSet=%v\n",
-			now, n, strategy.ServerSet("/hot"))
-		now += time.Second
+	params := lard.Params{TLow: 3, THigh: 8, K: 20 * time.Second}
+	d, err := lard.New("lard/r",
+		lard.WithNodes(4),
+		lard.WithParams(params),
+		lard.WithMaxOutstanding(-1), // observe replication, not admission
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Println("\nPhase 2: load spreads across the replicas; requests go to the")
-	fmt.Println("least-loaded member of the server set.")
-	cluster.active = []int{40, 10, 25, 55}
-	for step := 0; step < 3; step++ {
-		n := strategy.Select(now, core.Request{Target: "/hot"})
-		fmt.Printf("  t=%-4v request -> node %d (loads %v)\n", now, n, cluster.active)
-		cluster.active[n] += 5
+	fmt.Println("Phase 1: /hot becomes popular; every connection stays open, so the")
+	fmt.Println("assigned node's load climbs past 2*T_high and the server set grows")
+	fmt.Println("(Figure 3's replication rule).")
+	var open []func()
+	now := time.Duration(0)
+	for i := 0; i < 4*2*params.THigh; i++ {
+		node, done, err := d.Dispatch(now, lard.Request{Target: "/hot"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		open = append(open, done)
+		if i%12 == 0 {
+			fmt.Printf("  t=%-6v conn %3d -> node %d   serverSet=%v loads=%v\n",
+				now, i+1, node, serverSet(d), d.Loads())
+		}
+		now += 100 * time.Millisecond
+	}
+
+	fmt.Println("\nPhase 2: the connections drain; requests go to the least-loaded")
+	fmt.Println("member of the server set.")
+	for _, done := range open {
+		done()
+	}
+	open = open[:0]
+	for i := 0; i < 3; i++ {
+		node, done, err := d.Dispatch(now, lard.Request{Target: "/hot"})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  t=%-6v request -> node %d (loads %v)\n", now, node, d.Loads())
+		open = append(open, done)
 		now += time.Second
+	}
+	for _, done := range open {
+		done()
 	}
 
 	fmt.Println("\nPhase 3: the target cools off. After K = 20s without set changes,")
 	fmt.Println("each request removes the most-loaded replica until one remains.")
-	cluster.active = []int{10, 10, 10, 10}
-	now += 25 * time.Second
-	for len(strategy.ServerSet("/hot")) > 1 {
-		strategy.Select(now, core.Request{Target: "/hot"})
-		fmt.Printf("  t=%-5v serverSet=%v\n", now, strategy.ServerSet("/hot"))
-		now += 25 * time.Second
+	now += params.K + 5*time.Second
+	for len(serverSet(d)) > 1 {
+		if _, done, err := d.Dispatch(now, lard.Request{Target: "/hot"}); err == nil {
+			done()
+		}
+		fmt.Printf("  t=%-7v serverSet=%v\n", now, serverSet(d))
+		now += params.K + 5*time.Second
 	}
 
-	fmt.Printf("\nreplication events: %d grows, %d shrinks, max degree %d\n",
-		strategy.Grows(), strategy.Shrinks(), strategy.MaxReplication())
+	d.Inspect(func(_ int, s lard.Strategy, _ lard.LoadReader) {
+		r := s.(*lard.LARDR)
+		fmt.Printf("\nreplication events: %d grows, %d shrinks, max degree %d\n",
+			r.Grows(), r.Shrinks(), r.MaxReplication())
+	})
+}
+
+// serverSet reads /hot's replica set out of the dispatcher's LARD/R
+// instance.
+func serverSet(d lard.Dispatcher) []int {
+	var set []int
+	d.Inspect(func(_ int, s lard.Strategy, _ lard.LoadReader) {
+		set = s.(*lard.LARDR).ServerSet("/hot")
+	})
+	return set
 }

@@ -20,7 +20,6 @@ import (
 	"net/http"
 
 	"lard/internal/backend"
-	"lard/internal/core"
 	"lard/internal/frontend"
 	"lard/internal/handoff"
 	"lard/internal/loadgen"
@@ -48,15 +47,10 @@ func main() {
 	tr := trace.MustGenerate(cfg, 7)
 	fmt.Printf("workload: %s\n\n", tr)
 
-	for _, mode := range []struct {
-		name    string
-		factory frontend.StrategyFactory
-	}{
-		{"WRR", frontend.WRR()},
-		{"LARD/R", frontend.LARDR(core.DefaultParams())},
-	} {
-		tput, hit := runCluster(mode.factory, tr)
-		fmt.Printf("%-7s %8.1f req/s   cluster cache hit ratio %5.1f%%\n", mode.name, tput, hit*100)
+	for _, strategy := range []string{"wrr", "lard/r"} {
+		tput, hit := runCluster(strategy, tr)
+		fmt.Printf("%-7s %8.1f req/s   cluster cache hit ratio %5.1f%%\n",
+			strategy, tput, hit*100)
 	}
 	fmt.Println("\nLARD/R partitions the working set over the back ends' caches;")
 	fmt.Println("WRR makes every cache fight over the same full working set. The")
@@ -67,7 +61,7 @@ func main() {
 
 // runCluster starts backends+frontend, drives the trace through them, and
 // returns throughput and cluster-wide hit ratio.
-func runCluster(factory frontend.StrategyFactory, tr *trace.Trace) (float64, float64) {
+func runCluster(strategy string, tr *trace.Trace) (float64, float64) {
 	store := backend.NewDocStore(tr.Targets)
 	var addrs []string
 	var nodes []*backend.Server
@@ -94,7 +88,7 @@ func runCluster(factory frontend.StrategyFactory, tr *trace.Trace) (float64, flo
 		}
 	}()
 
-	fe, err := frontend.New(frontend.Config{Backends: addrs, NewStrategy: factory})
+	fe, err := frontend.New(frontend.Config{Backends: addrs, Strategy: strategy})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,9 +1,9 @@
-// Quickstart reproduces the paper's Figure 1 idea on a small, concrete
-// cluster: two back ends serving a catalog of documents whose combined
-// working set exceeds a single back end's cache. A locality-aware front
-// end partitions the documents over the two caches so nearly every request
-// "finds the requested target in the cache at the back end"; weighted
-// round-robin sends every document to both nodes and thrashes both caches.
+// Quickstart walks through the public dispatch API (pkg/lard): build a
+// concurrency-safe Dispatcher by strategy name, stream requests through
+// it, and watch the paper's three mechanisms at work — locality (each
+// target sticks to one back end), load balancing (connection slots stay
+// spread), and admission control (the front end bounds outstanding
+// connections at S = (n−1)·T_high + T_low + 1).
 //
 // Run with:
 //
@@ -13,47 +13,80 @@ package main
 import (
 	"fmt"
 	"log"
+	"time"
 
-	"lard/internal/cluster"
-	"lard/internal/trace"
+	"lard/pkg/lard"
 )
 
 func main() {
-	// 40 documents of 8 KB (320 KB working set) against 200 KB caches:
-	// each back end can hold 25 documents — a bit more than half the
-	// catalog, as in Figure 1 where each node fits two of three targets.
-	tr := &trace.Trace{Name: "figure1"}
-	const files = 40
-	for i := 0; i < files; i++ {
-		tr.Targets = append(tr.Targets, trace.Target{
-			Name: fmt.Sprintf("/doc%02d.html", i),
-			Size: 8 << 10,
-		})
+	const nodes = 4
+	params := lard.Params{TLow: 2, THigh: 5, K: 20 * time.Second}
+	d, err := lard.New("lard/r",
+		lard.WithNodes(nodes),
+		lard.WithParams(params),
+	)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for i := 0; i < 60000; i++ {
-		tr.Requests = append(tr.Requests, int32(i%files))
-	}
+	fmt.Printf("dispatcher: strategy=%s nodes=%d shards=%d\n\n", d.Name(), d.NodeCount(), d.Shards())
 
-	fmt.Println("Figure 1: two back ends, 40 x 8 KB documents, 200 KB caches")
-	fmt.Println()
-	for _, kind := range []cluster.StrategyKind{cluster.WRR, cluster.LARD} {
-		cfg := cluster.DefaultConfig(kind, 2)
-		cfg.CacheBytes = 200 << 10
-		res, err := cluster.Simulate(cfg, tr)
+	// 1. Locality: requests for the same document always land on the same
+	// back end, so its cache keeps the document hot.
+	fmt.Println("locality — 12 documents, 3 requests each:")
+	assigned := make(map[string]int)
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 12; i++ {
+			target := fmt.Sprintf("/doc%02d.html", i)
+			node, done, err := d.Dispatch(0, lard.Request{Target: target})
+			if err != nil {
+				log.Fatal(err)
+			}
+			done() // request complete: release the connection slot
+			if prev, ok := assigned[target]; ok && prev != node {
+				log.Fatalf("%s moved from node %d to %d", target, prev, node)
+			}
+			assigned[target] = node
+		}
+	}
+	perNode := make([]int, nodes)
+	for _, n := range assigned {
+		perNode[n]++
+	}
+	fmt.Printf("  every repeat request hit its first node; documents per node: %v\n\n", perNode)
+
+	// 2. Load accounting: holding done() open models an in-flight
+	// connection; the dispatcher's load table drives balancing.
+	fmt.Println("load accounting — 8 held connections:")
+	var dones []func()
+	for i := 0; i < 8; i++ {
+		_, done, err := d.Dispatch(0, lard.Request{Target: fmt.Sprintf("/doc%02d.html", i)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-6s hit ratio %5.1f%%  throughput %7.1f req/s  disk util %3.0f%%  cpu util %3.0f%%\n",
-			res.Strategy, res.HitRatio*100, res.Throughput,
-			res.DiskUtilization*100, res.CPUUtilization*100)
-		for i, n := range res.PerNode {
-			fmt.Printf("       back end %d: %5d requests, %2d cached documents\n",
-				i+1, n.Requests, n.CacheEntries)
-		}
-		fmt.Println()
+		dones = append(dones, done)
 	}
-	fmt.Println("LARD partitions the catalog: each back end caches its own documents,")
-	fmt.Println("nearly every request hits, and the cluster becomes CPU bound. WRR")
-	fmt.Println("cycles all 40 documents through both caches and stays disk bound —")
-	fmt.Println("the paper's motivation for content-based request distribution.")
+	fmt.Printf("  active connections per node: %v (in flight: %d)\n\n", d.Loads(), d.InFlight())
+
+	// 3. Admission control: beyond S outstanding connections the
+	// dispatcher rejects rather than overcommit the cluster.
+	s := params.MaxOutstanding(nodes)
+	fmt.Printf("admission — paper bound S = (n-1)*T_high + T_low + 1 = %d:\n", s)
+	admitted := len(dones)
+	for i := 0; ; i++ {
+		_, done, err := d.Dispatch(0, lard.Request{Target: fmt.Sprintf("/burst%d", i)})
+		if err != nil {
+			fmt.Printf("  connection %d rejected: %v\n", admitted+1, err)
+			break
+		}
+		dones = append(dones, done)
+		admitted++
+	}
+	fmt.Printf("  admitted exactly %d connections before rejecting\n\n", admitted)
+	for _, done := range dones {
+		done()
+	}
+
+	fmt.Println("The same Dispatcher drives the live front end (internal/frontend),")
+	fmt.Println("the cluster simulator (internal/cluster), and scales across cores")
+	fmt.Println("with lard.WithShards — see examples/prototype and cmd/lardsim.")
 }

@@ -6,14 +6,18 @@
 // "The assumption is that front end and networks are fast enough not to
 // limit the cluster's performance ... Therefore, the front end is assumed
 // to have no overhead and all networks have infinite capacity in the
-// simulations." The front end runs a core.Strategy over its own
-// active-connection accounting and enforces the cluster-wide admission
-// bound S = (n−1)·T_high + T_low + 1. The request arrival rate is matched
-// to the aggregate throughput of the server (closed loop): a new request
-// enters whenever the number outstanding drops below S.
+// simulations." The front end dispatches through the public
+// lard.Dispatcher, which owns the active-connection accounting and
+// enforces the admission bound S = (n−1)·T_high + T_low + 1 per
+// dispatcher shard — cluster-wide with the default single shard; up to
+// S×Shards outstanding when Config.Shards > 1 models a sharded front
+// end. The request arrival rate is matched to the aggregate throughput
+// of the server (closed loop): a new request enters whenever the
+// dispatcher has a slot free.
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -21,22 +25,22 @@ import (
 	"lard/internal/core"
 	"lard/internal/sim"
 	"lard/internal/trace"
+	"lard/pkg/lard"
 )
 
-// Cluster is a fully wired simulation: engine, nodes, strategy, and the
+// Cluster is a fully wired simulation: engine, nodes, dispatcher, and the
 // closed-loop front end. Build one with New, run it with Run, or use the
 // package-level Simulate convenience.
 type Cluster struct {
-	cfg      Config
-	eng      *sim.Engine
-	nodes    []*Node
-	gms      *GMS
-	strategy core.Strategy
-	tr       *trace.Trace
+	cfg   Config
+	eng   *sim.Engine
+	nodes []*Node
+	gms   *GMS
+	d     lard.Dispatcher
+	tr    *trace.Trace
 
-	// Front-end state.
-	loads       []int // active connections per node (the LoadReader view)
-	maxOut      int
+	// Front-end state. outstanding mirrors the dispatcher's in-flight
+	// count so the hot loop tracks the peak without locking a snapshot.
 	outstanding int
 	peak        int
 	next        int
@@ -64,8 +68,6 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 		cfg:          cfg,
 		eng:          eng,
 		tr:           tr,
-		loads:        make([]int, cfg.Nodes),
-		maxOut:       cfg.Params.MaxOutstanding(cfg.Nodes),
 		nodeDelaySum: make([]time.Duration, cfg.Nodes),
 		nodeDelayCnt: make([]int64, cfg.Nodes),
 	}
@@ -77,38 +79,29 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 		c.nodes = append(c.nodes, n)
 	}
 
-	switch cfg.Strategy {
-	case WRR:
-		c.strategy = core.NewWRR(c)
-	case LB:
-		c.strategy = core.NewLB(c)
-	case LBGC:
-		c.strategy = core.NewLBGC(c, cfg.CacheBytes)
-	case LARD:
-		c.strategy = core.NewLARD(c, cfg.Params)
-	case LARDR:
-		c.strategy = core.NewLARDR(c, cfg.Params)
-	case WRRGMS:
-		c.strategy = core.NewWRR(c)
+	name, err := cfg.Strategy.registryName()
+	if err != nil {
+		return nil, err
+	}
+	c.d, err = lard.New(name,
+		lard.WithNodes(cfg.Nodes),
+		lard.WithParams(cfg.Params),
+		lard.WithCacheBytes(cfg.CacheBytes),
+		lard.WithShards(max(cfg.Shards, 1)))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: %w", err)
+	}
+	if cfg.Strategy == WRRGMS {
 		c.gms = newGMS(c.nodes)
-	default:
-		return nil, fmt.Errorf("cluster: unknown strategy %v", cfg.Strategy)
 	}
 
 	c.scheduleFailures()
 	return c, nil
 }
 
-// NodeCount implements core.LoadReader.
-func (c *Cluster) NodeCount() int { return len(c.nodes) }
-
-// Load implements core.LoadReader: the front end's own accounting of
-// active (handed-off, incomplete) connections per node.
-func (c *Cluster) Load(node int) int { return c.loads[node] }
-
-// Strategy returns the strategy instance driving the cluster, for
-// diagnostics (e.g. LARD move counters).
-func (c *Cluster) Strategy() core.Strategy { return c.strategy }
+// Dispatcher returns the dispatch layer driving the cluster, for
+// diagnostics (e.g. LARD move counters via Inspect).
+func (c *Cluster) Dispatcher() lard.Dispatcher { return c.d }
 
 // Run replays the entire trace and returns the collected metrics.
 func (c *Cluster) Run() Result {
@@ -117,14 +110,19 @@ func (c *Cluster) Run() Result {
 	return c.collect()
 }
 
-// pump admits requests while capacity remains — the closed loop.
+// pump admits requests while capacity remains — the closed loop. The
+// dispatcher enforces the admission bound: pumping stops when it reports
+// ErrOverloaded and resumes when a completion releases a slot.
 func (c *Cluster) pump() {
-	for c.outstanding < c.maxOut && c.next < c.tr.Len() {
+	for c.next < c.tr.Len() {
 		r := c.tr.At(c.next)
-		c.next++
 		req := core.Request{Target: r.Target, Size: r.Size}
-		node := c.strategy.Select(c.eng.Now(), req)
-		if node < 0 {
+		node, done, err := c.d.Dispatch(c.eng.Now(), req)
+		if errors.Is(err, lard.ErrOverloaded) {
+			return // closed loop: resume on the next completion
+		}
+		c.next++
+		if err != nil {
 			// Total outage: the request cannot be served.
 			c.dropped++
 			continue
@@ -133,11 +131,10 @@ func (c *Cluster) pump() {
 		if c.outstanding > c.peak {
 			c.peak = c.outstanding
 		}
-		c.loads[node]++
 		start := c.eng.Now()
 		n := c.nodes[node]
 		n.Handle(req, func() {
-			c.loads[node]--
+			done()
 			c.outstanding--
 			d := c.eng.Now() - start
 			c.delaySum += d
@@ -153,21 +150,16 @@ func (c *Cluster) pump() {
 
 // scheduleFailures wires the configured failure events into the engine.
 func (c *Cluster) scheduleFailures() {
-	fa, _ := c.strategy.(core.FailureAware)
 	for _, f := range c.cfg.Failures {
 		f := f
 		c.eng.At(f.DownAt, func() {
-			if fa != nil {
-				fa.NodeDown(f.Node)
-			}
+			c.d.SetNodeDown(f.Node, true)
 		})
 		if f.UpAt > 0 {
 			c.eng.At(f.UpAt, func() {
 				// A restored node restarts with a cold cache.
 				c.nodes[f.Node].cache = c.cfg.newCache()
-				if fa != nil {
-					fa.NodeUp(f.Node)
-				}
+				c.d.SetNodeDown(f.Node, false)
 				c.pump()
 			})
 		}

@@ -54,6 +54,26 @@ func (k StrategyKind) String() string {
 	}
 }
 
+// registryName maps a StrategyKind to the pkg/lard registry name that
+// builds its dispatch policy. WRR/GMS runs plain WRR at the front end; the
+// global memory system is wired into the simulated nodes separately.
+func (k StrategyKind) registryName() (string, error) {
+	switch k {
+	case WRR, WRRGMS:
+		return "wrr", nil
+	case LB:
+		return "lb", nil
+	case LBGC:
+		return "lb/gc", nil
+	case LARD:
+		return "lard", nil
+	case LARDR:
+		return "lard/r", nil
+	default:
+		return "", fmt.Errorf("cluster: unknown strategy %v", k)
+	}
+}
+
 // ParseStrategy converts a user-supplied name ("wrr", "lard/r", "lardr",
 // "wrr/gms", …) to a StrategyKind.
 func ParseStrategy(s string) (StrategyKind, error) {
@@ -151,6 +171,13 @@ type Config struct {
 	// below this fraction of T_low (the paper uses 40%).
 	UnderutilizationFraction float64
 
+	// Shards partitions the front end's target space over this many
+	// independent strategy instances (0 or 1 = the paper's single
+	// dispatch point). Values above 1 model a sharded front end: each
+	// shard balances on its own 1/S view of the load and enforces its own
+	// admission budget, so results deliberately diverge from the paper's.
+	Shards int
+
 	// Failures optionally injects back-end failures.
 	Failures []FailureEvent
 }
@@ -183,6 +210,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: Disks = %d, need >= 1", c.Disks)
 	case c.UnderutilizationFraction < 0 || c.UnderutilizationFraction > 1:
 		return fmt.Errorf("cluster: UnderutilizationFraction %v outside [0,1]", c.UnderutilizationFraction)
+	case c.Shards < 0:
+		return fmt.Errorf("cluster: Shards = %d, need >= 0", c.Shards)
 	}
 	if err := c.Cost.Validate(); err != nil {
 		return err

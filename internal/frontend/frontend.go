@@ -1,12 +1,13 @@
 // Package frontend implements the live prototype's front end (Section 6):
 // it accepts client connections, inspects the first request's target,
-// picks a back end with a core.Strategy (the same policy code the
-// simulator runs), hands the connection off via the handoff protocol, and
-// then forwards bytes without further inspection.
+// picks a back end through the public lard.Dispatcher (the same policy
+// code the simulator runs), hands the connection off via the handoff
+// protocol, and then forwards bytes without further inspection.
 //
-// The layering mirrors the paper's Figure 15: the *dispatcher* (policy) is
-// consulted once per handoff; the *handoff* module transfers the
-// connection; the *forwarding* module is a dumb fast path.
+// The layering mirrors the paper's Figure 15: the *dispatcher* (policy +
+// load accounting + admission, pkg/lard) is consulted once per handoff;
+// the *handoff* module transfers the connection; the *forwarding* module
+// is a dumb fast path.
 package frontend
 
 import (
@@ -22,41 +23,38 @@ import (
 
 	"lard/internal/core"
 	"lard/internal/handoff"
+	"lard/pkg/lard"
 )
-
-// StrategyFactory constructs the dispatch policy over the front end's own
-// load accounting (the front end is the core.LoadReader: it counts active
-// connections per back end, exactly as the paper's front end does).
-type StrategyFactory func(loads core.LoadReader) core.Strategy
-
-// WRR returns a weighted round-robin factory.
-func WRR() StrategyFactory {
-	return func(l core.LoadReader) core.Strategy { return core.NewWRR(l) }
-}
-
-// LB returns a hash-partitioning factory.
-func LB() StrategyFactory {
-	return func(l core.LoadReader) core.Strategy { return core.NewLB(l) }
-}
-
-// LARD returns a basic-LARD factory.
-func LARD(p core.Params) StrategyFactory {
-	return func(l core.LoadReader) core.Strategy { return core.NewLARD(l, p) }
-}
-
-// LARDR returns a LARD-with-replication factory.
-func LARDR(p core.Params) StrategyFactory {
-	return func(l core.LoadReader) core.Strategy { return core.NewLARDR(l, p) }
-}
 
 // Config describes a front end.
 type Config struct {
 	// Backends lists the back ends' handoff addresses ("host:port").
 	Backends []string
 
-	// NewStrategy builds the dispatch policy (default LARDR with the
-	// paper's parameters).
-	NewStrategy StrategyFactory
+	// Strategy is the registry name of the dispatch policy ("wrr", "lb",
+	// "lb/gc", "lard", "lard/r", or anything registered with
+	// lard.Register). Default "lard/r".
+	Strategy string
+
+	// Params are the LARD tuning parameters; zero fields fall back to
+	// the paper's defaults (see lard.WithParams), so e.g. setting only
+	// MappingCapacity keeps T_low/T_high/K. They also derive the front
+	// end's admission bound S = (n−1)·T_high + T_low + 1 per dispatcher
+	// shard.
+	Params core.Params
+
+	// Shards partitions the target space over this many independent
+	// strategy instances so dispatch scales with cores; 0 or 1 keeps the
+	// paper's single dispatch point.
+	Shards int
+
+	// CacheBytes is the per-node cache size assumed by cache-modelling
+	// strategies such as "lb/gc" (0 = lard.DefaultCacheBytes).
+	CacheBytes int64
+
+	// Dispatcher, when non-nil, is used directly and Strategy, Params and
+	// Shards are ignored. Its NodeCount must match len(Backends).
+	Dispatcher lard.Dispatcher
 
 	// RehandoffPerRequest enables the paper's alternative HTTP/1.1
 	// design: each request on a persistent connection is re-dispatched,
@@ -94,14 +92,12 @@ type Stats struct {
 // Server is a running front end. Create with New; start with Serve or
 // ListenAndServe.
 type Server struct {
-	cfg      Config
-	start    time.Time
-	strategy core.Strategy
+	cfg   Config
+	start time.Time
 
-	// mu serializes the dispatcher (strategy + load table), like the
-	// paper's single dispatch point.
-	mu    sync.Mutex
-	loads []int
+	// d is the concurrency-safe dispatch layer: policy, per-node load
+	// accounting, and admission control all live behind it.
+	d lard.Dispatcher
 
 	accepted   atomic.Uint64
 	handoffs   atomic.Uint64
@@ -120,9 +116,6 @@ func New(cfg Config) (*Server, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, errors.New("frontend: no back ends configured")
 	}
-	if cfg.NewStrategy == nil {
-		cfg.NewStrategy = LARDR(core.DefaultParams())
-	}
 	if cfg.DialTimeout <= 0 {
 		cfg.DialTimeout = 5 * time.Second
 	}
@@ -132,30 +125,38 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MaxHeaderBytes <= 0 {
 		cfg.MaxHeaderBytes = 64 << 10
 	}
-	s := &Server{
-		cfg:   cfg,
-		start: time.Now(),
-		loads: make([]int, len(cfg.Backends)),
+	d := cfg.Dispatcher
+	if d == nil {
+		name := cfg.Strategy
+		if name == "" {
+			name = "lard/r"
+		}
+		opts := []lard.Option{
+			lard.WithNodes(len(cfg.Backends)),
+			lard.WithParams(cfg.Params),
+			lard.WithShards(max(cfg.Shards, 1)),
+		}
+		if cfg.CacheBytes > 0 {
+			opts = append(opts, lard.WithCacheBytes(cfg.CacheBytes))
+		}
+		var err error
+		d, err = lard.New(name, opts...)
+		if err != nil {
+			return nil, fmt.Errorf("frontend: %w", err)
+		}
+	} else if d.NodeCount() != len(cfg.Backends) {
+		return nil, fmt.Errorf("frontend: dispatcher has %d nodes for %d back ends",
+			d.NodeCount(), len(cfg.Backends))
 	}
-	s.strategy = cfg.NewStrategy(s)
-	if s.strategy == nil {
-		return nil, errors.New("frontend: strategy factory returned nil")
-	}
-	return s, nil
+	return &Server{cfg: cfg, start: time.Now(), d: d}, nil
 }
 
-// NodeCount implements core.LoadReader.
-func (s *Server) NodeCount() int { return len(s.cfg.Backends) }
-
-// Load implements core.LoadReader. It is only ever consulted by the
-// strategy while the dispatcher lock is held.
-func (s *Server) Load(node int) int { return s.loads[node] }
+// Dispatcher returns the dispatch layer the front end routes through, for
+// diagnostics.
+func (s *Server) Dispatcher() lard.Dispatcher { return s.d }
 
 // Stats returns a snapshot of the front end's counters.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	active := append([]int(nil), s.loads...)
-	s.mu.Unlock()
 	return Stats{
 		Accepted:        s.accepted.Load(),
 		Handoffs:        s.handoffs.Load(),
@@ -164,24 +165,14 @@ func (s *Server) Stats() Stats {
 		Rejected:        s.rejected.Load(),
 		ClientToBackend: s.forward.ClientToBackend.Load(),
 		BackendToClient: s.forward.BackendToClient.Load(),
-		ActivePerNode:   active,
+		ActivePerNode:   s.d.Loads(),
 	}
 }
 
 // SetBackendDown marks a back end failed or restored, when the strategy
 // supports it (Section 2.6 recovery).
 func (s *Server) SetBackendDown(node int, down bool) {
-	fa, ok := s.strategy.(core.FailureAware)
-	if !ok {
-		return
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if down {
-		fa.NodeDown(node)
-	} else {
-		fa.NodeUp(node)
-	}
+	s.d.SetNodeDown(node, down)
 }
 
 // ListenAndServe listens on addr and serves until Close.
@@ -258,13 +249,13 @@ func (s *Server) handleConn(client net.Conn) {
 	}
 	client.SetReadDeadline(time.Time{})
 
-	node := s.dispatch(head.target, head.contentLength)
-	if node < 0 {
+	node, done, err := s.dispatch(head.target, head.contentLength)
+	if err != nil {
 		s.rejected.Add(1)
 		writeServiceUnavailable(client)
 		return
 	}
-	defer s.release(node)
+	defer done()
 
 	backend, err := s.dialAndHandoff(node, client, head, br, 0)
 	if err != nil {
@@ -279,23 +270,12 @@ func (s *Server) handleConn(client net.Conn) {
 	handoff.Forward(client, backend, &s.forward)
 }
 
-// dispatch runs the policy under the dispatcher lock and claims a load
-// slot on the chosen node.
-func (s *Server) dispatch(target string, size int64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	node := s.strategy.Select(time.Since(s.start), core.Request{Target: target, Size: size})
-	if node >= 0 {
-		s.loads[node]++
-	}
-	return node
-}
-
-// release returns a load slot.
-func (s *Server) release(node int) {
-	s.mu.Lock()
-	s.loads[node]--
-	s.mu.Unlock()
+// dispatch claims a connection slot on the node the policy picks. The
+// returned done func releases the slot; it is non-nil exactly when err is
+// nil. Both a saturated cluster (lard.ErrOverloaded) and a total outage
+// (lard.ErrUnavailable) surface to the client as 503.
+func (s *Server) dispatch(target string, size int64) (int, func(), error) {
+	return s.d.Dispatch(time.Since(s.start), lard.Request{Target: target, Size: size})
 }
 
 // dialAndHandoff connects to the chosen back end and transfers the
@@ -306,11 +286,7 @@ func (s *Server) dialAndHandoff(node int, client net.Conn, head requestHead, br 
 	if err != nil {
 		// A dead back end is reported to the policy so its targets are
 		// re-assigned "as if they had not been assigned before".
-		s.mu.Lock()
-		if fa, ok := s.strategy.(core.FailureAware); ok {
-			fa.NodeDown(node)
-		}
-		s.mu.Unlock()
+		s.d.SetNodeDown(node, true)
 		return nil, err
 	}
 	initial := head.raw

@@ -13,10 +13,10 @@ import (
 	"time"
 
 	"lard/internal/backend"
-	"lard/internal/core"
 	"lard/internal/handoff"
 	"lard/internal/loadgen"
 	"lard/internal/trace"
+	"lard/pkg/lard"
 )
 
 // miniCluster is a live prototype cluster on loopback: n back ends behind
@@ -29,7 +29,7 @@ type miniCluster struct {
 
 // startCluster builds and starts a cluster with the given policy and
 // back-end count. The store serves the catalog of tr.
-func startCluster(t *testing.T, n int, factory StrategyFactory, tr *trace.Trace, cacheBytes int64) *miniCluster {
+func startCluster(t *testing.T, n int, strategy string, tr *trace.Trace, cacheBytes int64) *miniCluster {
 	t.Helper()
 	mc := &miniCluster{}
 	store := backend.NewDocStore(tr.Targets)
@@ -50,7 +50,7 @@ func startCluster(t *testing.T, n int, factory StrategyFactory, tr *trace.Trace,
 		mc.backends = append(mc.backends, be)
 		addrs = append(addrs, ln.Addr().String())
 	}
-	fe, err := New(Config{Backends: addrs, NewStrategy: factory})
+	fe, err := New(Config{Backends: addrs, Strategy: strategy})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +81,7 @@ func smallTrace(t *testing.T, files, requests int) *trace.Trace {
 
 func TestEndToEndSingleRequest(t *testing.T) {
 	tr := smallTrace(t, 20, 100)
-	mc := startCluster(t, 2, WRR(), tr, 1<<20)
+	mc := startCluster(t, 2, "wrr", tr, 1<<20)
 	target := tr.At(0).Target
 	resp, err := http.Get("http://" + mc.feAddr + target)
 	if err != nil {
@@ -109,8 +109,8 @@ func TestLARDBeatsWRRHitRatioLive(t *testing.T) {
 	tr := smallTrace(t, 60, 600)
 	perNodeCache := int64(20 * 4096) // each node caches ~1/3 of the catalog
 
-	hitRatio := func(factory StrategyFactory) float64 {
-		mc := startCluster(t, 3, factory, tr, perNodeCache)
+	hitRatio := func(strategy string) float64 {
+		mc := startCluster(t, 3, strategy, tr, perNodeCache)
 		st, err := loadgen.Run(context.Background(), loadgen.Config{
 			BaseURL: "http://" + mc.feAddr,
 			Trace:   tr,
@@ -134,8 +134,8 @@ func TestLARDBeatsWRRHitRatioLive(t *testing.T) {
 		return float64(hits) / float64(reqs)
 	}
 
-	wrr := hitRatio(WRR())
-	lard := hitRatio(LARD(core.DefaultParams()))
+	wrr := hitRatio("wrr")
+	lard := hitRatio("lard")
 	if lard <= wrr+0.1 {
 		t.Fatalf("live LARD hit ratio %.3f not well above WRR %.3f", lard, wrr)
 	}
@@ -145,7 +145,7 @@ func TestPersistentConnectionsSingleBackend(t *testing.T) {
 	// Default mode: one handoff serves many requests on a keep-alive
 	// connection.
 	tr := smallTrace(t, 10, 50)
-	mc := startCluster(t, 2, LARDR(core.DefaultParams()), tr, 1<<20)
+	mc := startCluster(t, 2, "lard/r", tr, 1<<20)
 	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
 	for i := 0; i < 10; i++ {
 		r := tr.At(i)
@@ -187,7 +187,7 @@ func TestRehandoffPerRequestMode(t *testing.T) {
 	}
 	fe, err := New(Config{
 		Backends:            addrs,
-		NewStrategy:         LB(), // deterministic target→backend spread
+		Strategy:            "lb", // deterministic target→backend spread
 		RehandoffPerRequest: true,
 	})
 	if err != nil {
@@ -228,7 +228,7 @@ func TestRehandoffPerRequestMode(t *testing.T) {
 
 func TestBackendFailureReturns502AndMarksDown(t *testing.T) {
 	tr := smallTrace(t, 10, 10)
-	mc := startCluster(t, 2, LARD(core.DefaultParams()), tr, 1<<20)
+	mc := startCluster(t, 2, "lard", tr, 1<<20)
 	// Fresh connections each time: a kept-alive connection is already
 	// handed off and correctly bypasses the dispatcher.
 	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
@@ -287,7 +287,7 @@ func TestDialFailureMarksNodeDown(t *testing.T) {
 
 	fe, err := New(Config{
 		Backends:    []string{deadAddr, ln.Addr().String()},
-		NewStrategy: WRR(),
+		Strategy:    "wrr",
 		DialTimeout: 500 * time.Millisecond,
 	})
 	if err != nil {
@@ -369,16 +369,23 @@ func TestNewValidation(t *testing.T) {
 		t.Fatal("no backends accepted")
 	}
 	if _, err := New(Config{
-		Backends:    []string{"127.0.0.1:1"},
-		NewStrategy: func(core.LoadReader) core.Strategy { return nil },
+		Backends: []string{"127.0.0.1:1"},
+		Strategy: "no-such-policy",
 	}); err == nil {
-		t.Fatal("nil strategy accepted")
+		t.Fatal("unknown strategy accepted")
+	}
+	d := lard.MustNew("wrr", lard.WithNodes(3))
+	if _, err := New(Config{
+		Backends:   []string{"127.0.0.1:1"},
+		Dispatcher: d,
+	}); err == nil {
+		t.Fatal("dispatcher/backend node-count mismatch accepted")
 	}
 }
 
 func TestStatsSnapshot(t *testing.T) {
 	tr := smallTrace(t, 5, 5)
-	mc := startCluster(t, 2, WRR(), tr, 1<<20)
+	mc := startCluster(t, 2, "wrr", tr, 1<<20)
 	resp, err := http.Get("http://" + mc.feAddr + tr.At(0).Target)
 	if err != nil {
 		t.Fatal(err)

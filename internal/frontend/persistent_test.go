@@ -7,7 +7,6 @@ import (
 	"testing"
 
 	"lard/internal/backend"
-	"lard/internal/core"
 	"lard/internal/handoff"
 	"lard/internal/loadgen"
 	"lard/internal/trace"
@@ -55,7 +54,7 @@ func TestPersistentConnectionPolicy(t *testing.T) {
 		}
 		fe, err := New(Config{
 			Backends:            addrs,
-			NewStrategy:         LARD(core.DefaultParams()),
+			Strategy:            "lard",
 			RehandoffPerRequest: rehandoff,
 		})
 		if err != nil {

@@ -32,12 +32,15 @@ func (s *Server) handlePerRequest(client net.Conn) {
 	var (
 		backend     net.Conn
 		backendNode = -1
+		backendDone func() // releases the active connection's slot
 		backendBR   *bufio.Reader
 	)
 	defer func() {
+		if backendDone != nil {
+			backendDone()
+		}
 		if backend != nil {
 			backend.Close()
-			s.release(backendNode)
 		}
 	}()
 
@@ -54,23 +57,34 @@ func (s *Server) handlePerRequest(client net.Conn) {
 		}
 		client.SetReadDeadline(time.Time{})
 
-		node := s.dispatch(head.target, head.contentLength)
-		if node < 0 {
+		// The connection is between requests: release the previous
+		// request's slot before re-dispatching, so the same-backend fast
+		// path doesn't need transient admission headroom (at a saturated
+		// budget that would 503 requests needing no new capacity). A
+		// concurrent connection may win the freed slot first — admission
+		// is first-come-first-served at saturation, which is fair but not
+		// sticky; an atomic exchange is impossible anyway when the new
+		// target hashes to a different dispatcher shard.
+		if backendDone != nil {
+			backendDone()
+			backendDone = nil
+		}
+		node, done, err := s.dispatch(head.target, head.contentLength)
+		if err != nil {
 			s.rejected.Add(1)
 			writeServiceUnavailable(client)
 			return
 		}
+		backendDone = done
 
 		// Re-handoff: switch back ends when the policy says so.
 		if backend == nil || node != backendNode {
 			if backend != nil {
 				backend.Close()
-				s.release(backendNode)
 				s.rehandoffs.Add(1)
 			}
 			conn, err := s.dialRehandoff(node, client, head)
 			if err != nil {
-				s.release(node)
 				s.errors.Add(1)
 				s.logf("frontend: rehandoff dial backend %d: %v", node, err)
 				writeBadGateway(client)
@@ -81,9 +95,7 @@ func (s *Server) handlePerRequest(client net.Conn) {
 			backendBR = bufio.NewReaderSize(backend, 16<<10)
 			s.handoffs.Add(1)
 		} else {
-			// Same back end: the dispatch above claimed a second slot for
-			// this request; give it back and reuse the existing one.
-			s.release(node)
+			// Same back end: reuse the connection under the fresh slot.
 			if _, err := backend.Write(head.raw); err != nil {
 				s.errors.Add(1)
 				s.logf("frontend: rehandoff write: %v", err)

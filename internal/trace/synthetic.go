@@ -15,6 +15,12 @@ type SyntheticConfig struct {
 	// Name labels the generated trace.
 	Name string
 
+	// Catalog names the target-path namespace: documents are generated at
+	// "/<catalog>/doc%06d.html". Empty means Name. It must stay fixed
+	// under Scaled so a scaled trace still addresses the documents of the
+	// unscaled catalog (what cmd/lardbe serves).
+	Catalog string
+
 	// Targets is the catalog size (unique files).
 	Targets int
 
@@ -106,7 +112,10 @@ func (c SyntheticConfig) Validate() error {
 
 // Scaled returns a copy of the config with the request count multiplied by
 // f (catalog unchanged), for fast simulation runs that preserve the
-// working-set geometry. f must be positive.
+// working-set geometry. f must be positive. Only the display Name gains
+// the scale suffix; the Catalog (and therefore every target path) stays
+// that of the unscaled profile, so scaled traces address the same
+// documents a back end serving the full catalog exposes.
 func (c SyntheticConfig) Scaled(f float64) SyntheticConfig {
 	if f <= 0 {
 		panic("trace: non-positive scale factor")
@@ -114,6 +123,9 @@ func (c SyntheticConfig) Scaled(f float64) SyntheticConfig {
 	c.Requests = int(float64(c.Requests) * f)
 	if c.Requests < 1 {
 		c.Requests = 1
+	}
+	if c.Catalog == "" {
+		c.Catalog = c.Name
 	}
 	c.Name = fmt.Sprintf("%s(x%.3g)", c.Name, f)
 	return c
@@ -194,10 +206,14 @@ func Generate(cfg SyntheticConfig, seed int64) (*Trace, error) {
 	sizes := generateSizes(cfg, rng)
 	sizes = assignSizesToRanks(sizes, cfg.PopularSmallBias, rng)
 
+	catalog := cfg.Catalog
+	if catalog == "" {
+		catalog = cfg.Name
+	}
 	targets := make([]Target, cfg.Targets)
 	for i := range targets {
 		// Rank 0 is the most popular target.
-		targets[i] = Target{Name: fmt.Sprintf("/%s/doc%06d.html", cfg.Name, i), Size: sizes[i]}
+		targets[i] = Target{Name: fmt.Sprintf("/%s/doc%06d.html", catalog, i), Size: sizes[i]}
 	}
 
 	zipf := NewZipfShifted(cfg.Targets, cfg.ZipfAlpha, cfg.ZipfShift)

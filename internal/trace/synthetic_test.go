@@ -230,6 +230,14 @@ func TestScaled(t *testing.T) {
 	if s.Targets != cfg.Targets {
 		t.Fatal("Scaled changed catalog size")
 	}
+	// Scaling must not move the target namespace: a scaled trace has to
+	// address the same document paths as the unscaled catalog.
+	full := MustGenerate(RiceProfile(), 2)
+	scaled := MustGenerate(s, 2)
+	if full.Targets[0].Name != scaled.Targets[0].Name {
+		t.Fatalf("Scaled moved target paths: %q vs %q",
+			full.Targets[0].Name, scaled.Targets[0].Name)
+	}
 	defer func() {
 		if recover() == nil {
 			t.Fatal("Scaled(0) did not panic")

@@ -1,0 +1,49 @@
+package lard
+
+import (
+	"lard/internal/core"
+)
+
+// Concrete built-in strategy types, aliased so Inspect callbacks can
+// type-assert for per-strategy diagnostics (move counters, server sets)
+// without importing the internal policy package.
+type (
+	// WRR is weighted round-robin, the paper's baseline.
+	WRR = core.WRR
+	// LB is hash-based locality partitioning.
+	LB = core.LB
+	// LBGC is LB with the idealized front-end global-cache model.
+	LBGC = core.LBGC
+	// LARD is basic locality-aware request distribution (Figure 2).
+	LARD = core.LARD
+	// LARDR is LARD with replication (Figure 3).
+	LARDR = core.LARDR
+)
+
+// The paper's five strategies register themselves under the names used in
+// its figures, plus the slash-free aliases the CLIs accept.
+func init() {
+	wrr := func(l core.LoadReader, _ Options) (core.Strategy, error) {
+		return core.NewWRR(l), nil
+	}
+	lb := func(l core.LoadReader, _ Options) (core.Strategy, error) {
+		return core.NewLB(l), nil
+	}
+	lbgc := func(l core.LoadReader, o Options) (core.Strategy, error) {
+		return core.NewLBGC(l, o.CacheBytes), nil
+	}
+	lardS := func(l core.LoadReader, o Options) (core.Strategy, error) {
+		return core.NewLARD(l, o.Params), nil
+	}
+	lardr := func(l core.LoadReader, o Options) (core.Strategy, error) {
+		return core.NewLARDR(l, o.Params), nil
+	}
+
+	Register("wrr", wrr)
+	Register("lb", lb)
+	Register("lb/gc", lbgc)
+	RegisterAlias("lbgc", "lb/gc")
+	Register("lard", lardS)
+	Register("lard/r", lardr)
+	RegisterAlias("lardr", "lard/r")
+}

@@ -1,0 +1,138 @@
+// Package lard is the public, concurrency-safe dispatch layer over the
+// paper's request-distribution strategies (internal/core).
+//
+// The paper's policies — WRR, LB, LB/GC, LARD, LARD/R — are deterministic
+// single-threaded state machines; its front end is "a single dispatch
+// point". This package keeps internal/core exactly that pure policy layer
+// and adds the machinery a live system needs around it:
+//
+//   - a strategy registry: Register(name, factory) / New(name, opts...),
+//     so the simulator, the prototype front end, and the tools all select
+//     policies by the names used in the paper's figures ("wrr", "lard/r",
+//     ...);
+//   - a Dispatcher that owns the load accounting the paper's front end
+//     keeps ("a node's load is measured as the number of active
+//     connections"): Dispatch claims a connection slot on the chosen node
+//     and returns a done func that releases it;
+//   - the paper's admission control: at most S = (n−1)·T_high + T_low + 1
+//     connections are outstanding per strategy instance (Section 3.2);
+//     Dispatch returns ErrOverloaded beyond that;
+//   - an optional sharded variant (WithShards) that hash-partitions the
+//     target space across independent strategy instances, each behind its
+//     own lock with its own admission budget, so dispatch throughput
+//     scales with cores instead of serializing on one mutex.
+//
+// A minimal use:
+//
+//	d, err := lard.New("lard/r", lard.WithNodes(8))
+//	...
+//	node, done, err := d.Dispatch(time.Since(start), lard.Request{Target: "/a.html"})
+//	if err != nil { /* reject: cluster saturated or no node alive */ }
+//	defer done() // release the connection slot when the request completes
+package lard
+
+import (
+	"errors"
+	"time"
+
+	"lard/internal/core"
+)
+
+// Request is the per-request information visible to the dispatcher: the
+// target name (URL plus arguments, per the paper's definition) and, when
+// known, its size.
+type Request = core.Request
+
+// Params holds the LARD tuning parameters (paper Section 2.4).
+type Params = core.Params
+
+// Strategy is the pure policy interface a Factory builds: it picks a node
+// per request and never locks — the Dispatcher serializes around it.
+type Strategy = core.Strategy
+
+// LoadReader exposes a shard's active-connection table to its strategy
+// (and to Inspect callbacks).
+type LoadReader = core.LoadReader
+
+// FailureAware is implemented by strategies that support the paper's
+// Section 2.6 node failure and recovery; SetNodeDown fans out to it.
+type FailureAware = core.FailureAware
+
+// DefaultParams returns the paper's recommended settings: T_low = 25,
+// T_high = 65 active connections, K = 20 s.
+func DefaultParams() Params { return core.DefaultParams() }
+
+var (
+	// ErrOverloaded is returned by Dispatch when the admission budget is
+	// exhausted: admitting the request would exceed the shard's bound on
+	// outstanding connections. The caller should reject or queue.
+	ErrOverloaded = errors.New("lard: admission budget exhausted")
+
+	// ErrUnavailable is returned by Dispatch when no back-end node is
+	// available (total outage: every node is marked down).
+	ErrUnavailable = errors.New("lard: no back-end node available")
+)
+
+// Dispatcher selects a back-end node for each request and accounts for the
+// connection slots in flight. Implementations are safe for concurrent use
+// by any number of goroutines.
+type Dispatcher interface {
+	// Dispatch picks the node that should serve r at the given (virtual or
+	// wall-clock) time, claims a connection slot on it, and returns a done
+	// func that releases the slot when the request completes. done is
+	// idempotent: calling it more than once releases the slot once.
+	//
+	// On error the node is -1 and done is nil: ErrOverloaded when the
+	// admission budget is exhausted, ErrUnavailable when every node is
+	// down.
+	Dispatch(now time.Duration, r Request) (node int, done func(), err error)
+
+	// NodeCount returns the number of back-end nodes (alive or not).
+	NodeCount() int
+
+	// Shards returns the number of independent strategy instances the
+	// target space is partitioned over (1 for the locked dispatcher).
+	Shards() int
+
+	// Name returns the registry name the dispatcher was built from.
+	Name() string
+
+	// Loads returns a snapshot of active connections per node, summed
+	// across shards. Shards are snapshotted one at a time, so under
+	// concurrent dispatch the snapshot is approximate (each shard's
+	// contribution is internally consistent).
+	Loads() []int
+
+	// InFlight returns the total number of claimed, unreleased connection
+	// slots across all shards.
+	InFlight() int
+
+	// SetNodeDown marks a node failed (down=true) or restored, on every
+	// shard whose strategy supports the paper's Section 2.6 recovery.
+	SetNodeDown(node int, down bool)
+
+	// Inspect calls f for each shard with the shard's strategy instance
+	// and its load view, holding that shard's lock for the duration of the
+	// call. It is intended for diagnostics and tests; f must not call back
+	// into the dispatcher.
+	Inspect(f func(shard int, s Strategy, loads LoadReader))
+}
+
+// shardOf hash-partitions the target space over nshards with an inlined,
+// allocation-free FNV-1a (this is the sharded dispatch hot path). The
+// hash is salted so it is decorrelated from the FNV hash the LB strategy
+// applies to the same target names.
+func shardOf(target string, nshards int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	h ^= 0x73 // salt: distinct from LB's unsalted target hash
+	h *= prime64
+	for i := 0; i < len(target); i++ {
+		h ^= uint64(target[i])
+		h *= prime64
+	}
+	return int(h % uint64(nshards))
+}

@@ -1,0 +1,126 @@
+package lard
+
+import (
+	"sync"
+	"time"
+
+	"lard/internal/core"
+)
+
+// loadTable is the front-end connection bookkeeping the paper describes:
+// active connections per node, maintained by the dispatcher itself. It
+// implements core.LoadReader for the strategy; strategies only read it
+// while the owning shard's lock is held.
+type loadTable struct {
+	active []int
+}
+
+func (t *loadTable) NodeCount() int    { return len(t.active) }
+func (t *loadTable) Load(node int) int { return t.active[node] }
+
+// lockedShard is one strategy instance behind one mutex: the unit both
+// dispatcher variants are built from. It preserves the paper's semantics
+// exactly — Select runs serialized against a load table that already
+// reflects every admitted connection.
+type lockedShard struct {
+	mu       sync.Mutex
+	strategy core.Strategy
+	loads    *loadTable
+	inFlight int
+	budget   int // max outstanding connections; 0 = unlimited
+}
+
+func newLockedShard(f Factory, o Options) (*lockedShard, error) {
+	lt := &loadTable{active: make([]int, o.Nodes)}
+	s, err := f(lt, o)
+	if err != nil {
+		return nil, err
+	}
+	return &lockedShard{strategy: s, loads: lt, budget: o.budget()}, nil
+}
+
+func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.budget > 0 && sh.inFlight >= sh.budget {
+		return -1, nil, ErrOverloaded
+	}
+	node := sh.strategy.Select(now, r)
+	if node < 0 {
+		return -1, nil, ErrUnavailable
+	}
+	sh.loads.active[node]++
+	sh.inFlight++
+	// done's idempotency rides the shard mutex: the released flag is only
+	// read and written inside the critical section.
+	released := false
+	done := func() {
+		sh.mu.Lock()
+		if !released {
+			released = true
+			sh.loads.active[node]--
+			sh.inFlight--
+		}
+		sh.mu.Unlock()
+	}
+	return node, done, nil
+}
+
+func (sh *lockedShard) snapshot() (active []int, inFlight int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return append([]int(nil), sh.loads.active...), sh.inFlight
+}
+
+func (sh *lockedShard) setNodeDown(node int, down bool) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	fa, ok := sh.strategy.(core.FailureAware)
+	if !ok {
+		return
+	}
+	if down {
+		fa.NodeDown(node)
+	} else {
+		fa.NodeUp(node)
+	}
+}
+
+func (sh *lockedShard) inspect(shard int, f func(int, core.Strategy, core.LoadReader)) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	f(shard, sh.strategy, sh.loads)
+}
+
+// locked is the single-shard Dispatcher: one strategy instance, one lock,
+// the paper's single dispatch point made safe for concurrent callers.
+type locked struct {
+	name  string
+	shard *lockedShard
+}
+
+func (d *locked) Dispatch(now time.Duration, r Request) (int, func(), error) {
+	return d.shard.dispatch(now, r)
+}
+
+func (d *locked) NodeCount() int { return d.shard.loads.NodeCount() }
+func (d *locked) Shards() int    { return 1 }
+func (d *locked) Name() string   { return d.name }
+
+func (d *locked) Loads() []int {
+	active, _ := d.shard.snapshot()
+	return active
+}
+
+func (d *locked) InFlight() int {
+	_, n := d.shard.snapshot()
+	return n
+}
+
+func (d *locked) SetNodeDown(node int, down bool) { d.shard.setNodeDown(node, down) }
+
+func (d *locked) Inspect(f func(int, core.Strategy, core.LoadReader)) {
+	d.shard.inspect(0, f)
+}
+
+var _ Dispatcher = (*locked)(nil)

@@ -1,0 +1,112 @@
+package lard
+
+import (
+	"fmt"
+
+	"lard/internal/core"
+)
+
+// DefaultCacheBytes is the default per-node cache size assumed by
+// cache-modelling strategies (lb/gc): the paper's 32 MB.
+const DefaultCacheBytes = 32 << 20
+
+// Options collects the knobs a dispatcher (and the strategy factories
+// beneath it) can be built with. Construct it through New's functional
+// options; factories receive the resolved value.
+type Options struct {
+	// Nodes is the number of back-end nodes. Required, >= 1.
+	Nodes int
+
+	// Shards is the number of independent strategy instances the target
+	// space is hash-partitioned over. 1 (the default) preserves the
+	// paper's single-dispatch-point semantics exactly.
+	Shards int
+
+	// Params are the LARD tuning parameters (defaults to DefaultParams).
+	// They also derive the admission budget when MaxOutstanding is 0.
+	Params core.Params
+
+	// CacheBytes is the per-node cache size assumed by cache-modelling
+	// strategies such as lb/gc (defaults to DefaultCacheBytes).
+	CacheBytes int64
+
+	// MaxOutstanding is the per-shard admission budget. 0 derives the
+	// paper's bound S = (n−1)·T_high + T_low + 1 from Params; a negative
+	// value disables admission control.
+	MaxOutstanding int
+}
+
+// Option configures New.
+type Option func(*Options)
+
+// WithNodes sets the number of back-end nodes.
+func WithNodes(n int) Option { return func(o *Options) { o.Nodes = n } }
+
+// WithShards partitions the target space over s independent strategy
+// instances, each with its own lock and admission budget. s <= 1 keeps the
+// single locked dispatcher.
+func WithShards(s int) Option { return func(o *Options) { o.Shards = s } }
+
+// WithParams sets the LARD tuning parameters. Zero fields fall back to
+// the paper's defaults, so setting only MappingCapacity keeps
+// T_low/T_high/K. (A literal K = 0 is therefore not expressible; the
+// smallest replication timer is 1ns.)
+func WithParams(p core.Params) Option { return func(o *Options) { o.Params = p } }
+
+// WithCacheBytes sets the per-node cache size assumed by cache-modelling
+// strategies (lb/gc).
+func WithCacheBytes(b int64) Option { return func(o *Options) { o.CacheBytes = b } }
+
+// WithMaxOutstanding overrides the per-shard admission budget: 0 derives
+// the paper's S from the params, negative disables admission control.
+func WithMaxOutstanding(n int) Option { return func(o *Options) { o.MaxOutstanding = n } }
+
+// defaultOptions is the state New starts from before applying options.
+func defaultOptions() Options {
+	return Options{
+		Shards:     1,
+		Params:     core.DefaultParams(),
+		CacheBytes: DefaultCacheBytes,
+	}
+}
+
+// applyDefaults fills zero Params fields with the paper's defaults, so
+// every consumer of New gets the same partial-Params behavior.
+func (o *Options) applyDefaults() {
+	def := core.DefaultParams()
+	if o.Params.TLow == 0 {
+		o.Params.TLow = def.TLow
+	}
+	if o.Params.THigh == 0 {
+		o.Params.THigh = def.THigh
+	}
+	if o.Params.K == 0 {
+		o.Params.K = def.K
+	}
+}
+
+// validate checks the resolved options.
+func (o Options) validate() error {
+	switch {
+	case o.Nodes < 1:
+		return fmt.Errorf("lard: Nodes = %d, need >= 1 (use WithNodes)", o.Nodes)
+	case o.Shards < 1:
+		return fmt.Errorf("lard: Shards = %d, need >= 1", o.Shards)
+	case o.CacheBytes < 0:
+		return fmt.Errorf("lard: negative CacheBytes")
+	}
+	return o.Params.Validate()
+}
+
+// budget resolves the per-shard admission budget: 0 means unlimited
+// internally.
+func (o Options) budget() int {
+	switch {
+	case o.MaxOutstanding < 0:
+		return 0
+	case o.MaxOutstanding == 0:
+		return o.Params.MaxOutstanding(o.Nodes)
+	default:
+		return o.MaxOutstanding
+	}
+}

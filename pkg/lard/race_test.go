@@ -1,0 +1,171 @@
+package lard
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lard/internal/core"
+)
+
+// TestConcurrentDispatchStress hammers both dispatcher variants from many
+// goroutines under the race detector and checks the load-accounting
+// invariants the paper's front end depends on:
+//
+//   - a node's load (active connections) is never negative;
+//   - each shard never exceeds its admission budget
+//     S = (n−1)·T_high + T_low + 1;
+//   - after every done() has run, all accounting drains to zero.
+func TestConcurrentDispatchStress(t *testing.T) {
+	const (
+		nodes      = 4
+		goroutines = 16
+		iters      = 300
+	)
+	p := Params{TLow: 3, THigh: 7, K: time.Second}
+	s := p.MaxOutstanding(nodes)
+
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"locked", 1},
+		{"sharded", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, strategy := range []string{"wrr", "lb", "lard", "lard/r"} {
+				t.Run(strategy, func(t *testing.T) {
+					d := MustNew(strategy,
+						WithNodes(nodes), WithShards(tc.shards), WithParams(p))
+
+					var stop atomic.Bool
+					var sampler sync.WaitGroup
+					sampler.Add(1)
+					go func() {
+						// Concurrently audit the invariants while the
+						// hammer goroutines run.
+						defer sampler.Done()
+						for !stop.Load() {
+							checkInvariants(t, d, s)
+							runtime.Gosched()
+						}
+					}()
+
+					var wg sync.WaitGroup
+					var overloaded, dispatched atomic.Uint64
+					for g := 0; g < goroutines; g++ {
+						wg.Add(1)
+						go func(g int) {
+							defer wg.Done()
+							for i := 0; i < iters; i++ {
+								target := fmt.Sprintf("/t%d", (g*iters+i)%97)
+								node, done, err := d.Dispatch(0, Request{Target: target})
+								if errors.Is(err, ErrOverloaded) {
+									overloaded.Add(1)
+									runtime.Gosched()
+									continue
+								}
+								if err != nil {
+									t.Errorf("dispatch: %v", err)
+									return
+								}
+								if node < 0 || node >= nodes {
+									t.Errorf("node %d out of range", node)
+									return
+								}
+								dispatched.Add(1)
+								if i%3 == 0 {
+									runtime.Gosched() // hold the slot across a reschedule
+								}
+								done()
+								if i%7 == 0 {
+									done() // idempotency under contention
+								}
+							}
+						}(g)
+					}
+					wg.Wait()
+					stop.Store(true)
+					sampler.Wait()
+
+					if dispatched.Load() == 0 {
+						t.Fatal("nothing dispatched")
+					}
+					if d.InFlight() != 0 {
+						t.Fatalf("InFlight = %d after all done()", d.InFlight())
+					}
+					for i, l := range d.Loads() {
+						if l != 0 {
+							t.Fatalf("node %d load = %d after drain", i, l)
+						}
+					}
+					checkInvariants(t, d, s)
+				})
+			}
+		})
+	}
+}
+
+// checkInvariants audits every shard under its lock: no negative loads, no
+// shard above its admission budget.
+func checkInvariants(t *testing.T, d Dispatcher, budget int) {
+	t.Helper()
+	d.Inspect(func(shard int, _ core.Strategy, loads core.LoadReader) {
+		sum := 0
+		for i := 0; i < loads.NodeCount(); i++ {
+			l := loads.Load(i)
+			if l < 0 {
+				t.Errorf("shard %d node %d load %d < 0", shard, i, l)
+			}
+			sum += l
+		}
+		if sum > budget {
+			t.Errorf("shard %d outstanding %d exceeds budget S=%d", shard, sum, budget)
+		}
+	})
+}
+
+// TestConcurrentSaturation drives a tiny budget to ErrOverloaded from many
+// goroutines and verifies the bound holds exactly at the saturation point.
+func TestConcurrentSaturation(t *testing.T) {
+	const nodes = 2
+	p := Params{TLow: 1, THigh: 2, K: time.Second}
+	s := p.MaxOutstanding(nodes) // 4
+
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			d := MustNew("wrr", WithNodes(nodes), WithShards(shards), WithParams(p))
+			var wg sync.WaitGroup
+			var admitted atomic.Int64
+			var dones sync.Map
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 200; i++ {
+						_, done, err := d.Dispatch(0, Request{Target: fmt.Sprintf("/t%d", i)})
+						if err != nil {
+							continue
+						}
+						dones.Store(admitted.Add(1), done)
+					}
+				}(g)
+			}
+			wg.Wait()
+			// Slots are never released, so total admissions are bounded by
+			// the aggregate budget across shards.
+			if got, max := int(admitted.Load()), s*shards; got > max {
+				t.Fatalf("admitted %d connections, aggregate budget %d", got, max)
+			}
+			checkInvariants(t, d, s)
+			dones.Range(func(_, v any) bool { v.(func())(); return true })
+			if d.InFlight() != 0 {
+				t.Fatalf("InFlight = %d after release", d.InFlight())
+			}
+		})
+	}
+}

@@ -1,0 +1,120 @@
+package lard
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"lard/internal/core"
+)
+
+func TestBuiltinStrategiesRegistered(t *testing.T) {
+	names := Strategies()
+	for _, want := range []string{"wrr", "lb", "lb/gc", "lard", "lard/r"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("builtin %q missing from Strategies() = %v", want, names)
+		}
+	}
+	// Aliases resolve but are not listed — operators see canonical names.
+	for _, alias := range []string{"lardr", "lbgc"} {
+		for _, n := range names {
+			if n == alias {
+				t.Fatalf("alias %q listed in Strategies() = %v", alias, names)
+			}
+		}
+	}
+}
+
+func TestAliasResolvesToCanonicalName(t *testing.T) {
+	d, err := New("lardr", WithNodes(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "lard/r" {
+		t.Fatalf("alias dispatcher Name() = %q, want canonical \"lard/r\"", d.Name())
+	}
+}
+
+func TestNewByNameAndAliases(t *testing.T) {
+	for _, name := range []string{"wrr", "lb", "lb/gc", "lbgc", "lard", "lard/r", "lardr", "LARD/R", " wrr "} {
+		d, err := New(name, WithNodes(4))
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if d.NodeCount() != 4 || d.Shards() != 1 {
+			t.Fatalf("New(%q): nodes=%d shards=%d", name, d.NodeCount(), d.Shards())
+		}
+		node, done, err := d.Dispatch(0, Request{Target: "/x"})
+		if err != nil || node < 0 || node >= 4 {
+			t.Fatalf("New(%q).Dispatch = %d, %v", name, node, err)
+		}
+		done()
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New("bogus", WithNodes(2)); err == nil || !strings.Contains(err.Error(), "bogus") {
+		t.Fatalf("unknown strategy: err = %v", err)
+	}
+	if _, err := New("wrr"); err == nil {
+		t.Fatal("missing WithNodes accepted")
+	}
+	if _, err := New("wrr", WithNodes(2), WithShards(-1)); err == nil {
+		t.Fatal("negative shards accepted")
+	}
+	if _, err := New("lard", WithNodes(2), WithParams(Params{TLow: 0, THigh: 5})); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	if _, err := New("lb/gc", WithNodes(2), WithCacheBytes(-1)); err == nil {
+		t.Fatal("negative cache bytes accepted")
+	}
+}
+
+func TestRegisterCustomStrategy(t *testing.T) {
+	Register("test/first-node", func(l core.LoadReader, _ Options) (core.Strategy, error) {
+		return firstNode{l}, nil
+	})
+	d, err := New("test/first-node", WithNodes(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, done, err := d.Dispatch(0, Request{Target: "/x"})
+	if err != nil || node != 0 {
+		t.Fatalf("custom strategy: node=%d err=%v", node, err)
+	}
+	done()
+	if d.Name() != "test/first-node" {
+		t.Fatalf("Name() = %q", d.Name())
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty name", func() { Register("", nil) })
+	mustPanic("nil factory", func() { Register("test/nil-factory", nil) })
+	mustPanic("duplicate", func() {
+		Register("wrr", func(l core.LoadReader, _ Options) (core.Strategy, error) {
+			return core.NewWRR(l), nil
+		})
+	})
+}
+
+// firstNode always picks node 0; a trivial strategy for registry tests.
+type firstNode struct{ loads core.LoadReader }
+
+func (f firstNode) Name() string                          { return "first-node" }
+func (f firstNode) Select(_ time.Duration, _ Request) int { return 0 }
