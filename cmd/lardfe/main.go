@@ -6,14 +6,26 @@
 //
 //	lardfe -listen 127.0.0.1:8080 \
 //	       -backends 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
-//	       -strategy lard/r -shards 4
+//	       -strategy lard/r -shards 4 -probe 1s -admin 127.0.0.1:8081
+//
+// The optional admin server exposes cluster membership:
+//
+//	GET  /admin/nodes            per-node state (addr, health, drain, load)
+//	POST /admin/drain?node=N     stop new assignments to node N
+//	POST /admin/undrain?node=N   restore a draining node
+//	POST /admin/remove?node=N    permanently remove node N
+//	POST /admin/add?addr=H:P     join a new back end
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -35,17 +47,20 @@ func main() {
 		cacheBytes = flag.Int64("cachebytes", lard.DefaultCacheBytes, "per-node cache size assumed by lb/gc")
 		rehandoff  = flag.Bool("rehandoff", false, "re-dispatch every request on persistent connections")
 		statsEach  = flag.Duration("stats", 0, "print stats at this interval (0 = never)")
+		probe      = flag.Duration("probe", frontend.DefaultProbeInterval, "health-probe interval for down back ends (negative = off)")
+		dialFails  = flag.Int("dialfails", frontend.DefaultDialFailuresBeforeDown, "consecutive dial failures before a back end is marked down")
+		admin      = flag.String("admin", "", "admin listen address for /admin/nodes and /admin/drain (empty = off)")
 	)
 	flag.Parse()
 
 	params := core.Params{TLow: *tlow, THigh: *thigh, K: *k, MappingCapacity: *mapCap}
-	if err := run(*listen, *backends, *strategy, *shards, params, *cacheBytes, *rehandoff, *statsEach); err != nil {
+	if err := run(*listen, *backends, *strategy, *shards, params, *cacheBytes, *rehandoff, *statsEach, *probe, *dialFails, *admin); err != nil {
 		fmt.Fprintln(os.Stderr, "lardfe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, backends, strategy string, shards int, params core.Params, cacheBytes int64, rehandoff bool, statsEach time.Duration) error {
+func run(listen, backends, strategy string, shards int, params core.Params, cacheBytes int64, rehandoff bool, statsEach, probe time.Duration, dialFails int, admin string) error {
 	addrs := splitAddrs(backends)
 	if len(addrs) == 0 {
 		return fmt.Errorf("no back ends configured (use -backends)")
@@ -55,10 +70,12 @@ func run(listen, backends, strategy string, shards int, params core.Params, cach
 		return err
 	}
 	fe, err := frontend.New(frontend.Config{
-		Backends:            addrs,
-		Dispatcher:          d,
-		RehandoffPerRequest: rehandoff,
-		ErrorLog:            log.New(os.Stderr, "", log.LstdFlags),
+		Backends:               addrs,
+		Dispatcher:             d,
+		RehandoffPerRequest:    rehandoff,
+		ProbeInterval:          probe,
+		DialFailuresBeforeDown: dialFails,
+		ErrorLog:               log.New(os.Stderr, "", log.LstdFlags),
 	})
 	if err != nil {
 		return err
@@ -67,15 +84,75 @@ func run(listen, backends, strategy string, shards int, params core.Params, cach
 		go func() {
 			for range time.Tick(statsEach) {
 				st := fe.Stats()
-				log.Printf("stats: accepted=%d handoffs=%d rehandoffs=%d errors=%d rejected=%d c2b=%dB b2c=%dB active=%v",
+				log.Printf("stats: accepted=%d handoffs=%d rehandoffs=%d errors=%d rejected=%d down=%d probes=%d recovered=%d c2b=%dB b2c=%dB active=%v",
 					st.Accepted, st.Handoffs, st.Rehandoffs, st.Errors, st.Rejected,
+					st.MarkedDown, st.Probes, st.ProbeRecoveries,
 					st.ClientToBackend, st.BackendToClient, st.ActivePerNode)
 			}
 		}()
 	}
-	fmt.Printf("lardfe: %s over %d back ends on %s (shards=%d rehandoff=%v)\n",
-		d.Name(), len(addrs), listen, d.Shards(), rehandoff)
+	if admin != "" {
+		srv := &http.Server{Addr: admin, Handler: adminMux(fe)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("lardfe: admin server: %v", err)
+			}
+		}()
+		fmt.Printf("lardfe: admin endpoints on %s\n", admin)
+	}
+	fmt.Printf("lardfe: %s over %d back ends on %s (shards=%d rehandoff=%v probe=%v)\n",
+		d.Name(), len(addrs), listen, d.Shards(), rehandoff, probe)
 	return fe.ListenAndServe(listen)
+}
+
+// adminMux serves the membership endpoints over the given front end.
+func adminMux(fe *frontend.Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/admin/nodes", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(fe.Nodes())
+	})
+	nodeOp := func(name string, op func(int)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if r.Method != http.MethodPost {
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			node, err := strconv.Atoi(r.URL.Query().Get("node"))
+			states := fe.Dispatcher().NodeStates()
+			if err != nil || node < 0 || node >= len(states) {
+				http.Error(w, "bad or missing node parameter", http.StatusBadRequest)
+				return
+			}
+			if !states[node].Member {
+				// Membership ops on a removed node are silent no-ops in
+				// the dispatcher; don't report success for them.
+				http.Error(w, fmt.Sprintf("node %d has been removed", node), http.StatusConflict)
+				return
+			}
+			op(node)
+			fmt.Fprintf(w, "%s node %d\n", name, node)
+		}
+	}
+	mux.HandleFunc("/admin/drain", nodeOp("draining", fe.DrainBackend))
+	mux.HandleFunc("/admin/undrain", nodeOp("undrained", fe.UndrainBackend))
+	mux.HandleFunc("/admin/remove", nodeOp("removed", fe.RemoveBackend))
+	mux.HandleFunc("/admin/add", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		addr := r.URL.Query().Get("addr")
+		// Joining a node is irreversible (indices are never reused), so
+		// reject malformed addresses before they enter rotation.
+		if host, port, err := net.SplitHostPort(addr); err != nil || host == "" || port == "" {
+			http.Error(w, "addr parameter must be host:port", http.StatusBadRequest)
+			return
+		}
+		node := fe.AddBackend(addr)
+		fmt.Fprintf(w, "added node %d at %s\n", node, addr)
+	})
+	return mux
 }
 
 // newDispatcher builds the dispatch layer by registry name.

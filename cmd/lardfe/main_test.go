@@ -1,9 +1,13 @@
 package main
 
 import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"lard/internal/core"
+	"lard/internal/frontend"
 	"lard/pkg/lard"
 )
 
@@ -27,6 +31,76 @@ func TestNewDispatcherByName(t *testing.T) {
 	}
 	if d.Shards() != 4 {
 		t.Fatalf("Shards() = %d, want 4", d.Shards())
+	}
+}
+
+func TestAdminMux(t *testing.T) {
+	fe, err := frontend.New(frontend.Config{
+		Backends:      []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Strategy:      "lard",
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(adminMux(fe))
+	defer srv.Close()
+
+	post := func(path string) int {
+		resp, err := http.Post(srv.URL+path, "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if code := post("/admin/drain?node=1"); code != 200 {
+		t.Fatalf("drain: %d", code)
+	}
+	if st := fe.Dispatcher().NodeStates(); !st[1].Draining {
+		t.Fatal("node 1 not draining")
+	}
+	if code := post("/admin/undrain?node=1"); code != 200 {
+		t.Fatalf("undrain: %d", code)
+	}
+	if code := post("/admin/drain?node=9"); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range drain: %d", code)
+	}
+	if code := post("/admin/remove?node=1"); code != 200 {
+		t.Fatalf("remove: %d", code)
+	}
+	// Ops on a removed node must not claim success.
+	if code := post("/admin/drain?node=1"); code != http.StatusConflict {
+		t.Fatalf("drain removed: %d", code)
+	}
+	if code := post("/admin/remove?node=1"); code != http.StatusConflict {
+		t.Fatalf("remove twice: %d", code)
+	}
+	// Malformed addresses must be rejected before an irreversible join.
+	if code := post("/admin/add?addr=notanaddress"); code != http.StatusBadRequest {
+		t.Fatalf("add bad addr: %d", code)
+	}
+	if code := post("/admin/add"); code != http.StatusBadRequest {
+		t.Fatalf("add no addr: %d", code)
+	}
+	if code := post("/admin/add?addr=127.0.0.1:9005"); code != 200 {
+		t.Fatalf("add: %d", code)
+	}
+	if n := fe.Dispatcher().NodeCount(); n != 3 {
+		t.Fatalf("NodeCount = %d after add", n)
+	}
+	resp, err := http.Get(srv.URL + "/admin/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nodes []frontend.NodeInfo
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(nodes) != 3 || nodes[2].Addr != "127.0.0.1:9005" || nodes[1].State.Member {
+		t.Fatalf("nodes snapshot: %+v", nodes)
 	}
 }
 

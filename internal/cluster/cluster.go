@@ -32,12 +32,14 @@ import (
 // closed-loop front end. Build one with New, run it with Run, or use the
 // package-level Simulate convenience.
 type Cluster struct {
-	cfg   Config
-	eng   *sim.Engine
-	nodes []*Node
-	gms   *GMS
-	d     lard.Dispatcher
-	tr    *trace.Trace
+	cfg        Config
+	eng        *sim.Engine
+	nodes      []*Node
+	gms        *GMS
+	d          lard.Dispatcher
+	tr         *trace.Trace
+	underBound int
+	diskFor    func(string) int
 
 	// Front-end state. outstanding mirrors the dispatcher's in-flight
 	// count so the hot loop tracks the peak without locking a snapshot.
@@ -51,6 +53,14 @@ type Cluster struct {
 	delayMax     time.Duration
 	nodeDelaySum []time.Duration
 	nodeDelayCnt []int64
+
+	// Timeline sampling (Config.SampleEvery).
+	served       int
+	timeline     []TimelineSample
+	lastServed   int
+	lastMisses   uint64
+	lastSampleAt time.Duration
+	samplerEv    *sim.Event
 }
 
 // New builds a cluster simulation for the given configuration and trace.
@@ -68,14 +78,15 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 		cfg:          cfg,
 		eng:          eng,
 		tr:           tr,
+		underBound:   underBound,
 		nodeDelaySum: make([]time.Duration, cfg.Nodes),
 		nodeDelayCnt: make([]int64, cfg.Nodes),
 	}
 
-	diskFor := diskAssignment(tr, cfg.Disks)
+	c.diskFor = diskAssignment(tr, cfg.Disks)
 	for i := 0; i < cfg.Nodes; i++ {
 		n := newNode(i, eng, cfg.Cost, cfg.newCache(), cfg.Disks, underBound)
-		n.diskFor = diskFor
+		n.diskFor = c.diskFor
 		c.nodes = append(c.nodes, n)
 	}
 
@@ -96,6 +107,8 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 	}
 
 	c.scheduleFailures()
+	c.scheduleChurn()
+	c.scheduleSampling()
 	return c, nil
 }
 
@@ -136,6 +149,7 @@ func (c *Cluster) pump() {
 		n.Handle(req, func() {
 			done()
 			c.outstanding--
+			c.served++
 			d := c.eng.Now() - start
 			c.delaySum += d
 			if d > c.delayMax {
@@ -144,25 +158,148 @@ func (c *Cluster) pump() {
 			c.nodeDelaySum[node] += d
 			c.nodeDelayCnt[node]++
 			c.pump()
+			if c.outstanding == 0 && c.next >= c.tr.Len() {
+				c.finishSampling()
+			}
 		})
 	}
 }
 
-// scheduleFailures wires the configured failure events into the engine.
+// scheduleFailures translates the legacy Config.Failures events into the
+// churn machinery, so there is exactly one failure-injection code path.
 func (c *Cluster) scheduleFailures() {
 	for _, f := range c.cfg.Failures {
-		f := f
-		c.eng.At(f.DownAt, func() {
-			c.d.SetNodeDown(f.Node, true)
-		})
+		ev := ChurnEvent{At: f.DownAt, Op: ChurnFail, Node: f.Node}
+		c.eng.At(ev.At, func() { c.applyChurn(ev) })
 		if f.UpAt > 0 {
-			c.eng.At(f.UpAt, func() {
-				// A restored node restarts with a cold cache.
-				c.nodes[f.Node].cache = c.cfg.newCache()
-				c.d.SetNodeDown(f.Node, false)
-				c.pump()
-			})
+			up := ChurnEvent{At: f.UpAt, Op: ChurnRecover, Node: f.Node}
+			c.eng.At(up.At, func() { c.applyChurn(up) })
 		}
+	}
+}
+
+// scheduleChurn wires the scripted membership changes into the engine.
+func (c *Cluster) scheduleChurn() {
+	for _, ev := range c.cfg.Churn {
+		ev := ev
+		c.eng.At(ev.At, func() { c.applyChurn(ev) })
+	}
+}
+
+// applyChurn performs one membership change at its virtual time. Events
+// that restore or add capacity re-pump the closed loop, since the
+// recomputed admission bound S may have opened slots. Validate rejects
+// schedules that reference a node before it joins, so the range check
+// here is only a belt against future callers bypassing Validate.
+func (c *Cluster) applyChurn(ev ChurnEvent) {
+	if ev.Op != ChurnJoin && (ev.Node < 0 || ev.Node >= len(c.nodes)) {
+		panic(fmt.Sprintf("cluster: churn %s for node %d of %d (unvalidated schedule)",
+			ev.Op, ev.Node, len(c.nodes)))
+	}
+	switch ev.Op {
+	case ChurnFail:
+		c.d.SetNodeDown(ev.Node, true)
+	case ChurnRecover:
+		// A recovered node restarts with a cold cache; LARD's mappings to
+		// it were invalidated at failure, so it re-warms on new
+		// assignments (the Section 2.6 story the churn figure plots).
+		c.nodes[ev.Node].cache = c.cfg.newCache()
+		c.d.SetNodeDown(ev.Node, false)
+		c.pump()
+	case ChurnJoin:
+		n := newNode(len(c.nodes), c.eng, c.cfg.Cost, c.cfg.newCache(), c.cfg.Disks, c.underBound)
+		n.diskFor = c.diskFor
+		c.nodes = append(c.nodes, n)
+		c.nodeDelaySum = append(c.nodeDelaySum, 0)
+		c.nodeDelayCnt = append(c.nodeDelayCnt, 0)
+		if id := c.d.AddNode(); id != n.id {
+			panic(fmt.Sprintf("cluster: dispatcher assigned node %d, simulator %d", id, n.id))
+		}
+		c.pump()
+	case ChurnDrain:
+		c.d.Drain(ev.Node)
+	case ChurnUndrain:
+		c.d.Undrain(ev.Node)
+		c.pump()
+	case ChurnLeave:
+		c.d.RemoveNode(ev.Node)
+	}
+}
+
+// scheduleSampling starts the timeline sampler when configured.
+func (c *Cluster) scheduleSampling() {
+	if c.cfg.SampleEvery > 0 {
+		c.samplerEv = c.eng.After(c.cfg.SampleEvery, c.sampleTick)
+	}
+}
+
+// finishSampling runs when the closed loop drains: it cancels the pending
+// tick — which would otherwise fire up to one window after the last
+// completion and inflate SimTime — and records the final partial window
+// at the exact drain instant.
+func (c *Cluster) finishSampling() {
+	if c.samplerEv == nil {
+		return
+	}
+	c.eng.Cancel(c.samplerEv)
+	c.samplerEv = nil
+	c.sampleTick()
+}
+
+// sampleTick records one timeline window and reschedules itself while the
+// run still has admitted or unadmitted work.
+func (c *Cluster) sampleTick() {
+	now := c.eng.Now()
+	var misses uint64
+	for _, n := range c.nodes {
+		misses += n.misses
+	}
+	window := now - c.lastSampleAt
+	completed := c.served - c.lastServed
+	if window == 0 {
+		// The drain coincided with a tick that already recorded this
+		// window — but completions at the shared instant fired after the
+		// tick (engine FIFO), so fold them into that sample rather than
+		// lose them.
+		if completed > 0 && len(c.timeline) > 0 {
+			last := &c.timeline[len(c.timeline)-1]
+			prevMisses := last.MissRatio * float64(last.Completed)
+			last.Completed += completed
+			last.MissRatio = (prevMisses + float64(misses-c.lastMisses)) / float64(last.Completed)
+			prevAt := time.Duration(0)
+			if n := len(c.timeline); n > 1 {
+				prevAt = c.timeline[n-2].At
+			}
+			if w := now - prevAt; w > 0 {
+				last.Throughput = float64(last.Completed) / w.Seconds()
+			}
+			c.lastServed = c.served
+			c.lastMisses = misses
+		}
+		return
+	}
+	s := TimelineSample{At: now, Completed: completed}
+	s.Throughput = float64(completed) / window.Seconds()
+	if completed > 0 {
+		s.MissRatio = float64(misses-c.lastMisses) / float64(completed)
+		// Misses accumulated in zero-completion windows (deep backlog)
+		// carry forward until a window completes something, so none are
+		// dropped from the ratio — this is why it can transiently
+		// exceed 1.
+		c.lastMisses = misses
+	}
+	for _, st := range c.d.NodeStates() {
+		if st.Eligible() {
+			s.AliveNodes++
+		}
+	}
+	c.timeline = append(c.timeline, s)
+	c.lastSampleAt = now
+	c.lastServed = c.served
+	if c.next < c.tr.Len() || c.outstanding > 0 {
+		c.samplerEv = c.eng.After(c.cfg.SampleEvery, c.sampleTick)
+	} else {
+		c.samplerEv = nil
 	}
 }
 
@@ -171,10 +308,11 @@ func (c *Cluster) collect() Result {
 	end := c.eng.Now()
 	res := Result{
 		Strategy: c.cfg.Strategy.String(),
-		Nodes:    c.cfg.Nodes,
+		Nodes:    len(c.nodes), // configured nodes plus any runtime joins
 		Requests: c.tr.Len() - c.dropped,
 		Dropped:  c.dropped,
 		SimTime:  end,
+		Timeline: c.timeline,
 	}
 	if end > 0 {
 		res.Throughput = float64(res.Requests) / end.Seconds()

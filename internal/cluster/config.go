@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -128,6 +129,85 @@ type FailureEvent struct {
 	UpAt time.Duration
 }
 
+// ChurnOp enumerates the scripted membership operations a ChurnEvent can
+// apply to the running cluster.
+type ChurnOp int
+
+const (
+	// ChurnFail marks a node down (Section 2.6 failure).
+	ChurnFail ChurnOp = iota
+	// ChurnRecover restores a failed node with a cold cache.
+	ChurnRecover
+	// ChurnJoin adds a brand-new node (cold cache) to the cluster; the
+	// event's Node field is ignored and the index is assigned at runtime.
+	ChurnJoin
+	// ChurnDrain stops new assignments to a node; in-flight work
+	// finishes.
+	ChurnDrain
+	// ChurnUndrain restores a draining node (cache still warm).
+	ChurnUndrain
+	// ChurnLeave permanently removes a node.
+	ChurnLeave
+)
+
+// String names the operation.
+func (op ChurnOp) String() string {
+	switch op {
+	case ChurnFail:
+		return "fail"
+	case ChurnRecover:
+		return "recover"
+	case ChurnJoin:
+		return "join"
+	case ChurnDrain:
+		return "drain"
+	case ChurnUndrain:
+		return "undrain"
+	case ChurnLeave:
+		return "leave"
+	default:
+		return fmt.Sprintf("ChurnOp(%d)", int(op))
+	}
+}
+
+// ChurnEvent is one scripted membership change at virtual time At. Build
+// schedules with the FailAt/RecoverAt/JoinAt/DrainAt/LeaveAt helpers.
+type ChurnEvent struct {
+	At   time.Duration
+	Op   ChurnOp
+	Node int
+}
+
+// FailAt schedules node to fail at t.
+func FailAt(node int, t time.Duration) ChurnEvent {
+	return ChurnEvent{At: t, Op: ChurnFail, Node: node}
+}
+
+// RecoverAt schedules node to recover (cold cache) at t.
+func RecoverAt(node int, t time.Duration) ChurnEvent {
+	return ChurnEvent{At: t, Op: ChurnRecover, Node: node}
+}
+
+// JoinAt schedules a new node to join at t.
+func JoinAt(t time.Duration) ChurnEvent {
+	return ChurnEvent{At: t, Op: ChurnJoin}
+}
+
+// DrainAt schedules node to start draining at t.
+func DrainAt(node int, t time.Duration) ChurnEvent {
+	return ChurnEvent{At: t, Op: ChurnDrain, Node: node}
+}
+
+// UndrainAt schedules node to return from draining at t.
+func UndrainAt(node int, t time.Duration) ChurnEvent {
+	return ChurnEvent{At: t, Op: ChurnUndrain, Node: node}
+}
+
+// LeaveAt schedules node to leave the cluster permanently at t.
+func LeaveAt(node int, t time.Duration) ChurnEvent {
+	return ChurnEvent{At: t, Op: ChurnLeave, Node: node}
+}
+
 // DefaultCacheBytes is the paper's default per-node cache size: "we chose
 // to set the default node cache size in our simulations to 32 MB".
 const DefaultCacheBytes = 32 << 20
@@ -180,6 +260,16 @@ type Config struct {
 
 	// Failures optionally injects back-end failures.
 	Failures []FailureEvent
+
+	// Churn optionally scripts runtime membership changes: failures,
+	// recoveries, joins, drains, and leaves, applied at their virtual
+	// times. Joins extend the cluster beyond Nodes.
+	Churn []ChurnEvent
+
+	// SampleEvery, when positive, records a windowed activity timeline
+	// (Result.Timeline): one sample per interval with the window's
+	// throughput and miss ratio — the churn experiments' time axis.
+	SampleEvery time.Duration
 }
 
 // DefaultConfig returns the paper's default simulation setup for the given
@@ -229,6 +319,35 @@ func (c Config) Validate() error {
 		if c.Strategy == WRRGMS {
 			return fmt.Errorf("cluster: failure injection is not supported with WRR/GMS")
 		}
+	}
+	if len(c.Churn) > 0 && c.Strategy == WRRGMS {
+		return fmt.Errorf("cluster: churn is not supported with WRR/GMS")
+	}
+	for _, ev := range c.Churn {
+		if ev.At < 0 {
+			return fmt.Errorf("cluster: churn %s at negative time %v", ev.Op, ev.At)
+		}
+	}
+	// Joins assign indexes at runtime, so an event may reference a node
+	// beyond Nodes − 1 — but only once enough joins have fired. Replay
+	// the schedule chronologically (stable for ties, matching the
+	// engine's FIFO order for same-instant events) and reject any event
+	// that would reference a node before it exists.
+	chrono := append([]ChurnEvent(nil), c.Churn...)
+	sort.SliceStable(chrono, func(a, b int) bool { return chrono[a].At < chrono[b].At })
+	nodes := c.Nodes
+	for _, ev := range chrono {
+		if ev.Op == ChurnJoin {
+			nodes++
+			continue
+		}
+		if ev.Node < 0 || ev.Node >= nodes {
+			return fmt.Errorf("cluster: churn %s at %v references node %d, but only %d nodes exist at that time",
+				ev.Op, ev.At, ev.Node, nodes)
+		}
+	}
+	if c.SampleEvery < 0 {
+		return fmt.Errorf("cluster: negative SampleEvery")
 	}
 	return nil
 }

@@ -59,6 +59,30 @@ type Result struct {
 
 	// PerNode holds per-node detail.
 	PerNode []NodeStats
+
+	// Timeline holds windowed activity samples when Config.SampleEvery is
+	// set — the time axis of the churn (failure/recovery) figures.
+	Timeline []TimelineSample
+}
+
+// TimelineSample is one Config.SampleEvery window of cluster activity.
+type TimelineSample struct {
+	// At is the virtual time at the end of the window.
+	At time.Duration
+
+	// Completed is the number of requests that finished in the window;
+	// Throughput is Completed over the window length, in requests/sec.
+	Completed  int
+	Throughput float64
+
+	// MissRatio is the window's cache misses over its completions.
+	// Misses are counted at service time and completions at completion
+	// time, so a window's ratio can exceed 1 transiently under backlog.
+	MissRatio float64
+
+	// AliveNodes counts nodes eligible for new assignments at sample
+	// time (member, not draining, not down).
+	AliveNodes int
 }
 
 // NodeStats is the per-node breakdown of a Result.

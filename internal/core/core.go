@@ -75,6 +75,31 @@ type FailureAware interface {
 	NodeUp(node int)
 }
 
+// MembershipAware is implemented by strategies that support runtime
+// cluster membership changes. Node indices are stable and never reused:
+// AddNode always extends the index space, and a removed node's index
+// remains permanently ineligible.
+//
+// Removal invalidates a strategy's state for the node exactly like a
+// Section 2.6 failure: mappings and server-set entries pointing at it are
+// ignored (and lazily re-assigned) as if they had never been made.
+type MembershipAware interface {
+	// AddNode grows the node set by one and returns the new node's index.
+	// The caller must have extended its LoadReader first, so Load(new) is
+	// valid before AddNode returns.
+	AddNode() int
+
+	// RemoveNode permanently retires a node; Select will never return it
+	// again. Removing an unknown or already-removed node is a no-op.
+	RemoveNode(node int)
+
+	// SetDraining marks a node draining (true) or restores it (false). A
+	// draining node receives no new assignments — Select treats it like a
+	// failed node — while its in-flight work finishes elsewhere in the
+	// stack.
+	SetDraining(node int, draining bool)
+}
+
 // Params holds the LARD tuning parameters (Section 2.4).
 type Params struct {
 	// TLow is the load "below which a back end is likely to have idle
@@ -130,11 +155,16 @@ func (p Params) MaxOutstanding(n int) int {
 	return (n-1)*p.THigh + p.TLow + 1
 }
 
-// nodeSet tracks which nodes are alive and provides the load-based node
-// picks shared by the strategies.
+// nodeSet tracks which nodes are eligible for new assignments and
+// provides the load-based node picks shared by the strategies. A node is
+// eligible ("alive" below) when it has not failed (Section 2.6), is not
+// draining, and has not been removed from the cluster. The set is
+// growable; indices are stable and never reused.
 type nodeSet struct {
-	loads LoadReader
-	down  []bool
+	loads   LoadReader
+	down    []bool
+	drain   []bool
+	removed []bool
 	// rr rotates tie-breaks so equal-load nodes are picked round-robin.
 	rr int
 }
@@ -147,11 +177,17 @@ func newNodeSet(loads LoadReader) nodeSet {
 	if n < 1 {
 		panic("core: LoadReader reports no nodes")
 	}
-	return nodeSet{loads: loads, down: make([]bool, n)}
+	return nodeSet{
+		loads:   loads,
+		down:    make([]bool, n),
+		drain:   make([]bool, n),
+		removed: make([]bool, n),
+	}
 }
 
 func (s *nodeSet) alive(node int) bool {
-	return node >= 0 && node < len(s.down) && !s.down[node]
+	return node >= 0 && node < len(s.down) &&
+		!s.down[node] && !s.drain[node] && !s.removed[node]
 }
 
 func (s *nodeSet) setDown(node int, down bool) {
@@ -160,11 +196,33 @@ func (s *nodeSet) setDown(node int, down bool) {
 	}
 }
 
+// add extends the node set with one fresh, eligible node and returns its
+// index. The caller's LoadReader must already report the new node.
+func (s *nodeSet) add() int {
+	s.down = append(s.down, false)
+	s.drain = append(s.drain, false)
+	s.removed = append(s.removed, false)
+	return len(s.down) - 1
+}
+
+// remove permanently retires a node; its index is never reused.
+func (s *nodeSet) remove(node int) {
+	if node >= 0 && node < len(s.removed) {
+		s.removed[node] = true
+	}
+}
+
+func (s *nodeSet) setDraining(node int, draining bool) {
+	if node >= 0 && node < len(s.drain) {
+		s.drain[node] = draining
+	}
+}
+
 // aliveNodes returns the alive node indices in ascending order.
 func (s *nodeSet) aliveNodes() []int {
 	out := make([]int, 0, len(s.down))
-	for i, d := range s.down {
-		if !d {
+	for i := range s.down {
+		if s.alive(i) {
 			out = append(out, i)
 		}
 	}
@@ -178,7 +236,7 @@ func (s *nodeSet) leastLoaded() int {
 	best, bestLoad := -1, 0
 	for k := 0; k < n; k++ {
 		i := (s.rr + k) % n
-		if s.down[i] {
+		if !s.alive(i) {
 			continue
 		}
 		l := s.loads.Load(i)
@@ -194,8 +252,8 @@ func (s *nodeSet) leastLoaded() int {
 
 // anyBelow reports whether some alive node has load < bound.
 func (s *nodeSet) anyBelow(bound int) bool {
-	for i, d := range s.down {
-		if !d && s.loads.Load(i) < bound {
+	for i := range s.down {
+		if s.alive(i) && s.loads.Load(i) < bound {
 			return true
 		}
 	}

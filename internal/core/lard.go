@@ -92,6 +92,22 @@ func (s *LARD) NodeDown(node int) { s.nodes.setDown(node, true) }
 // NodeUp implements FailureAware.
 func (s *LARD) NodeUp(node int) { s.nodes.setDown(node, false) }
 
+// AddNode implements MembershipAware. Existing mappings are untouched; the
+// new node picks up targets as first-time assignments and load-triggered
+// moves route hot targets its way.
+func (s *LARD) AddNode() int { return s.nodes.add() }
+
+// RemoveNode implements MembershipAware. Mappings to the removed node are
+// invalidated exactly like a Section 2.6 failure: Select's liveness check
+// re-assigns each of its targets on the next request, as if they had not
+// been assigned before — except the node never comes back.
+func (s *LARD) RemoveNode(node int) { s.nodes.remove(node) }
+
+// SetDraining implements MembershipAware. A draining node's targets are
+// re-assigned on their next request, migrating its working set off the
+// node while in-flight connections finish.
+func (s *LARD) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
+
 // Assignment returns the node currently assigned to target, if any. It
 // does not refresh the mapping's recency and is intended for tests and
 // diagnostics.
@@ -115,6 +131,7 @@ func (s *LARD) MovesByCause() (idle, panic uint64) { return s.movesIdle, s.moves
 func (s *LARD) Assignments() uint64 { return s.assigns }
 
 var (
-	_ Strategy     = (*LARD)(nil)
-	_ FailureAware = (*LARD)(nil)
+	_ Strategy        = (*LARD)(nil)
+	_ FailureAware    = (*LARD)(nil)
+	_ MembershipAware = (*LARD)(nil)
 )

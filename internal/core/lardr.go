@@ -174,6 +174,19 @@ func (s *LARDR) NodeDown(node int) { s.nodes.setDown(node, true) }
 // NodeUp implements FailureAware.
 func (s *LARDR) NodeUp(node int) { s.nodes.setDown(node, false) }
 
+// AddNode implements MembershipAware.
+func (s *LARDR) AddNode() int { return s.nodes.add() }
+
+// RemoveNode implements MembershipAware: server-set entries naming the
+// removed node are pruned lazily on the next request for each target,
+// exactly like a Section 2.6 failure that never recovers.
+func (s *LARDR) RemoveNode(node int) { s.nodes.remove(node) }
+
+// SetDraining implements MembershipAware: a draining node drops out of
+// server sets lazily, shifting each target's traffic onto the remaining
+// replicas (or a fresh assignment).
+func (s *LARDR) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
+
 // ServerSet returns a copy of the current server set for target, for tests
 // and diagnostics.
 func (s *LARDR) ServerSet(target string) []int {
@@ -198,6 +211,7 @@ func (s *LARDR) Shrinks() uint64 { return s.shrinks }
 func (s *LARDR) MaxReplication() int { return s.maxDepth }
 
 var (
-	_ Strategy     = (*LARDR)(nil)
-	_ FailureAware = (*LARDR)(nil)
+	_ Strategy        = (*LARDR)(nil)
+	_ FailureAware    = (*LARDR)(nil)
+	_ MembershipAware = (*LARDR)(nil)
 )

@@ -43,6 +43,17 @@ func (s *LB) NodeDown(node int) { s.nodes.setDown(node, true) }
 // NodeUp implements FailureAware.
 func (s *LB) NodeUp(node int) { s.nodes.setDown(node, false) }
 
+// AddNode implements MembershipAware. The whole name space re-hashes over
+// the enlarged alive set — the partitioning shift the paper's LB scheme
+// inherently pays on membership change.
+func (s *LB) AddNode() int { return s.nodes.add() }
+
+// RemoveNode implements MembershipAware.
+func (s *LB) RemoveNode(node int) { s.nodes.remove(node) }
+
+// SetDraining implements MembershipAware.
+func (s *LB) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
+
 // hashTarget hashes a target name for partitioning.
 func hashTarget(target string) uint64 {
 	h := fnv.New64a()
@@ -51,6 +62,7 @@ func hashTarget(target string) uint64 {
 }
 
 var (
-	_ Strategy     = (*LB)(nil)
-	_ FailureAware = (*LB)(nil)
+	_ Strategy        = (*LB)(nil)
+	_ FailureAware    = (*LB)(nil)
+	_ MembershipAware = (*LB)(nil)
 )

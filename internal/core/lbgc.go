@@ -136,6 +136,35 @@ func (s *LBGC) evictElement(el *list.Element) {
 // "as if they had not been assigned before".
 func (s *LBGC) NodeDown(node int) {
 	s.nodes.setDown(node, true)
+	s.dropEntriesOf(node)
+}
+
+// NodeUp implements FailureAware.
+func (s *LBGC) NodeUp(node int) { s.nodes.setDown(node, false) }
+
+// AddNode implements MembershipAware: the new node starts with an empty
+// modelled cache, so placeMiss favors it until it fills.
+func (s *LBGC) AddNode() int {
+	s.nodeUsed = append(s.nodeUsed, 0)
+	return s.nodes.add()
+}
+
+// RemoveNode implements MembershipAware: the removed node's modelled cache
+// contents are forgotten, like a Section 2.6 failure with no recovery.
+func (s *LBGC) RemoveNode(node int) {
+	s.nodes.remove(node)
+	s.dropEntriesOf(node)
+}
+
+// SetDraining implements MembershipAware. Modelled entries are not
+// dropped eagerly, but Select's liveness check lazily evicts and
+// re-places any entry of a draining node that is accessed — mirroring
+// that another node now caches the target. Only entries never touched
+// during the drain survive to an Undrain.
+func (s *LBGC) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
+
+// dropEntriesOf forgets every modelled entry belonging to node.
+func (s *LBGC) dropEntriesOf(node int) {
 	var next *list.Element
 	for el := s.global.Front(); el != nil; el = next {
 		next = el.Next()
@@ -145,14 +174,12 @@ func (s *LBGC) NodeDown(node int) {
 	}
 }
 
-// NodeUp implements FailureAware.
-func (s *LBGC) NodeUp(node int) { s.nodes.setDown(node, false) }
-
 // ModelledEntries returns the number of targets currently tracked by the
 // front-end cache model, for tests and diagnostics.
 func (s *LBGC) ModelledEntries() int { return s.global.Len() }
 
 var (
-	_ Strategy     = (*LBGC)(nil)
-	_ FailureAware = (*LBGC)(nil)
+	_ Strategy        = (*LBGC)(nil)
+	_ FailureAware    = (*LBGC)(nil)
+	_ MembershipAware = (*LBGC)(nil)
 )

@@ -34,7 +34,17 @@ func (s *WRR) NodeDown(node int) { s.nodes.setDown(node, true) }
 // NodeUp implements FailureAware.
 func (s *WRR) NodeUp(node int) { s.nodes.setDown(node, false) }
 
+// AddNode implements MembershipAware.
+func (s *WRR) AddNode() int { return s.nodes.add() }
+
+// RemoveNode implements MembershipAware.
+func (s *WRR) RemoveNode(node int) { s.nodes.remove(node) }
+
+// SetDraining implements MembershipAware.
+func (s *WRR) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
+
 var (
-	_ Strategy     = (*WRR)(nil)
-	_ FailureAware = (*WRR)(nil)
+	_ Strategy        = (*WRR)(nil)
+	_ FailureAware    = (*WRR)(nil)
+	_ MembershipAware = (*WRR)(nil)
 )

@@ -256,6 +256,12 @@ func All() []Experiment {
 			Run:   Failover,
 		},
 		{
+			ID:    "churn",
+			Title: "Failure/recovery timeline: windowed throughput and miss ratio, LARD and LARD/R (Section 2.6, extension)",
+			Paper: "throughput dips on failure and recovers after the node rejoins; the rejoined node's cold cache spikes the miss ratio until it re-warms",
+			Run:   Churn,
+		},
+		{
 			ID:    "mapcap",
 			Title: "Bounded (LRU) mapping table ablation (Section 2.6, extension)",
 			Paper: "discarding mappings for idle targets is of little consequence",

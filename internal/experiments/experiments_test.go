@@ -15,8 +15,8 @@ func TestAllExperimentsRegistered(t *testing.T) {
 	want := []string{
 		"figure5", "figure6", "figure7", "figure8", "figure9", "figure10",
 		"figure11", "figure12", "figure13", "figure14",
-		"hotspot", "chess", "delay", "sensitivity", "failover", "mapcap",
-		"wrr10x", "lru",
+		"hotspot", "chess", "delay", "sensitivity", "failover", "churn",
+		"mapcap", "wrr10x", "lru",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -279,6 +279,66 @@ func TestFailoverShape(t *testing.T) {
 	}
 	if fail.Y[0] < base.Y[0]*0.4 {
 		t.Fatalf("failover collapse: %v vs baseline %v", fail.Y[0], base.Y[0])
+	}
+}
+
+func TestChurnShape(t *testing.T) {
+	// Slightly above tinyOpt's scale: the windowed timeline needs enough
+	// requests per window for the dip/recovery shape to rise above noise.
+	tables, err := Churn(Options{Seed: 42, Scale: 0.05, Nodes: []int{1, 4, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 || tables[0].ID != "churn" || tables[1].ID != "churn-miss" ||
+		tables[2].ID != "churn-alive" {
+		t.Fatalf("unexpected tables: %v, %v, %v", tables[0].ID, tables[1].ID, tables[2].ID)
+	}
+	avg := func(ys []float64) float64 {
+		s := 0.0
+		for _, y := range ys {
+			s += y
+		}
+		return s / float64(len(ys))
+	}
+	for _, label := range []string{"LARD", "LARD/R"} {
+		tput, ok := tables[0].Get(label)
+		if !ok || len(tput.Y) < 12 {
+			t.Fatalf("%s timeline too short: %d samples", label, len(tput.Y))
+		}
+		// The last window is the closed loop draining its final requests;
+		// drop it before comparing steady-state windows.
+		ys := tput.Y[:len(tput.Y)-1]
+		// Locate the failure window from the membership ground truth.
+		aliveSeries, ok := tables[2].Get(label)
+		if !ok {
+			t.Fatalf("churn-alive has no %s series", label)
+		}
+		lo, hi := -1, -1
+		for i, a := range aliveSeries.Y[:len(ys)] {
+			if a < 4 {
+				if lo < 0 {
+					lo = i
+				}
+				hi = i
+			}
+		}
+		if lo <= 3 || hi >= len(ys)-3 {
+			t.Fatalf("%s failure window [%d,%d] leaves no healthy samples around it", label, lo, hi)
+		}
+		// Caches warm over the whole run, so compare the failure window
+		// against the windows immediately around it rather than the
+		// (cache-cold) start of the run.
+		healthy := avg(ys[lo-3 : lo])
+		failed := avg(ys[lo : hi+1])
+		final := avg(ys[hi+1:])
+		if failed >= healthy {
+			t.Fatalf("%s throughput did not dip on failure: healthy %.1f, failed %.1f",
+				label, healthy, failed)
+		}
+		if final <= failed {
+			t.Fatalf("%s throughput did not recover after rejoin: failed %.1f, final %.1f",
+				label, failed, final)
+		}
 	}
 }
 

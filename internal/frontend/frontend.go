@@ -66,6 +66,19 @@ type Config struct {
 	// DialTimeout bounds back-end dials (default 5s).
 	DialTimeout time.Duration
 
+	// ProbeInterval is how often the health prober re-dials back ends
+	// that are marked down and restores them on a successful dial
+	// (health.go). 0 selects DefaultProbeInterval; a negative value
+	// disables probing, reverting to the permanent mark-down behavior.
+	ProbeInterval time.Duration
+
+	// DialFailuresBeforeDown is how many consecutive dials to a back end
+	// must fail before it is marked down (default
+	// DefaultDialFailuresBeforeDown; 1 = one-strike). A transient dial
+	// error below the threshold surfaces to that client as a 502 but
+	// does not take the node out of rotation.
+	DialFailuresBeforeDown int
+
 	// HeaderTimeout bounds how long a client may take to deliver a
 	// request head (default 30s).
 	HeaderTimeout time.Duration
@@ -84,6 +97,9 @@ type Stats struct {
 	Rehandoffs      uint64
 	Errors          uint64
 	Rejected        uint64 // requests refused because no back end was available
+	MarkedDown      uint64 // nodes taken out of rotation after consecutive dial failures
+	Probes          uint64 // health-probe dials issued to down nodes
+	ProbeRecoveries uint64 // nodes restored by a successful probe
 	ClientToBackend int64
 	BackendToClient int64
 	ActivePerNode   []int
@@ -99,16 +115,38 @@ type Server struct {
 	// accounting, and admission control all live behind it.
 	d lard.Dispatcher
 
+	// backends holds the per-node handoff addresses; indices line up with
+	// dispatcher node ids, including removed nodes (their slots stay).
+	// Guarded by backendsMu because AddBackend grows it at runtime.
+	backendsMu sync.RWMutex
+	backends   []string
+
+	// dialFails counts consecutive failed dials per node; reaching the
+	// configured threshold marks the node down. dialEpochs advance on
+	// every recovery so stale in-flight dial failures are discounted.
+	// probing flags nodes with a health probe currently in flight
+	// (health.go).
+	healthMu   sync.Mutex
+	dialFails  []int
+	dialEpochs []uint64
+	probing    []bool
+
 	accepted   atomic.Uint64
 	handoffs   atomic.Uint64
 	rehandoffs atomic.Uint64
 	errors     atomic.Uint64
 	rejected   atomic.Uint64
+	markdowns  atomic.Uint64
+	probes     atomic.Uint64
+	recoveries atomic.Uint64
 	forward    handoff.ForwardStats
 
-	lnMu   sync.Mutex
-	ln     net.Listener
-	closed atomic.Bool
+	lnMu     sync.Mutex
+	ln       net.Listener
+	closed   atomic.Bool
+	stop     chan struct{}
+	stopOnce sync.Once
+	probeGo  sync.Once
 }
 
 // New builds a front end for the given configuration.
@@ -148,7 +186,20 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("frontend: dispatcher has %d nodes for %d back ends",
 			d.NodeCount(), len(cfg.Backends))
 	}
-	return &Server{cfg: cfg, start: time.Now(), d: d}, nil
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.DialFailuresBeforeDown <= 0 {
+		cfg.DialFailuresBeforeDown = DefaultDialFailuresBeforeDown
+	}
+	return &Server{
+		cfg:       cfg,
+		start:     time.Now(),
+		d:         d,
+		backends:  append([]string(nil), cfg.Backends...),
+		dialFails: make([]int, len(cfg.Backends)),
+		stop:      make(chan struct{}),
+	}, nil
 }
 
 // Dispatcher returns the dispatch layer the front end routes through, for
@@ -163,6 +214,9 @@ func (s *Server) Stats() Stats {
 		Rehandoffs:      s.rehandoffs.Load(),
 		Errors:          s.errors.Load(),
 		Rejected:        s.rejected.Load(),
+		MarkedDown:      s.markdowns.Load(),
+		Probes:          s.probes.Load(),
+		ProbeRecoveries: s.recoveries.Load(),
 		ClientToBackend: s.forward.ClientToBackend.Load(),
 		BackendToClient: s.forward.BackendToClient.Load(),
 		ActivePerNode:   s.d.Loads(),
@@ -184,11 +238,15 @@ func (s *Server) ListenAndServe(addr string) error {
 	return s.Serve(ln)
 }
 
-// Serve accepts client connections on ln until Close.
+// Serve accepts client connections on ln until Close. The health prober
+// starts with the first Serve call (unless probing is disabled).
 func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
 	s.ln = ln
 	s.lnMu.Unlock()
+	if s.cfg.ProbeInterval > 0 {
+		s.probeGo.Do(func() { go s.probeLoop(s.cfg.ProbeInterval) })
+	}
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -212,9 +270,10 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting connections.
+// Close stops accepting connections and stops the health prober.
 func (s *Server) Close() error {
 	s.closed.Store(true)
+	s.stopOnce.Do(func() { close(s.stop) })
 	s.lnMu.Lock()
 	defer s.lnMu.Unlock()
 	if s.ln != nil {
@@ -282,11 +341,8 @@ func (s *Server) dispatch(target string, size int64) (int, func(), error) {
 // connection: the handoff message carries the parsed head plus any bytes
 // the reader buffered beyond it.
 func (s *Server) dialAndHandoff(node int, client net.Conn, head requestHead, br *bufio.Reader, flags byte) (net.Conn, error) {
-	backend, err := net.DialTimeout("tcp", s.cfg.Backends[node], s.cfg.DialTimeout)
+	backend, err := s.dialBackend(node)
 	if err != nil {
-		// A dead back end is reported to the policy so its targets are
-		// re-assigned "as if they had not been assigned before".
-		s.d.SetNodeDown(node, true)
 		return nil, err
 	}
 	initial := head.raw

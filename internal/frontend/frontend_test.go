@@ -28,8 +28,9 @@ type miniCluster struct {
 }
 
 // startCluster builds and starts a cluster with the given policy and
-// back-end count. The store serves the catalog of tr.
-func startCluster(t *testing.T, n int, strategy string, tr *trace.Trace, cacheBytes int64) *miniCluster {
+// back-end count. The store serves the catalog of tr. Optional mod funcs
+// adjust the front-end Config before it is built.
+func startCluster(t *testing.T, n int, strategy string, tr *trace.Trace, cacheBytes int64, mod ...func(*Config)) *miniCluster {
 	t.Helper()
 	mc := &miniCluster{}
 	store := backend.NewDocStore(tr.Targets)
@@ -50,7 +51,11 @@ func startCluster(t *testing.T, n int, strategy string, tr *trace.Trace, cacheBy
 		mc.backends = append(mc.backends, be)
 		addrs = append(addrs, ln.Addr().String())
 	}
-	fe, err := New(Config{Backends: addrs, Strategy: strategy})
+	cfg := Config{Backends: addrs, Strategy: strategy}
+	for _, m := range mod {
+		m(&cfg)
+	}
+	fe, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +233,10 @@ func TestRehandoffPerRequestMode(t *testing.T) {
 
 func TestBackendFailureReturns502AndMarksDown(t *testing.T) {
 	tr := smallTrace(t, 10, 10)
-	mc := startCluster(t, 2, "lard", tr, 1<<20)
+	// Probing off: this test marks a perfectly healthy back end down and
+	// expects it to stay down; the prober would (correctly) restore it.
+	mc := startCluster(t, 2, "lard", tr, 1<<20,
+		func(c *Config) { c.ProbeInterval = -1 })
 	// Fresh connections each time: a kept-alive connection is already
 	// handed off and correctly bypasses the dispatcher.
 	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
@@ -286,9 +294,11 @@ func TestDialFailureMarksNodeDown(t *testing.T) {
 	dead.Close() // nothing listens here any more
 
 	fe, err := New(Config{
-		Backends:    []string{deadAddr, ln.Addr().String()},
-		Strategy:    "wrr",
-		DialTimeout: 500 * time.Millisecond,
+		Backends:               []string{deadAddr, ln.Addr().String()},
+		Strategy:               "wrr",
+		DialTimeout:            500 * time.Millisecond,
+		DialFailuresBeforeDown: 1, // seed one-strike behavior
+		ProbeInterval:          -1,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -130,7 +130,7 @@ func (s *Server) handlePerRequest(client net.Conn) {
 // dialRehandoff opens a back-end connection and sends the handoff message
 // for one request.
 func (s *Server) dialRehandoff(node int, client net.Conn, head requestHead) (net.Conn, error) {
-	backend, err := net.DialTimeout("tcp", s.cfg.Backends[node], s.cfg.DialTimeout)
+	backend, err := s.dialBackend(node)
 	if err != nil {
 		return nil, err
 	}

@@ -20,7 +20,11 @@
 //   - an optional sharded variant (WithShards) that hash-partitions the
 //     target space across independent strategy instances, each behind its
 //     own lock with its own admission budget, so dispatch throughput
-//     scales with cores instead of serializing on one mutex.
+//     scales with cores instead of serializing on one mutex;
+//   - runtime cluster membership: AddNode, RemoveNode, Drain, and Undrain
+//     change the node set while traffic flows, recomputing S on every
+//     change, with NodeStates exposing the per-node membership and health
+//     flags (node indices are stable and never reused).
 //
 // A minimal use:
 //
@@ -58,6 +62,18 @@ type LoadReader = core.LoadReader
 // Section 2.6 node failure and recovery; SetNodeDown fans out to it.
 type FailureAware = core.FailureAware
 
+// MembershipAware is implemented by strategies that support runtime
+// membership changes; AddNode, RemoveNode, Drain, and Undrain fan out to
+// it. Externally registered strategies that implement only FailureAware
+// degrade gracefully (removal and drain become NodeDown); strategies
+// implementing neither still never receive traffic for removed or
+// draining nodes, because the dispatcher re-checks eligibility after
+// Select. AddNode has no such fallback: a strategy without this
+// interface never routes to added nodes, yet the recomputed admission
+// bound S still counts them — implement MembershipAware before using
+// AddNode with a custom strategy.
+type MembershipAware = core.MembershipAware
+
 // DefaultParams returns the paper's recommended settings: T_low = 25,
 // T_high = 65 active connections, K = 20 s.
 func DefaultParams() Params { return core.DefaultParams() }
@@ -87,8 +103,36 @@ type Dispatcher interface {
 	// down.
 	Dispatch(now time.Duration, r Request) (node int, done func(), err error)
 
-	// NodeCount returns the number of back-end nodes (alive or not).
+	// NodeCount returns the number of back-end node indices ever created
+	// (alive, down, draining, or removed). Indices are stable and never
+	// reused, so NodeCount only grows.
 	NodeCount() int
+
+	// AddNode grows the cluster by one node on every shard and returns
+	// the new node's index (always the previous NodeCount). The admission
+	// bound S = (n−1)·T_high + T_low + 1 is recomputed from the new
+	// eligible-node count.
+	AddNode() int
+
+	// RemoveNode permanently retires a node: no new assignments, and each
+	// strategy invalidates its state for the node exactly like a Section
+	// 2.6 failure that never recovers. In-flight slots on the node drain
+	// normally through their done funcs. S is recomputed. Removing an
+	// unknown or already-removed node is a no-op.
+	RemoveNode(node int)
+
+	// Drain stops new assignments to a node while its in-flight slots
+	// finish; Loads()[node] reaching zero signals the drain is complete.
+	// S is recomputed as if the node had left. Draining a removed node is
+	// a no-op.
+	Drain(node int)
+
+	// Undrain restores a draining node to service and recomputes S.
+	Undrain(node int)
+
+	// NodeStates returns a snapshot of every node's membership and health
+	// flags, indexed by node.
+	NodeStates() []NodeState
 
 	// Shards returns the number of independent strategy instances the
 	// target space is partitioned over (1 for the locked dispatcher).

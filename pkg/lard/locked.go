@@ -28,6 +28,14 @@ type lockedShard struct {
 	loads    *loadTable
 	inFlight int
 	budget   int // max outstanding connections; 0 = unlimited
+
+	// blocked marks nodes that are removed or draining, down marks nodes
+	// failed. Built-in strategies already refuse both via
+	// core.MembershipAware/core.FailureAware; these guards make the
+	// no-traffic guarantee hold even for externally registered
+	// strategies that implement neither interface.
+	blocked []bool
+	down    []bool
 }
 
 func newLockedShard(f Factory, o Options) (*lockedShard, error) {
@@ -36,7 +44,13 @@ func newLockedShard(f Factory, o Options) (*lockedShard, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &lockedShard{strategy: s, loads: lt, budget: o.budget()}, nil
+	return &lockedShard{
+		strategy: s,
+		loads:    lt,
+		budget:   o.budget(),
+		blocked:  make([]bool, o.Nodes),
+		down:     make([]bool, o.Nodes),
+	}, nil
 }
 
 func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), error) {
@@ -46,7 +60,7 @@ func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), erro
 		return -1, nil, ErrOverloaded
 	}
 	node := sh.strategy.Select(now, r)
-	if node < 0 {
+	if node < 0 || node >= len(sh.loads.active) || sh.blocked[node] || sh.down[node] {
 		return -1, nil, ErrUnavailable
 	}
 	sh.loads.active[node]++
@@ -72,17 +86,91 @@ func (sh *lockedShard) snapshot() (active []int, inFlight int) {
 	return append([]int(nil), sh.loads.active...), sh.inFlight
 }
 
-func (sh *lockedShard) setNodeDown(node int, down bool) {
+// setNodeDown forwards a failure or recovery to the strategy; draining
+// reports whether the node is mid-drain, so recovery never lifts the
+// NodeDown that stands in for a drain on FailureAware-only strategies.
+// The shard's own down flag backs the dispatch guard for strategies with
+// no failure support at all.
+func (sh *lockedShard) setNodeDown(node int, down, draining bool) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	if node >= 0 && node < len(sh.down) {
+		sh.down[node] = down
+	}
 	fa, ok := sh.strategy.(core.FailureAware)
 	if !ok {
 		return
 	}
-	if down {
+	_, membershipAware := sh.strategy.(core.MembershipAware)
+	switch {
+	case down:
 		fa.NodeDown(node)
-	} else {
+	case draining && !membershipAware:
+		// The node is back up but still draining, and this strategy's
+		// only no-new-assignments flag is the down bit: keep it set.
+	default:
 		fa.NodeUp(node)
+	}
+}
+
+// addNode grows the shard's load table (so Load(new) is valid before the
+// strategy learns of the node) and installs the recomputed admission
+// budget.
+func (sh *lockedShard) addNode(budget int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.loads.active = append(sh.loads.active, 0)
+	sh.blocked = append(sh.blocked, false)
+	sh.down = append(sh.down, false)
+	sh.budget = budget
+	if ma, ok := sh.strategy.(core.MembershipAware); ok {
+		ma.AddNode()
+	}
+}
+
+// removeNode retires a node on this shard. A strategy without membership
+// support degrades to a permanent NodeDown, which has the same
+// no-new-assignments effect (membership never marks a removed node up).
+func (sh *lockedShard) removeNode(node, budget int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if node < 0 || node >= len(sh.blocked) {
+		return
+	}
+	sh.blocked[node] = true
+	sh.budget = budget
+	if ma, ok := sh.strategy.(core.MembershipAware); ok {
+		ma.RemoveNode(node)
+	} else if fa, ok := sh.strategy.(core.FailureAware); ok {
+		fa.NodeDown(node)
+	}
+}
+
+// setDraining toggles drain on this shard. The FailureAware fallback makes
+// externally registered strategies treat a drain like a failure, which is
+// the same Select-level behavior; down reports whether the node is also
+// failed, so undraining inside one critical section never briefly marks a
+// down node selectable.
+func (sh *lockedShard) setDraining(node int, draining, down bool, budget int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if node < 0 || node >= len(sh.blocked) {
+		return
+	}
+	sh.blocked[node] = draining
+	sh.budget = budget
+	if ma, ok := sh.strategy.(core.MembershipAware); ok {
+		ma.SetDraining(node, draining)
+	} else if fa, ok := sh.strategy.(core.FailureAware); ok {
+		switch {
+		case draining:
+			fa.NodeDown(node)
+		case down:
+			// Undrained but still failed: the strategy's single down flag
+			// must stay set.
+		default:
+			fa.NodeUp(node)
+		}
 	}
 }
 
@@ -96,6 +184,7 @@ func (sh *lockedShard) inspect(shard int, f func(int, core.Strategy, core.LoadRe
 // the paper's single dispatch point made safe for concurrent callers.
 type locked struct {
 	name  string
+	mem   *membership
 	shard *lockedShard
 }
 
@@ -103,7 +192,7 @@ func (d *locked) Dispatch(now time.Duration, r Request) (int, func(), error) {
 	return d.shard.dispatch(now, r)
 }
 
-func (d *locked) NodeCount() int { return d.shard.loads.NodeCount() }
+func (d *locked) NodeCount() int { return d.mem.nodeCount() }
 func (d *locked) Shards() int    { return 1 }
 func (d *locked) Name() string   { return d.name }
 
@@ -117,7 +206,16 @@ func (d *locked) InFlight() int {
 	return n
 }
 
-func (d *locked) SetNodeDown(node int, down bool) { d.shard.setNodeDown(node, down) }
+func (d *locked) SetNodeDown(node int, down bool) {
+	d.mem.setNodeDown(node, down, d.shardList())
+}
+
+func (d *locked) AddNode() int              { return d.mem.addNode(d.shardList()) }
+func (d *locked) RemoveNode(node int)       { d.mem.removeNode(node, d.shardList()) }
+func (d *locked) Drain(node int)            { d.mem.setDraining(node, true, d.shardList()) }
+func (d *locked) Undrain(node int)          { d.mem.setDraining(node, false, d.shardList()) }
+func (d *locked) NodeStates() []NodeState   { return d.mem.snapshot() }
+func (d *locked) shardList() []*lockedShard { return []*lockedShard{d.shard} }
 
 func (d *locked) Inspect(f func(int, core.Strategy, core.LoadReader)) {
 	d.shard.inspect(0, f)

@@ -1,0 +1,137 @@
+package lard
+
+import "sync"
+
+// NodeState is one node's membership and health as tracked by the
+// dispatcher. NodeStates returns a slice indexed by node id; indices are
+// stable for the dispatcher's lifetime and never reused, so a NodeState
+// slice always lines up with Loads().
+type NodeState struct {
+	// Member is false once the node has been removed. A removed node's
+	// index stays in every per-node slice but never receives traffic
+	// again.
+	Member bool
+
+	// Draining is true between Drain and Undrain: no new assignments, but
+	// in-flight connection slots keep counting until their done funcs run.
+	Draining bool
+
+	// Down is the Section 2.6 failure flag, toggled by SetNodeDown.
+	Down bool
+}
+
+// Eligible reports whether the node may receive new assignments.
+func (s NodeState) Eligible() bool { return s.Member && !s.Draining && !s.Down }
+
+// membership is the dispatcher-level record of cluster membership, shared
+// by the locked and sharded variants. It serializes membership operations
+// (Add/Remove/Drain/SetNodeDown) against each other and fans each one out
+// to every shard; the dispatch hot path never touches it.
+//
+// The admission bound S = (n−1)·T_high + T_low + 1 is recomputed on every
+// membership change with n = the member, non-draining node count. Down
+// nodes still count toward n: failure is transient (the paper expects the
+// node back; the prober re-dials it), whereas Remove and Drain are
+// deliberate capacity changes. An explicit WithMaxOutstanding override is
+// never recomputed.
+type membership struct {
+	mu    sync.Mutex
+	state []NodeState
+	opts  Options
+}
+
+func newMembership(o Options) *membership {
+	m := &membership{opts: o, state: make([]NodeState, o.Nodes)}
+	for i := range m.state {
+		m.state[i].Member = true
+	}
+	return m
+}
+
+// budgetLocked derives the per-shard admission budget from the current
+// eligible-for-capacity node count. Callers hold m.mu. With zero
+// eligible nodes the derived budget is 0 (internally "unlimited"), which
+// is harmless: no dispatch can claim a slot anyway — Select has no node
+// to return and every request fails with ErrUnavailable.
+func (m *membership) budgetLocked() int {
+	n := 0
+	for _, st := range m.state {
+		if st.Member && !st.Draining {
+			n++
+		}
+	}
+	return m.opts.budgetFor(n)
+}
+
+func (m *membership) nodeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.state)
+}
+
+func (m *membership) snapshot() []NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]NodeState(nil), m.state...)
+}
+
+// addNode grows the cluster by one node on every shard and returns the new
+// node's index.
+func (m *membership) addNode(shards []*lockedShard) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.state = append(m.state, NodeState{Member: true})
+	node := len(m.state) - 1
+	budget := m.budgetLocked()
+	for _, sh := range shards {
+		sh.addNode(budget)
+	}
+	return node
+}
+
+// removeNode permanently retires a node. In-flight slots on it drain
+// normally through their done funcs. Removing an unknown or already
+// removed node is a no-op.
+func (m *membership) removeNode(node int, shards []*lockedShard) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if node < 0 || node >= len(m.state) || !m.state[node].Member {
+		return
+	}
+	m.state[node] = NodeState{Member: false}
+	budget := m.budgetLocked()
+	for _, sh := range shards {
+		sh.removeNode(node, budget)
+	}
+}
+
+// setDraining starts or ends a drain. Draining a removed node (or a node
+// already in the requested state) is a no-op.
+func (m *membership) setDraining(node int, draining bool, shards []*lockedShard) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if node < 0 || node >= len(m.state) || !m.state[node].Member ||
+		m.state[node].Draining == draining {
+		return
+	}
+	m.state[node].Draining = draining
+	budget := m.budgetLocked()
+	for _, sh := range shards {
+		sh.setDraining(node, draining, m.state[node].Down, budget)
+	}
+}
+
+// setNodeDown records a failure or recovery and forwards it to each
+// shard's strategy. Down transitions never change the admission budget.
+// Marking a removed node up or down is a no-op.
+func (m *membership) setNodeDown(node int, down bool, shards []*lockedShard) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if node < 0 || node >= len(m.state) || !m.state[node].Member {
+		return
+	}
+	m.state[node].Down = down
+	for _, sh := range shards {
+		sh.setNodeDown(node, down, m.state[node].Draining)
+	}
+}

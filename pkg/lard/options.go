@@ -98,14 +98,20 @@ func (o Options) validate() error {
 	return o.Params.Validate()
 }
 
-// budget resolves the per-shard admission budget: 0 means unlimited
-// internally.
-func (o Options) budget() int {
+// budget resolves the per-shard admission budget at construction: 0 means
+// unlimited internally.
+func (o Options) budget() int { return o.budgetFor(o.Nodes) }
+
+// budgetFor resolves the per-shard admission budget for an eligible node
+// count of n — membership changes recompute the paper's S through it. An
+// explicit WithMaxOutstanding value (positive or negative) is independent
+// of n and never recomputes.
+func (o Options) budgetFor(n int) int {
 	switch {
 	case o.MaxOutstanding < 0:
 		return 0
 	case o.MaxOutstanding == 0:
-		return o.Params.MaxOutstanding(o.Nodes)
+		return o.Params.MaxOutstanding(n)
 	default:
 		return o.MaxOutstanding
 	}

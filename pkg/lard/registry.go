@@ -125,10 +125,11 @@ func New(name string, opts ...Option) (Dispatcher, error) {
 		}
 		shards[i] = sh
 	}
+	mem := newMembership(o)
 	if len(shards) == 1 {
-		return &locked{name: name, shard: shards[0]}, nil
+		return &locked{name: name, mem: mem, shard: shards[0]}, nil
 	}
-	return &sharded{name: name, shards: shards}, nil
+	return &sharded{name: name, mem: mem, shards: shards}, nil
 }
 
 // MustNew is New, panicking on error; for examples and tests.

@@ -22,6 +22,7 @@ import (
 // for strictly better scalability.
 type sharded struct {
 	name   string
+	mem    *membership
 	shards []*lockedShard
 }
 
@@ -29,7 +30,7 @@ func (d *sharded) Dispatch(now time.Duration, r Request) (int, func(), error) {
 	return d.shards[shardOf(r.Target, len(d.shards))].dispatch(now, r)
 }
 
-func (d *sharded) NodeCount() int { return d.shards[0].loads.NodeCount() }
+func (d *sharded) NodeCount() int { return d.mem.nodeCount() }
 func (d *sharded) Shards() int    { return len(d.shards) }
 func (d *sharded) Name() string   { return d.name }
 
@@ -38,6 +39,11 @@ func (d *sharded) Loads() []int {
 	for _, sh := range d.shards {
 		active, _ := sh.snapshot()
 		for i, a := range active {
+			// A concurrent AddNode may have reached a shard after the
+			// NodeCount read above; grow rather than panic.
+			if i >= len(total) {
+				total = append(total, 0)
+			}
 			total[i] += a
 		}
 	}
@@ -54,10 +60,14 @@ func (d *sharded) InFlight() int {
 }
 
 func (d *sharded) SetNodeDown(node int, down bool) {
-	for _, sh := range d.shards {
-		sh.setNodeDown(node, down)
-	}
+	d.mem.setNodeDown(node, down, d.shards)
 }
+
+func (d *sharded) AddNode() int            { return d.mem.addNode(d.shards) }
+func (d *sharded) RemoveNode(node int)     { d.mem.removeNode(node, d.shards) }
+func (d *sharded) Drain(node int)          { d.mem.setDraining(node, true, d.shards) }
+func (d *sharded) Undrain(node int)        { d.mem.setDraining(node, false, d.shards) }
+func (d *sharded) NodeStates() []NodeState { return d.mem.snapshot() }
 
 func (d *sharded) Inspect(f func(int, core.Strategy, core.LoadReader)) {
 	for i, sh := range d.shards {
