@@ -34,55 +34,75 @@ import (
 	"lard/pkg/lard"
 )
 
+// options collects the parsed command line.
+type options struct {
+	listen     string
+	backends   string
+	strategy   string
+	shards     int
+	params     core.Params
+	cacheBytes int64
+	rehandoff  bool
+	headerTime time.Duration
+	maxHeader  int
+	statsEach  time.Duration
+	probe      time.Duration
+	dialFails  int
+	admin      string
+}
+
 func main() {
-	var (
-		listen     = flag.String("listen", "127.0.0.1:8080", "client listen address")
-		backends   = flag.String("backends", "", "comma-separated back-end handoff addresses")
-		strategy   = flag.String("strategy", "lard/r", "distribution strategy: "+strings.Join(lard.Strategies(), ", "))
-		shards     = flag.Int("shards", 1, "dispatcher shards (1 = the paper's single dispatch point)")
-		tlow       = flag.Int("tlow", 25, "LARD T_low (active connections)")
-		thigh      = flag.Int("thigh", 65, "LARD T_high (active connections)")
-		k          = flag.Duration("k", 20*time.Second, "LARD/R replication timer K")
-		mapCap     = flag.Int("mapcap", 0, "LRU bound on the target mapping (0 = unbounded)")
-		cacheBytes = flag.Int64("cachebytes", lard.DefaultCacheBytes, "per-node cache size assumed by lb/gc")
-		rehandoff  = flag.Bool("rehandoff", false, "re-dispatch every request on persistent connections")
-		statsEach  = flag.Duration("stats", 0, "print stats at this interval (0 = never)")
-		probe      = flag.Duration("probe", frontend.DefaultProbeInterval, "health-probe interval for down back ends (negative = off)")
-		dialFails  = flag.Int("dialfails", frontend.DefaultDialFailuresBeforeDown, "consecutive dial failures before a back end is marked down")
-		admin      = flag.String("admin", "", "admin listen address for /admin/nodes and /admin/drain (empty = off)")
-	)
+	var o options
+	flag.StringVar(&o.listen, "listen", "127.0.0.1:8080", "client listen address")
+	flag.StringVar(&o.backends, "backends", "", "comma-separated back-end handoff addresses")
+	flag.StringVar(&o.strategy, "strategy", "lard/r", "distribution strategy: "+strings.Join(lard.Strategies(), ", "))
+	flag.IntVar(&o.shards, "shards", 1, "dispatcher shards (1 = the paper's single dispatch point)")
+	tlow := flag.Int("tlow", 25, "LARD T_low (active connections)")
+	thigh := flag.Int("thigh", 65, "LARD T_high (active connections)")
+	k := flag.Duration("k", 20*time.Second, "LARD/R replication timer K")
+	mapCap := flag.Int("mapcap", 0, "LRU bound on the target mapping (0 = unbounded)")
+	flag.Int64Var(&o.cacheBytes, "cachebytes", lard.DefaultCacheBytes, "per-node cache size assumed by lb/gc")
+	flag.BoolVar(&o.rehandoff, "rehandoff", false, "re-dispatch every request on persistent connections")
+	flag.DurationVar(&o.headerTime, "headertimeout", 30*time.Second, "time limit for a client to deliver a request head")
+	flag.IntVar(&o.maxHeader, "maxheader", 64<<10, "request/response head size limit in bytes for the relay parser")
+	flag.DurationVar(&o.statsEach, "stats", 0, "print stats at this interval (0 = never)")
+	flag.DurationVar(&o.probe, "probe", frontend.DefaultProbeInterval, "health-probe interval for down back ends (negative = off)")
+	flag.IntVar(&o.dialFails, "dialfails", frontend.DefaultDialFailuresBeforeDown, "consecutive dial failures before a back end is marked down")
+	flag.StringVar(&o.admin, "admin", "", "admin listen address for /admin/nodes and /admin/drain (empty = off)")
 	flag.Parse()
 
-	params := core.Params{TLow: *tlow, THigh: *thigh, K: *k, MappingCapacity: *mapCap}
-	if err := run(*listen, *backends, *strategy, *shards, params, *cacheBytes, *rehandoff, *statsEach, *probe, *dialFails, *admin); err != nil {
+	o.params = core.Params{TLow: *tlow, THigh: *thigh, K: *k, MappingCapacity: *mapCap}
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "lardfe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, backends, strategy string, shards int, params core.Params, cacheBytes int64, rehandoff bool, statsEach, probe time.Duration, dialFails int, admin string) error {
-	addrs := splitAddrs(backends)
+func run(o options) error {
+	addrs := splitAddrs(o.backends)
 	if len(addrs) == 0 {
 		return fmt.Errorf("no back ends configured (use -backends)")
 	}
-	d, err := newDispatcher(strategy, shards, len(addrs), params, cacheBytes)
+	d, err := newDispatcher(o.strategy, o.shards, len(addrs), o.params, o.cacheBytes)
 	if err != nil {
 		return err
 	}
 	fe, err := frontend.New(frontend.Config{
 		Backends:               addrs,
 		Dispatcher:             d,
-		RehandoffPerRequest:    rehandoff,
-		ProbeInterval:          probe,
-		DialFailuresBeforeDown: dialFails,
+		RehandoffPerRequest:    o.rehandoff,
+		HeaderTimeout:          o.headerTime,
+		MaxHeaderBytes:         o.maxHeader,
+		ProbeInterval:          o.probe,
+		DialFailuresBeforeDown: o.dialFails,
 		ErrorLog:               log.New(os.Stderr, "", log.LstdFlags),
 	})
 	if err != nil {
 		return err
 	}
-	if statsEach > 0 {
+	if o.statsEach > 0 {
 		go func() {
-			for range time.Tick(statsEach) {
+			for range time.Tick(o.statsEach) {
 				st := fe.Stats()
 				log.Printf("stats: accepted=%d handoffs=%d rehandoffs=%d errors=%d rejected=%d down=%d probes=%d recovered=%d c2b=%dB b2c=%dB active=%v",
 					st.Accepted, st.Handoffs, st.Rehandoffs, st.Errors, st.Rejected,
@@ -91,18 +111,18 @@ func run(listen, backends, strategy string, shards int, params core.Params, cach
 			}
 		}()
 	}
-	if admin != "" {
-		srv := &http.Server{Addr: admin, Handler: adminMux(fe)}
+	if o.admin != "" {
+		srv := &http.Server{Addr: o.admin, Handler: adminMux(fe)}
 		go func() {
 			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 				log.Printf("lardfe: admin server: %v", err)
 			}
 		}()
-		fmt.Printf("lardfe: admin endpoints on %s\n", admin)
+		fmt.Printf("lardfe: admin endpoints on %s\n", o.admin)
 	}
 	fmt.Printf("lardfe: %s over %d back ends on %s (shards=%d rehandoff=%v probe=%v)\n",
-		d.Name(), len(addrs), listen, d.Shards(), rehandoff, probe)
-	return fe.ListenAndServe(listen)
+		d.Name(), len(addrs), o.listen, d.Shards(), o.rehandoff, o.probe)
+	return fe.ListenAndServe(o.listen)
 }
 
 // adminMux serves the membership endpoints over the given front end.

@@ -5,6 +5,11 @@
 // Usage:
 //
 //	loadgen -url http://127.0.0.1:8080 -profile rice -clients 32 -requests 50000
+//
+// Persistent-connection (P-HTTP) workloads bound how many requests ride
+// on each connection, e.g. 8 requests per connection drawn geometrically:
+//
+//	loadgen -url http://127.0.0.1:8080 -keepalive -reqsperconn 8 -conndist geometric
 package main
 
 import (
@@ -28,16 +33,18 @@ func main() {
 		clients   = flag.Int("clients", 16, "concurrent simulated clients")
 		requests  = flag.Int("requests", 0, "request budget (0 = one pass over the trace)")
 		keepAlive = flag.Bool("keepalive", false, "reuse connections (HTTP/1.1 persistent)")
+		reqsConn  = flag.Int("reqsperconn", 0, "with -keepalive: mean requests per connection before the client closes it (0 = unbounded reuse)")
+		connDist  = flag.String("conndist", "fixed", "requests-per-connection distribution: fixed or geometric")
 	)
 	flag.Parse()
 
-	if err := run(*url, *profile, *seed, *scale, *clients, *requests, *keepAlive); err != nil {
+	if err := run(*url, *profile, *seed, *scale, *clients, *requests, *keepAlive, *reqsConn, *connDist); err != nil {
 		fmt.Fprintln(os.Stderr, "loadgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(url, profile string, seed int64, scale float64, clients, requests int, keepAlive bool) error {
+func run(url, profile string, seed int64, scale float64, clients, requests int, keepAlive bool, reqsPerConn int, connDist string) error {
 	var cfg trace.SyntheticConfig
 	switch strings.ToLower(profile) {
 	case "rice":
@@ -61,11 +68,14 @@ func run(url, profile string, seed int64, scale float64, clients, requests int, 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	st, err := loadgen.Run(ctx, loadgen.Config{
-		BaseURL:   url,
-		Trace:     tr,
-		Clients:   clients,
-		Requests:  requests,
-		KeepAlive: keepAlive,
+		BaseURL:     url,
+		Trace:       tr,
+		Clients:     clients,
+		Requests:    requests,
+		KeepAlive:   keepAlive,
+		ReqsPerConn: reqsPerConn,
+		ConnDist:    connDist,
+		Seed:        seed,
 	})
 	if err != nil {
 		return err

@@ -48,6 +48,16 @@ type Cluster struct {
 	next        int
 	dropped     int
 
+	// Persistent-connection state (phttp.go): the per-connection length
+	// generator, a drawn-but-not-yet-admitted connection length (so
+	// overload pushback never skews the seeded draw sequence),
+	// connections parked on the admission bound mid-stream, and the
+	// count of back-end switches in re-handoff mode.
+	connLen    func() int
+	pendingLen int
+	stalled    []*connState
+	rehandoffs int
+
 	// Delay accounting.
 	delaySum     time.Duration
 	delayMax     time.Duration
@@ -105,6 +115,9 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 	if cfg.Strategy == WRRGMS {
 		c.gms = newGMS(c.nodes)
 	}
+	if cfg.ReqsPerConn >= 1 {
+		c.connLen = newConnLen(cfg)
+	}
 
 	c.scheduleFailures()
 	c.scheduleChurn()
@@ -125,8 +138,14 @@ func (c *Cluster) Run() Result {
 
 // pump admits requests while capacity remains — the closed loop. The
 // dispatcher enforces the admission bound: pumping stops when it reports
-// ErrOverloaded and resumes when a completion releases a slot.
+// ErrOverloaded and resumes when a completion releases a slot. With a
+// persistent-connection workload configured, admission happens at
+// connection granularity instead (phttp.go).
 func (c *Cluster) pump() {
+	if c.connLen != nil {
+		c.pumpPersistent()
+		return
+	}
 	for c.next < c.tr.Len() {
 		r := c.tr.At(c.next)
 		req := core.Request{Target: r.Target, Size: r.Size}
@@ -162,6 +181,11 @@ func (c *Cluster) pump() {
 				c.finishSampling()
 			}
 		})
+	}
+	// A total outage can drop the trace tail with nothing in flight, in
+	// which case no completion callback remains to close the timeline.
+	if c.outstanding == 0 && c.next >= c.tr.Len() {
+		c.finishSampling()
 	}
 }
 
@@ -373,6 +397,7 @@ func (c *Cluster) collect() Result {
 	}
 	res.MaxDelay = c.delayMax
 	res.PeakOutstanding = c.peak
+	res.Rehandoffs = c.rehandoffs
 	if minSet {
 		res.NodeDelayDiff = maxNodeDelay - minNodeDelay
 	}

@@ -8,6 +8,7 @@ import (
 
 	"lard/internal/cache"
 	"lard/internal/core"
+	"lard/internal/trace"
 )
 
 // StrategyKind names the request-distribution configurations evaluated in
@@ -270,6 +271,34 @@ type Config struct {
 	// (Result.Timeline): one sample per interval with the window's
 	// throughput and miss ratio — the churn experiments' time axis.
 	SampleEvery time.Duration
+
+	// ReqsPerConn, when >= 1, models persistent connections (P-HTTP,
+	// paper Section 5): consecutive trace requests are grouped into
+	// connections whose request count is drawn from ConnDist with this
+	// mean, each connection charging Cost.HandoffCost on arrival at a
+	// back end. 1 means single-request connections — same workload
+	// shape as HTTP/1.0 but under the P-HTTP cost model, the sweep's
+	// anchor point. 0 keeps the paper's original model (no handoff
+	// accounting), preserving the published figures.
+	ReqsPerConn int
+
+	// ConnDist is the requests-per-connection distribution: "fixed"
+	// (default) or "geometric".
+	ConnDist string
+
+	// ConnSeed seeds the connection-length draws (default 1), so runs
+	// are reproducible.
+	ConnSeed int64
+
+	// RehandoffPerRequest selects the paper's multiple-handoff design
+	// for persistent connections: every request on a connection is
+	// re-dispatched, and each move to a different back end is charged
+	// Cost.HandoffCost + establishment there (plus teardown on the node
+	// it left). When false, a persistent connection is pinned to the
+	// back end its *first* request's target selected — the per-
+	// connection policy whose lost locality the phttp experiment
+	// measures.
+	RehandoffPerRequest bool
 }
 
 // DefaultConfig returns the paper's default simulation setup for the given
@@ -348,6 +377,26 @@ func (c Config) Validate() error {
 	}
 	if c.SampleEvery < 0 {
 		return fmt.Errorf("cluster: negative SampleEvery")
+	}
+	if c.ReqsPerConn < 0 {
+		return fmt.Errorf("cluster: ReqsPerConn = %d, need >= 0", c.ReqsPerConn)
+	}
+	switch c.ConnDist {
+	case "", trace.ConnDistFixed, trace.ConnDistGeometric:
+	default:
+		return fmt.Errorf("cluster: unknown ConnDist %q (want %q or %q)",
+			c.ConnDist, trace.ConnDistFixed, trace.ConnDistGeometric)
+	}
+	if c.ReqsPerConn >= 1 && c.Strategy == WRRGMS {
+		return fmt.Errorf("cluster: persistent connections are not supported with WRR/GMS")
+	}
+	if c.ReqsPerConn >= 1 && !c.RehandoffPerRequest && (len(c.Failures) > 0 || len(c.Churn) > 0) {
+		// A pinned connection never re-consults the dispatcher, so it
+		// would keep serving on a node the schedule has failed — the
+		// simulation would silently understate the outage. Re-handoff
+		// mode re-dispatches every request and handles churn correctly.
+		return fmt.Errorf("cluster: scripted failures/churn with pinned persistent connections " +
+			"(ReqsPerConn >= 1 without RehandoffPerRequest) is not supported")
 	}
 	return nil
 }

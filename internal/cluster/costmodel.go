@@ -45,6 +45,16 @@ type CostModel struct {
 	// DiskBlock is the blocking factor for large reads.
 	DiskBlock int64
 
+	// HandoffCost is the CPU charged to a back end for receiving a
+	// connection handoff — the handoff-protocol processing the paper's
+	// Table 2 measures on the prototype (a few hundred microseconds on
+	// the 300 MHz Pentium II class hardware of the cost model). It is
+	// paid once per connection under per-connection dispatch and once
+	// per back-end *switch* under per-request re-handoff, which is the
+	// CPU side of the locality-vs-affinity trade-off the phttp
+	// experiment sweeps.
+	HandoffCost time.Duration
+
 	// CPUSpeed scales CPU costs down (2.0 = a CPU twice as fast). Disk
 	// costs are unaffected, reproducing the paper's Figure 11/12 sweeps
 	// where "CPU speeds are expected to improve at a much faster rate
@@ -64,9 +74,15 @@ func DefaultCostModel() CostModel {
 		DiskTransferPerUnit: 410 * time.Microsecond,
 		DiskTransferUnit:    4096,
 		DiskBlock:           44 * 1024,
+		HandoffCost:         DefaultHandoffCost,
 		CPUSpeed:            1.0,
 	}
 }
+
+// DefaultHandoffCost is the per-handoff CPU charge used by
+// DefaultCostModel, calibrated to the order of magnitude of the paper's
+// Table 2 handoff measurements (comparable to connection establishment).
+const DefaultHandoffCost = 300 * time.Microsecond
 
 // Validate reports whether the model is usable.
 func (m CostModel) Validate() error {
@@ -81,6 +97,8 @@ func (m CostModel) Validate() error {
 		return fmt.Errorf("cluster: invalid disk transfer cost")
 	case m.DiskBlock < 1:
 		return fmt.Errorf("cluster: DiskBlock = %d, need >= 1", m.DiskBlock)
+	case m.HandoffCost < 0:
+		return fmt.Errorf("cluster: negative HandoffCost")
 	case m.CPUSpeed <= 0:
 		return fmt.Errorf("cluster: CPUSpeed = %v, need > 0", m.CPUSpeed)
 	}
@@ -107,6 +125,10 @@ func (m CostModel) EstablishTime() time.Duration { return m.cpu(m.ConnEstablish)
 
 // TeardownTime returns the CPU time to close a connection.
 func (m CostModel) TeardownTime() time.Duration { return m.cpu(m.ConnTeardown) }
+
+// HandoffTime returns the CPU time for a back end to accept a connection
+// handoff.
+func (m CostModel) HandoffTime() time.Duration { return m.cpu(m.HandoffCost) }
 
 // TransmitTime returns the CPU time to transmit size bytes.
 func (m CostModel) TransmitTime(size int64) time.Duration {

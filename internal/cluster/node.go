@@ -90,45 +90,71 @@ func (n *Node) Active() int { return n.active }
 func (n *Node) Cache() cache.Cache { return n.cache }
 
 // Handle accepts a request handed off by the front end. done is invoked
-// (once) at the virtual time the request completes.
+// (once) at the virtual time the request completes. The request carries
+// its own connection: establishment before, teardown after (the paper's
+// HTTP/1.0 model — one connection per request).
 func (n *Node) Handle(req core.Request, done func()) {
 	n.adjustActive(+1)
 	n.requests++
 	n.cpu.Schedule(n.cost.EstablishTime(), func() {
-		n.serve(req, done)
+		n.serve(req, func() {
+			n.cpu.Schedule(n.cost.TeardownTime(), func() {
+				n.adjustActive(-1)
+				done()
+			})
+		})
 	})
 }
 
-// serve runs after connection establishment: consult the cache (or the
-// global memory system) and either transmit or read from disk.
-func (n *Node) serve(req core.Request, done func()) {
+// ServePersistent serves one request riding an already-established
+// persistent connection: extraCPU — the establishment/handoff charge
+// when the connection just arrived at this node, zero for follow-on
+// requests — then the cache/disk/transmit pipeline, with no per-request
+// connection setup or teardown. The connection-level teardown is the
+// caller's to charge via ChargeTeardown when the connection leaves the
+// node.
+func (n *Node) ServePersistent(req core.Request, extraCPU time.Duration, done func()) {
+	n.adjustActive(+1)
+	n.requests++
+	finish := func() {
+		n.adjustActive(-1)
+		done()
+	}
+	if extraCPU > 0 {
+		n.cpu.Schedule(extraCPU, func() { n.serve(req, finish) })
+		return
+	}
+	n.serve(req, finish)
+}
+
+// ChargeTeardown schedules connection-teardown CPU not tied to any
+// request completion: a persistent connection closing, or a re-handoff
+// moving it to another node.
+func (n *Node) ChargeTeardown() {
+	n.cpu.Schedule(n.cost.TeardownTime(), nil)
+}
+
+// serve consults the cache (or the global memory system) and either
+// transmits or reads from disk, invoking after when the request's data
+// has been sent.
+func (n *Node) serve(req core.Request, after func()) {
 	if n.gms != nil {
-		n.serveGMS(req, done)
+		n.serveGMS(req, after)
 		return
 	}
 	if _, ok := n.cache.Lookup(req.Target); ok {
 		n.hits++
-		n.transmit(req.Size, done)
+		n.transmit(req.Size, after)
 		return
 	}
 	n.misses++
-	n.readAndServe(req, done)
+	n.readAndServe(req, after)
 }
 
-// transmit sends the whole file from memory, then tears down.
-func (n *Node) transmit(size int64, done func()) {
+// transmit sends the whole file from memory, then continues.
+func (n *Node) transmit(size int64, after func()) {
 	n.bytesSent += size
-	n.cpu.Schedule(n.cost.TransmitTime(size), func() {
-		n.teardown(done)
-	})
-}
-
-// teardown closes the connection and completes the request.
-func (n *Node) teardown(done func()) {
-	n.cpu.Schedule(n.cost.TeardownTime(), func() {
-		n.adjustActive(-1)
-		done()
-	})
+	n.cpu.Schedule(n.cost.TransmitTime(size), after)
 }
 
 // readAndServe performs the disk read for a miss, coalescing concurrent

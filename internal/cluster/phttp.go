@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"lard/internal/core"
+	"lard/internal/trace"
+	"lard/pkg/lard"
+)
+
+// This file is the simulator's persistent-connection (P-HTTP) model,
+// paper Section 5: consecutive trace requests are grouped into
+// connections, and the dispatch policy question — pin the whole
+// connection to the back end its first request selected, or re-hand it
+// off per request — becomes a Config switch. The cost asymmetry is the
+// trade-off under study: pinning loses locality (requests 2..k land
+// wherever request 1 went), re-handoff keeps locality but charges
+// Cost.HandoffCost + connection establishment on every back-end switch
+// and a teardown on the node the connection left.
+
+// connState tracks one in-flight persistent connection in per-request
+// re-handoff mode.
+type connState struct {
+	reqs     []core.Request
+	i        int // next request to dispatch
+	prevNode int // node serving the previous request, -1 before the first
+}
+
+// newConnLen builds the requests-per-connection generator — the same
+// trace.ConnLenDraw the live load generator uses, so simulated and
+// driven workloads match. Config.Validate vets ConnDist, so the error
+// path is unreachable here.
+func newConnLen(cfg Config) func() int {
+	seed := cfg.ConnSeed
+	if seed == 0 {
+		seed = 1
+	}
+	draw, err := trace.ConnLenDraw(cfg.ConnDist, cfg.ReqsPerConn, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		panic(fmt.Sprintf("cluster: unvalidated ConnDist: %v", err))
+	}
+	return draw
+}
+
+// pumpPersistent is the closed loop over connections rather than
+// requests. Stalled per-request connections (a re-dispatch that hit the
+// admission bound) resume first — they were admitted earlier and hold
+// the connection's place — then new connections enter while capacity
+// remains.
+func (c *Cluster) pumpPersistent() {
+	for len(c.stalled) > 0 {
+		if !c.stepConn(c.stalled[0]) {
+			return // still saturated; completions will re-pump
+		}
+		c.stalled = c.stalled[1:]
+	}
+	for c.next < c.tr.Len() {
+		// One length draw per connection, held across overloaded
+		// attempts (pendingLen), so the RNG sequence — and with it every
+		// later connection's length — is a pure function of ConnSeed,
+		// not of when the admission bound happened to push back.
+		k := c.pendingLen
+		if k == 0 {
+			k = c.connLen()
+			c.pendingLen = k
+		}
+		if rem := c.tr.Len() - c.next; k > rem {
+			k = rem
+		}
+		reqs := make([]core.Request, k)
+		for i := range reqs {
+			r := c.tr.At(c.next + i)
+			reqs[i] = core.Request{Target: r.Target, Size: r.Size}
+		}
+		if c.cfg.RehandoffPerRequest {
+			cs := &connState{reqs: reqs, prevNode: -1}
+			c.next += k
+			c.pendingLen = 0
+			if !c.stepConn(cs) {
+				// Admitted as far as the closed loop is concerned: park
+				// it at the head of the stalled queue rather than
+				// rebuilding it on every completion.
+				c.stalled = append(c.stalled, cs)
+				return
+			}
+			continue
+		}
+		// Per-connection handoff: one dispatch decision — the first
+		// request's target — pins every request of the connection.
+		node, done, err := c.d.Dispatch(c.eng.Now(), reqs[0])
+		if errors.Is(err, lard.ErrOverloaded) {
+			return // pendingLen keeps this connection's draw for retry
+		}
+		c.next += k
+		c.pendingLen = 0
+		if err != nil {
+			c.dropped += k // total outage
+			continue
+		}
+		c.outstanding++
+		if c.outstanding > c.peak {
+			c.peak = c.outstanding
+		}
+		c.runPinnedConn(node, reqs, done)
+	}
+	// The loop can end on an outage that dropped the trace tail with
+	// nothing in flight; close the timeline here, since no completion
+	// callback remains to do it.
+	c.maybeFinish()
+}
+
+// runPinnedConn serves a connection's requests sequentially on one node:
+// handoff + establishment ahead of the first request, teardown after the
+// last. The dispatcher slot is held for the connection's whole lifetime —
+// load is "active connections", as the paper counts it.
+func (c *Cluster) runPinnedConn(node int, reqs []core.Request, done func()) {
+	n := c.nodes[node]
+	i := 0
+	var serveNext func()
+	serveNext = func() {
+		extra := time.Duration(0)
+		if i == 0 {
+			extra = c.cfg.Cost.HandoffTime() + c.cfg.Cost.EstablishTime()
+		}
+		start := c.eng.Now()
+		n.ServePersistent(reqs[i], extra, func() {
+			c.completeRequest(node, start)
+			i++
+			if i < len(reqs) {
+				serveNext()
+				return
+			}
+			n.ChargeTeardown()
+			done()
+			c.outstanding--
+			c.pump()
+			c.maybeFinish()
+		})
+	}
+	serveNext()
+}
+
+// stepConn dispatches request cs.i of a per-request-mode connection. It
+// returns false when the admission bound is hit, leaving cs untouched so
+// the caller can park it on the stalled queue.
+func (c *Cluster) stepConn(cs *connState) bool {
+	req := cs.reqs[cs.i]
+	node, done, err := c.d.Dispatch(c.eng.Now(), req)
+	if errors.Is(err, lard.ErrOverloaded) {
+		return false
+	}
+	if err != nil {
+		// Total outage: the client loses the rest of the connection.
+		c.dropped += len(cs.reqs) - cs.i
+		if cs.prevNode >= 0 {
+			c.nodes[cs.prevNode].ChargeTeardown()
+		}
+		c.maybeFinish()
+		return true
+	}
+	var extra time.Duration
+	if node != cs.prevNode {
+		// The connection moves: teardown where it was, handoff +
+		// establishment where it lands. The first request always pays
+		// this (its handoff is the connection's arrival).
+		if cs.prevNode >= 0 {
+			c.nodes[cs.prevNode].ChargeTeardown()
+			c.rehandoffs++
+		}
+		extra = c.cfg.Cost.HandoffTime() + c.cfg.Cost.EstablishTime()
+	}
+	cs.prevNode = node
+	c.outstanding++
+	if c.outstanding > c.peak {
+		c.peak = c.outstanding
+	}
+	start := c.eng.Now()
+	c.nodes[node].ServePersistent(req, extra, func() {
+		done()
+		c.outstanding--
+		c.completeRequest(node, start)
+		cs.i++
+		if cs.i < len(cs.reqs) {
+			if !c.stepConn(cs) {
+				c.stalled = append(c.stalled, cs)
+			}
+		} else {
+			c.nodes[node].ChargeTeardown()
+		}
+		c.pump()
+		c.maybeFinish()
+	})
+	return true
+}
+
+// completeRequest folds one finished request into the shared accounting
+// (mirroring the per-request bookkeeping of the HTTP/1.0 loop).
+func (c *Cluster) completeRequest(node int, start time.Duration) {
+	c.served++
+	d := c.eng.Now() - start
+	c.delaySum += d
+	if d > c.delayMax {
+		c.delayMax = d
+	}
+	c.nodeDelaySum[node] += d
+	c.nodeDelayCnt[node]++
+}
+
+// maybeFinish closes the timeline when the persistent closed loop has
+// fully drained.
+func (c *Cluster) maybeFinish() {
+	if c.outstanding == 0 && c.next >= c.tr.Len() && len(c.stalled) == 0 {
+		c.finishSampling()
+	}
+}

@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// phttpConfig builds a persistent-connection config over a cache-pressure
+// trace.
+func phttpConfig(kind StrategyKind, nodes, reqsPerConn int, rehandoff bool) Config {
+	cfg := DefaultConfig(kind, nodes)
+	cfg.CacheBytes = 64 << 10 // force real cache pressure at test scale
+	cfg.ReqsPerConn = reqsPerConn
+	cfg.RehandoffPerRequest = rehandoff
+	return cfg
+}
+
+func TestPersistentValidation(t *testing.T) {
+	cfg := DefaultConfig(LARD, 2)
+	cfg.ReqsPerConn = -1
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative ReqsPerConn accepted")
+	}
+	cfg = DefaultConfig(LARD, 2)
+	cfg.ConnDist = "weibull"
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("unknown ConnDist accepted")
+	}
+	cfg = DefaultConfig(WRRGMS, 2)
+	cfg.ReqsPerConn = 4
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("persistent connections with WRR/GMS accepted")
+	}
+	cfg = DefaultConfig(LARD, 2)
+	cfg.Cost.HandoffCost = -time.Microsecond
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("negative HandoffCost accepted")
+	}
+	// Pinned connections cannot track scripted node failures; only
+	// re-handoff mode composes with churn.
+	cfg = DefaultConfig(LARD, 2)
+	cfg.ReqsPerConn = 4
+	cfg.Churn = []ChurnEvent{FailAt(1, time.Second)}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("pinned persistent connections with churn accepted")
+	}
+	cfg.RehandoffPerRequest = true
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("re-handoff persistent connections with churn rejected: %v", err)
+	}
+}
+
+func TestNewConnLenDistributions(t *testing.T) {
+	fixed := newConnLen(Config{ReqsPerConn: 7})
+	for i := 0; i < 5; i++ {
+		if k := fixed(); k != 7 {
+			t.Fatalf("fixed draw = %d", k)
+		}
+	}
+	geo := newConnLen(Config{ReqsPerConn: 6, ConnDist: "geometric", ConnSeed: 9})
+	sum := 0
+	for i := 0; i < 10000; i++ {
+		k := geo()
+		if k < 1 {
+			t.Fatalf("geometric draw %d < 1", k)
+		}
+		sum += k
+	}
+	if mean := float64(sum) / 10000; mean < 5 || mean > 7 {
+		t.Fatalf("geometric mean = %.2f, want ≈6", mean)
+	}
+	// Same seed, same sequence.
+	a := newConnLen(Config{ReqsPerConn: 6, ConnDist: "geometric", ConnSeed: 9})
+	b := newConnLen(Config{ReqsPerConn: 6, ConnDist: "geometric", ConnSeed: 9})
+	for i := 0; i < 100; i++ {
+		if a() != b() {
+			t.Fatal("geometric draws not reproducible")
+		}
+	}
+}
+
+func TestPersistentServesWholeTrace(t *testing.T) {
+	tr := zipfTrace(40, 8<<10, 2000, 0.8, 7)
+	for _, rehandoff := range []bool{false, true} {
+		res, err := Simulate(phttpConfig(LARD, 4, 8, rehandoff), tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Requests != tr.Len() || res.Dropped != 0 {
+			t.Fatalf("rehandoff=%v: served %d of %d (%d dropped)",
+				rehandoff, res.Requests, tr.Len(), res.Dropped)
+		}
+		var nodeReqs uint64
+		for _, n := range res.PerNode {
+			nodeReqs += n.Requests
+		}
+		if nodeReqs != uint64(tr.Len()) {
+			t.Fatalf("rehandoff=%v: node requests %d != trace %d", rehandoff, nodeReqs, tr.Len())
+		}
+		if res.Throughput <= 0 || res.SimTime <= 0 {
+			t.Fatalf("rehandoff=%v: degenerate result %+v", rehandoff, res)
+		}
+		if rehandoff && res.Rehandoffs == 0 {
+			t.Fatal("re-handoff mode recorded no back-end switches")
+		}
+		if !rehandoff && res.Rehandoffs != 0 {
+			t.Fatalf("pinned mode recorded %d re-handoffs", res.Rehandoffs)
+		}
+	}
+}
+
+func TestPersistentAffinityCostsLARDLocality(t *testing.T) {
+	// The locality-vs-affinity trade-off in one assertion pair: pinning a
+	// persistent connection to its first request's node scatters the
+	// remaining requests across the wrong caches, so LARD's miss ratio
+	// under per-connection handoff must exceed per-request re-handoff,
+	// and re-handoff must recover (most of) the HTTP/1.0 miss ratio.
+	tr := zipfTrace(120, 8<<10, 4000, 0.7, 11)
+
+	baseline, err := Simulate(phttpConfig(LARD, 4, 0, false), tr) // HTTP/1.0 model
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned, err := Simulate(phttpConfig(LARD, 4, 16, false), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rehandoff, err := Simulate(phttpConfig(LARD, 4, 16, true), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if pinned.MissRatio <= rehandoff.MissRatio {
+		t.Fatalf("pinned miss %.3f not above re-handoff miss %.3f",
+			pinned.MissRatio, rehandoff.MissRatio)
+	}
+	if rehandoff.MissRatio > baseline.MissRatio*1.5 {
+		t.Fatalf("re-handoff miss %.3f lost the HTTP/1.0 locality %.3f",
+			rehandoff.MissRatio, baseline.MissRatio)
+	}
+	if rehandoff.Throughput <= pinned.Throughput {
+		t.Fatalf("re-handoff throughput %.1f not above pinned %.1f (misses cost more than handoffs)",
+			rehandoff.Throughput, pinned.Throughput)
+	}
+}
+
+func TestPersistentGeometricRuns(t *testing.T) {
+	tr := zipfTrace(40, 8<<10, 1500, 0.8, 3)
+	cfg := phttpConfig(LARDR, 4, 6, true)
+	cfg.ConnDist = "geometric"
+	cfg.ConnSeed = 5
+	res, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != tr.Len() || res.Dropped != 0 {
+		t.Fatalf("served %d of %d (%d dropped)", res.Requests, tr.Len(), res.Dropped)
+	}
+	// Reproducibility: identical config and trace, identical result.
+	res2, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Throughput != res2.Throughput || res.MissRatio != res2.MissRatio {
+		t.Fatalf("non-deterministic persistent run: %v vs %v", res, res2)
+	}
+}
+
+func TestPersistentAdmissionBoundHolds(t *testing.T) {
+	// The closed loop must still respect S even when connections hold
+	// slots for many requests (pinned) or re-dispatch mid-stream.
+	tr := zipfTrace(30, 8<<10, 1200, 0.9, 13)
+	for _, rehandoff := range []bool{false, true} {
+		cfg := phttpConfig(LARD, 2, 8, rehandoff)
+		s := cfg.Params.MaxOutstanding(2)
+		res, err := Simulate(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.PeakOutstanding > s {
+			t.Fatalf("rehandoff=%v: peak %d exceeds S=%d", rehandoff, res.PeakOutstanding, s)
+		}
+	}
+}

@@ -57,6 +57,12 @@ type Result struct {
 	// connections observed; it never exceeds S = Params.MaxOutstanding(n).
 	PeakOutstanding int
 
+	// Rehandoffs counts back-end switches of persistent connections in
+	// per-request re-handoff mode (0 otherwise): each one paid a
+	// teardown on the node the connection left and a handoff +
+	// establishment where it landed.
+	Rehandoffs int
+
 	// PerNode holds per-node detail.
 	PerNode []NodeStats
 

@@ -262,6 +262,12 @@ func All() []Experiment {
 			Run:   Churn,
 		},
 		{
+			ID:    "phttp",
+			Title: "Persistent connections: per-connection handoff vs per-request re-handoff, LARD and WRR (Section 5, extension)",
+			Paper: "the protocol allows either one back end per persistent connection or multiple handoffs; further research is needed to determine the appropriate policy",
+			Run:   PHTTP,
+		},
+		{
 			ID:    "mapcap",
 			Title: "Bounded (LRU) mapping table ablation (Section 2.6, extension)",
 			Paper: "discarding mappings for idle targets is of little consequence",

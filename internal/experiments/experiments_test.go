@@ -16,7 +16,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"figure5", "figure6", "figure7", "figure8", "figure9", "figure10",
 		"figure11", "figure12", "figure13", "figure14",
 		"hotspot", "chess", "delay", "sensitivity", "failover", "churn",
-		"mapcap", "wrr10x", "lru",
+		"phttp", "mapcap", "wrr10x", "lru",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -340,6 +340,70 @@ func TestChurnShape(t *testing.T) {
 				label, failed, final)
 		}
 	}
+}
+
+func TestPHTTPShape(t *testing.T) {
+	tables, err := PHTTP(tinyOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || tables[0].ID != "phttp" || tables[1].ID != "phttp-miss" {
+		t.Fatalf("unexpected tables: %v, %v", tables[0].ID, tables[1].ID)
+	}
+	tput, miss := tables[0], tables[1]
+	for _, tab := range tables {
+		if len(tab.Series) != 4 {
+			t.Fatalf("%s has %d series, want 4", tab.ID, len(tab.Series))
+		}
+	}
+
+	lardConn := mustGet(t, miss, "LARD per-conn")
+	lardReq := mustGet(t, miss, "LARD per-req")
+	// At reqs/conn = 1 the two policies are the same machine: identical
+	// results, the sweep's anchor point.
+	if at(t, lardConn, 1) != at(t, lardReq, 1) {
+		t.Fatalf("policies diverge at 1 req/conn: %v vs %v", at(t, lardConn, 1), at(t, lardReq, 1))
+	}
+	// Long connections: pinning scatters LARD's locality, re-handoff
+	// preserves it.
+	if at(t, lardConn, 16) <= at(t, lardReq, 16) {
+		t.Fatalf("LARD per-conn miss %.3f not above per-req %.3f at 16 reqs/conn",
+			at(t, lardConn, 16), at(t, lardReq, 16))
+	}
+	// Pinned-mode locality loss must be monotone enough to show: the
+	// miss ratio at 16 reqs/conn exceeds the 1-req/conn anchor.
+	if at(t, lardConn, 16) <= at(t, lardConn, 1) {
+		t.Fatalf("LARD per-conn miss did not climb with connection length: %v -> %v",
+			at(t, lardConn, 1), at(t, lardConn, 16))
+	}
+	// The throughput consequence (the acceptance criterion's shape):
+	// per-request re-handoff beats per-connection handoff for LARD on
+	// long connections — avoided disk misses dwarf the handoff CPU.
+	tLardConn := mustGet(t, tput, "LARD per-conn")
+	tLardReq := mustGet(t, tput, "LARD per-req")
+	if at(t, tLardReq, 16) <= at(t, tLardConn, 16) {
+		t.Fatalf("LARD per-req throughput %.1f not above per-conn %.1f at 16 reqs/conn",
+			at(t, tLardReq, 16), at(t, tLardConn, 16))
+	}
+	// WRR has no locality to lose: its two modes stay within 20% of each
+	// other everywhere.
+	wConn := mustGet(t, tput, "WRR per-conn")
+	wReq := mustGet(t, tput, "WRR per-req")
+	for _, x := range wConn.X {
+		a, b := at(t, wConn, x), at(t, wReq, x)
+		if a > b*1.2 || b > a*1.2 {
+			t.Fatalf("WRR mode-sensitive at %v reqs/conn: %.1f vs %.1f", x, a, b)
+		}
+	}
+}
+
+func mustGet(t *testing.T, tab *Table, label string) Series {
+	t.Helper()
+	s, ok := tab.Get(label)
+	if !ok {
+		t.Fatalf("table %s has no series %q", tab.ID, label)
+	}
+	return s
 }
 
 func TestMappingCapacityShape(t *testing.T) {

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lard/internal/cluster"
+	"lard/internal/trace"
+)
+
+// PHTTP sweeps the paper's Section 5 open question empirically: under
+// persistent connections (P-HTTP), should the front end hand a
+// connection to one back end for its whole lifetime, or re-hand it off
+// per request? "The protocol allows the front end to either let one back
+// end serve all of the requests on a persistent connection or to hand
+// off a connection multiple times ... However, further research is
+// needed to determine the appropriate policy."
+//
+// X axis: mean requests per connection (1 = single-request connections,
+// where the two policies coincide; every point on the sweep charges the
+// same per-handoff cost model, so curves are comparable across X). For
+// each of LARD and WRR, a per-connection
+// series pins connections to their first request's node and a
+// per-request series re-dispatches every request, paying the Table 2
+// handoff CPU on every back-end switch. Expected shape:
+//
+//   - LARD per-connection degrades as connections lengthen — requests
+//     2..k land wherever request 1 went, so the miss ratio climbs
+//     toward WRR's and throughput falls with it;
+//   - LARD per-request holds its HTTP/1.0 locality (flat miss ratio)
+//     at a small per-switch CPU cost, finishing well above pinning —
+//     the misses it avoids cost milliseconds of disk, the handoffs it
+//     pays cost microseconds of CPU;
+//   - WRR is mode-insensitive: it has no locality to lose, so the two
+//     series track each other.
+func PHTTP(opt Options) ([]*Table, error) {
+	opt = opt.withDefaults()
+	tr := generate(trace.RiceProfile(), opt)
+	nodes := maxNodes(opt.Nodes, 8)
+	reqsPerConn := []int{1, 2, 4, 8, 16}
+
+	tput := &Table{
+		ID: "phttp",
+		Title: fmt.Sprintf("Throughput vs mean requests per persistent connection, %d nodes, Rice trace: per-connection handoff vs per-request re-handoff",
+			nodes),
+		XLabel: "reqs/conn",
+		YLabel: "requests/sec",
+	}
+	miss := &Table{
+		ID:     "phttp-miss",
+		Title:  "Cache miss ratio for the same sweep (pinning scatters LARD's locality; re-handoff keeps it)",
+		XLabel: "reqs/conn",
+		YLabel: "miss ratio",
+	}
+
+	for _, kind := range []cluster.StrategyKind{cluster.LARD, cluster.WRR} {
+		for _, rehandoff := range []bool{false, true} {
+			label := kind.String() + " per-conn"
+			if rehandoff {
+				label = kind.String() + " per-req"
+			}
+			var xs, ty, my []float64
+			for _, k := range reqsPerConn {
+				cfg := cluster.DefaultConfig(kind, nodes)
+				cfg.ReqsPerConn = k
+				cfg.ConnSeed = opt.Seed
+				cfg.RehandoffPerRequest = rehandoff
+				res, err := simulate(opt, cfg, tr)
+				if err != nil {
+					return nil, err
+				}
+				xs = append(xs, float64(k))
+				ty = append(ty, res.Throughput)
+				my = append(my, res.MissRatio)
+			}
+			tput.Series = append(tput.Series, Series{Label: label, X: xs, Y: ty})
+			miss.Series = append(miss.Series, Series{Label: label, X: xs, Y: my})
+		}
+	}
+	return []*Table{tput, miss}, nil
+}

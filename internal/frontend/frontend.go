@@ -12,17 +12,19 @@ package frontend
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"lard/internal/core"
 	"lard/internal/handoff"
+	"lard/internal/httprelay"
 	"lard/pkg/lard"
 )
 
@@ -193,12 +195,17 @@ func New(cfg Config) (*Server, error) {
 		cfg.DialFailuresBeforeDown = DefaultDialFailuresBeforeDown
 	}
 	return &Server{
-		cfg:       cfg,
-		start:     time.Now(),
-		d:         d,
-		backends:  append([]string(nil), cfg.Backends...),
-		dialFails: make([]int, len(cfg.Backends)),
-		stop:      make(chan struct{}),
+		cfg:      cfg,
+		start:    time.Now(),
+		d:        d,
+		backends: append([]string(nil), cfg.Backends...),
+		// All three health slices are sized up front: relying on lazy
+		// growth inside the health lock left a node added via AddBackend
+		// unprobed until its first dial failure happened to grow them.
+		dialFails:  make([]int, len(cfg.Backends)),
+		dialEpochs: make([]uint64, len(cfg.Backends)),
+		probing:    make([]bool, len(cfg.Backends)),
+		stop:       make(chan struct{}),
 	}, nil
 }
 
@@ -300,15 +307,14 @@ func (s *Server) handleConn(client net.Conn) {
 
 	client.SetReadDeadline(time.Now().Add(s.cfg.HeaderTimeout))
 	br := bufio.NewReaderSize(client, 16<<10)
-	head, err := readRequestHead(br, s.cfg.MaxHeaderBytes)
+	head, err := httprelay.ReadRequestHead(br, s.cfg.MaxHeaderBytes)
 	if err != nil {
-		s.errors.Add(1)
-		s.logf("frontend: reading request head from %v: %v", client.RemoteAddr(), err)
+		s.headReadFailed(client, err, "reading request head")
 		return
 	}
 	client.SetReadDeadline(time.Time{})
 
-	node, done, err := s.dispatch(head.target, head.contentLength)
+	node, done, err := s.dispatch(head.Target, head.Size())
 	if err != nil {
 		s.rejected.Add(1)
 		writeServiceUnavailable(client)
@@ -339,13 +345,14 @@ func (s *Server) dispatch(target string, size int64) (int, func(), error) {
 
 // dialAndHandoff connects to the chosen back end and transfers the
 // connection: the handoff message carries the parsed head plus any bytes
-// the reader buffered beyond it.
-func (s *Server) dialAndHandoff(node int, client net.Conn, head requestHead, br *bufio.Reader, flags byte) (net.Conn, error) {
+// the reader buffered beyond it (a request body prefix or pipelined
+// follow-on requests).
+func (s *Server) dialAndHandoff(node int, client net.Conn, head httprelay.RequestHead, br *bufio.Reader, flags byte) (net.Conn, error) {
 	backend, err := s.dialBackend(node)
 	if err != nil {
 		return nil, err
 	}
-	initial := head.raw
+	initial := head.Raw
 	if n := br.Buffered(); n > 0 {
 		extra, _ := br.Peek(n)
 		br.Discard(n)
@@ -358,130 +365,22 @@ func (s *Server) dialAndHandoff(node int, client net.Conn, head requestHead, br 
 	return backend, nil
 }
 
-// requestHead is the parsed first request of a connection.
-type requestHead struct {
-	raw           []byte // the exact head bytes, terminated by CRLF CRLF
-	method        string
-	target        string
-	proto         string
-	contentLength int64
-	keepAlive     bool
+// headReadFailed classifies a ReadRequestHead failure: a clean close or
+// an idle connection hitting the header timeout without sending a byte
+// is the connection's normal end of life (silent); anything else counts
+// as an error, and malformed — smuggling-shaped or otherwise
+// unframeable — heads are answered with 400, never forwarded.
+func (s *Server) headReadFailed(client net.Conn, err error, doing string) {
+	if err == io.EOF || errors.Is(err, os.ErrDeadlineExceeded) {
+		return
+	}
+	s.errors.Add(1)
+	s.logf("frontend: %s from %v: %v", doing, client.RemoteAddr(), err)
+	var malformed *httprelay.MalformedError
+	if errors.As(err, &malformed) {
+		writeBadRequest(client)
+	}
 }
-
-// readRequestHead consumes one HTTP request head (through the blank line)
-// and parses the pieces the dispatcher needs.
-func readRequestHead(br *bufio.Reader, maxBytes int) (requestHead, error) {
-	var h requestHead
-	var raw bytes.Buffer
-	firstLine := ""
-	for {
-		line, err := br.ReadString('\n')
-		raw.WriteString(line)
-		if err != nil {
-			return h, fmt.Errorf("truncated request head: %w", err)
-		}
-		if raw.Len() > maxBytes {
-			return h, fmt.Errorf("request head exceeds %d bytes", maxBytes)
-		}
-		trimmed := trimCRLF(line)
-		if firstLine == "" {
-			if trimmed == "" {
-				continue // tolerate leading blank lines
-			}
-			firstLine = trimmed
-			var ok bool
-			h.method, h.target, h.proto, ok = parseRequestLine(trimmed)
-			if !ok {
-				return h, fmt.Errorf("malformed request line %q", trimmed)
-			}
-			h.keepAlive = h.proto != "HTTP/1.0"
-			continue
-		}
-		if trimmed == "" {
-			break // end of head
-		}
-		if name, value, ok := splitHeader(trimmed); ok {
-			switch name {
-			case "content-length":
-				fmt.Sscanf(value, "%d", &h.contentLength)
-			case "connection":
-				switch {
-				case equalsFold(value, "close"):
-					h.keepAlive = false
-				case equalsFold(value, "keep-alive"):
-					h.keepAlive = true
-				}
-			}
-		}
-	}
-	h.raw = raw.Bytes()
-	return h, nil
-}
-
-// parseRequestLine splits "METHOD target HTTP/x.y".
-func parseRequestLine(line string) (method, target, proto string, ok bool) {
-	sp1 := -1
-	for i := 0; i < len(line); i++ {
-		if line[i] == ' ' {
-			sp1 = i
-			break
-		}
-	}
-	if sp1 <= 0 {
-		return "", "", "", false
-	}
-	sp2 := -1
-	for i := len(line) - 1; i > sp1; i-- {
-		if line[i] == ' ' {
-			sp2 = i
-			break
-		}
-	}
-	if sp2 <= sp1+1 {
-		return "", "", "", false
-	}
-	return line[:sp1], line[sp1+1 : sp2], line[sp2+1:], true
-}
-
-func trimCRLF(s string) string {
-	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
-		s = s[:len(s)-1]
-	}
-	return s
-}
-
-func splitHeader(line string) (name, value string, ok bool) {
-	for i := 0; i < len(line); i++ {
-		if line[i] == ':' {
-			name = toLower(line[:i])
-			value = trimSpace(line[i+1:])
-			return name, value, true
-		}
-	}
-	return "", "", false
-}
-
-func toLower(s string) string {
-	b := []byte(s)
-	for i, c := range b {
-		if 'A' <= c && c <= 'Z' {
-			b[i] = c + 'a' - 'A'
-		}
-	}
-	return string(b)
-}
-
-func trimSpace(s string) string {
-	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
-		s = s[1:]
-	}
-	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
-		s = s[:len(s)-1]
-	}
-	return s
-}
-
-func equalsFold(a, b string) bool { return toLower(a) == toLower(b) }
 
 func writeServiceUnavailable(c net.Conn) {
 	const body = "no back-end node available\n"
@@ -491,4 +390,9 @@ func writeServiceUnavailable(c net.Conn) {
 func writeBadGateway(c net.Conn) {
 	const body = "back-end handoff failed\n"
 	fmt.Fprintf(c, "HTTP/1.1 502 Bad Gateway\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", len(body), body)
+}
+
+func writeBadRequest(c net.Conn) {
+	const body = "malformed request\n"
+	fmt.Fprintf(c, "HTTP/1.1 400 Bad Request\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", len(body), body)
 }

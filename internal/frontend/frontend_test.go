@@ -1,14 +1,12 @@
 package frontend
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"fmt"
 	"io"
 	"net"
 	"net/http"
-	"strings"
 	"testing"
 	"time"
 
@@ -326,51 +324,6 @@ func TestDialFailureMarksNodeDown(t *testing.T) {
 	// lands on the live back end.
 	if ok < 5 {
 		t.Fatalf("only %d of 6 requests succeeded after dial failure", ok)
-	}
-}
-
-func TestParseRequestLine(t *testing.T) {
-	cases := []struct {
-		in                    string
-		method, target, proto string
-		ok                    bool
-	}{
-		{"GET / HTTP/1.1", "GET", "/", "HTTP/1.1", true},
-		{"GET /a/b?q=1 HTTP/1.0", "GET", "/a/b?q=1", "HTTP/1.0", true},
-		{"POST /form HTTP/1.1", "POST", "/form", "HTTP/1.1", true},
-		{"GET /odd path HTTP/1.1", "GET", "/odd path", "HTTP/1.1", true},
-		{"GET", "", "", "", false},
-		{"GET /x", "", "", "", false},
-		{"", "", "", "", false},
-	}
-	for _, tc := range cases {
-		m, tg, p, ok := parseRequestLine(tc.in)
-		if ok != tc.ok || m != tc.method || tg != tc.target || p != tc.proto {
-			t.Fatalf("parseRequestLine(%q) = (%q,%q,%q,%v)", tc.in, m, tg, p, ok)
-		}
-	}
-}
-
-func TestReadRequestHead(t *testing.T) {
-	raw := "GET /x HTTP/1.1\r\nHost: h\r\nContent-Length: 12\r\nConnection: close\r\n\r\n"
-	h, err := readRequestHead(bufio.NewReader(strings.NewReader(raw)), 1<<16)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if h.target != "/x" || h.contentLength != 12 || h.keepAlive {
-		t.Fatalf("head = %+v", h)
-	}
-	if string(h.raw) != raw {
-		t.Fatalf("raw = %q", h.raw)
-	}
-	// Header limit enforcement.
-	big := "GET /x HTTP/1.1\r\n" + strings.Repeat("A: b\r\n", 1000) + "\r\n"
-	if _, err := readRequestHead(bufio.NewReader(strings.NewReader(big)), 256); err == nil {
-		t.Fatal("oversized head accepted")
-	}
-	// Malformed request line.
-	if _, err := readRequestHead(bufio.NewReader(strings.NewReader("NONSENSE\r\n\r\n")), 1<<16); err == nil {
-		t.Fatal("malformed request line accepted")
 	}
 }
 

@@ -134,13 +134,17 @@ func (s *Server) resetDialFailures(node int) {
 }
 
 // growHealthLocked sizes the per-node health slices to include node.
-// Callers hold healthMu.
+// Callers hold healthMu. New and AddBackend size the slices eagerly, so
+// this only triggers for nodes added through the dispatcher directly.
 func (s *Server) growHealthLocked(node int) {
 	for node >= len(s.dialFails) {
 		s.dialFails = append(s.dialFails, 0)
 	}
 	for node >= len(s.dialEpochs) {
 		s.dialEpochs = append(s.dialEpochs, 0)
+	}
+	for node >= len(s.probing) {
+		s.probing = append(s.probing, false)
 	}
 }
 
@@ -202,9 +206,7 @@ func (s *Server) probeOnce() {
 func (s *Server) beginProbe(node int) bool {
 	s.healthMu.Lock()
 	defer s.healthMu.Unlock()
-	for node >= len(s.probing) {
-		s.probing = append(s.probing, false)
-	}
+	s.growHealthLocked(node)
 	if s.probing[node] {
 		return false
 	}
@@ -225,12 +227,17 @@ func (s *Server) endProbe(node int) {
 // dispatcher directly.
 func (s *Server) AddBackend(addr string) int {
 	s.backendsMu.Lock()
-	defer s.backendsMu.Unlock()
 	node := s.d.AddNode()
 	for node >= len(s.backends) {
 		s.backends = append(s.backends, "")
 	}
 	s.backends[node] = addr
+	s.backendsMu.Unlock()
+	// Size the health slices now, so the prober and the mark-down
+	// accounting see the node without relying on lazy growth.
+	s.healthMu.Lock()
+	s.growHealthLocked(node)
+	s.healthMu.Unlock()
 	return node
 }
 

@@ -2,13 +2,11 @@ package frontend
 
 import (
 	"bufio"
-	"fmt"
-	"io"
 	"net"
-	"strconv"
 	"time"
 
 	"lard/internal/handoff"
+	"lard/internal/httprelay"
 )
 
 // This file implements the paper's alternative persistent-connection
@@ -16,12 +14,16 @@ import (
 // connection multiple times, so that different requests on the same
 // connection can be served by different back ends."
 //
-// Per-request re-handoff requires the front end to retain HTTP framing
-// (it must know where each request and response ends), so this path is a
-// minimal HTTP/1.x relay: request bodies are delimited by Content-Length,
-// responses by Content-Length or connection close. Responses without a
-// length (e.g. chunked) downgrade the connection to
-// forward-until-close on the current back end.
+// Per-request re-handoff requires the front end to retain HTTP framing —
+// it must know where each request and each response ends — so this path
+// runs every message through internal/httprelay: request bodies are
+// delimited by Content-Length or chunked framing, responses by
+// Content-Length, chunked framing, bodiless status rules (1xx/204/304,
+// HEAD), or connection close. Chunked responses relay chunk by chunk
+// without downgrading the connection, 100 Continue interleaves with the
+// withheld request body, and back-end connection reuse honours the
+// response's actual HTTP version (an HTTP/1.0 response without an
+// explicit keep-alive is never pooled).
 
 // handlePerRequest relays one client connection, re-dispatching every
 // request.
@@ -46,13 +48,9 @@ func (s *Server) handlePerRequest(client net.Conn) {
 
 	for {
 		client.SetReadDeadline(time.Now().Add(s.cfg.HeaderTimeout))
-		head, err := readRequestHead(br, s.cfg.MaxHeaderBytes)
+		head, err := httprelay.ReadRequestHead(br, s.cfg.MaxHeaderBytes)
 		if err != nil {
-			if head.raw == nil || len(head.raw) == 0 {
-				return // clean close between requests
-			}
-			s.errors.Add(1)
-			s.logf("frontend: rehandoff head: %v", err)
+			s.headReadFailed(client, err, "rehandoff head")
 			return
 		}
 		client.SetReadDeadline(time.Time{})
@@ -69,7 +67,7 @@ func (s *Server) handlePerRequest(client net.Conn) {
 			backendDone()
 			backendDone = nil
 		}
-		node, done, err := s.dispatch(head.target, head.contentLength)
+		node, done, err := s.dispatch(head.Target, head.Size())
 		if err != nil {
 			s.rejected.Add(1)
 			writeServiceUnavailable(client)
@@ -96,32 +94,49 @@ func (s *Server) handlePerRequest(client net.Conn) {
 			s.handoffs.Add(1)
 		} else {
 			// Same back end: reuse the connection under the fresh slot.
-			if _, err := backend.Write(head.raw); err != nil {
+			if _, err := backend.Write(head.Raw); err != nil {
 				s.errors.Add(1)
 				s.logf("frontend: rehandoff write: %v", err)
 				return
 			}
 		}
 
-		// Relay the request body, if any.
-		if head.contentLength > 0 {
-			n, err := io.CopyN(backend, br, head.contentLength)
-			s.forward.ClientToBackend.Add(n)
-			if err != nil {
-				s.errors.Add(1)
-				return
+		// Forward the request body. Under Expect: 100-continue the
+		// client withholds it until the back end's 100 arrives, so the
+		// copy becomes the relay's on100 hook instead of running here.
+		bodySent := !head.HasBody()
+		sendBody := func() error {
+			if bodySent {
+				return nil
 			}
+			bodySent = true
+			n, err := httprelay.RelayRequestBody(backend, br, head)
+			s.forward.ClientToBackend.Add(n)
+			return err
+		}
+		var on100 func() error
+		if head.ExpectContinue && !bodySent {
+			on100 = sendBody
+		} else if err := sendBody(); err != nil {
+			s.errors.Add(1)
+			s.logf("frontend: rehandoff request body: %v", err)
+			return
 		}
 
-		// Relay the response; keepAlive may be cleared by the response's
-		// own framing.
-		keepAlive, err := s.relayResponse(client, backendBR, head.method)
+		// Relay the response(s); the head travels to the client verbatim,
+		// so the connection semantics the client sees are the back end's.
+		n, reusable, err := httprelay.RelayResponse(client, backendBR, head.Method, s.cfg.MaxHeaderBytes, on100)
+		s.forward.BackendToClient.Add(n)
 		if err != nil {
 			s.errors.Add(1)
 			s.logf("frontend: rehandoff response: %v", err)
 			return
 		}
-		if !keepAlive || !head.keepAlive {
+		// Stop unless every party can continue: the request asked to keep
+		// the connection, the back end's response says its side stays
+		// open (relayed verbatim, the client saw the same signal), and no
+		// Expect dance left a request body undelivered.
+		if !head.KeepAlive || !reusable || !bodySent {
 			return
 		}
 	}
@@ -129,76 +144,14 @@ func (s *Server) handlePerRequest(client net.Conn) {
 
 // dialRehandoff opens a back-end connection and sends the handoff message
 // for one request.
-func (s *Server) dialRehandoff(node int, client net.Conn, head requestHead) (net.Conn, error) {
+func (s *Server) dialRehandoff(node int, client net.Conn, head httprelay.RequestHead) (net.Conn, error) {
 	backend, err := s.dialBackend(node)
 	if err != nil {
 		return nil, err
 	}
-	if err := handoff.Send(backend, client.RemoteAddr().String(), head.raw, handoff.FlagRehandoff); err != nil {
+	if err := handoff.Send(backend, client.RemoteAddr().String(), head.Raw, handoff.FlagRehandoff); err != nil {
 		backend.Close()
 		return nil, err
 	}
 	return backend, nil
-}
-
-// relayResponse copies one HTTP response from the back end to the client,
-// returning whether the back-end connection remains usable for another
-// request.
-func (s *Server) relayResponse(client net.Conn, backendBR *bufio.Reader, method string) (keepAlive bool, err error) {
-	var raw []byte
-	status := ""
-	contentLength := int64(-1)
-	keepAlive = true
-	for {
-		line, err := backendBR.ReadString('\n')
-		raw = append(raw, line...)
-		if err != nil {
-			return false, fmt.Errorf("reading response head: %w", err)
-		}
-		trimmed := trimCRLF(line)
-		if status == "" {
-			status = trimmed
-			continue
-		}
-		if trimmed == "" {
-			break
-		}
-		if name, value, ok := splitHeader(trimmed); ok {
-			switch name {
-			case "content-length":
-				if v, perr := strconv.ParseInt(value, 10, 64); perr == nil {
-					contentLength = v
-				}
-			case "connection":
-				if equalsFold(value, "close") {
-					keepAlive = false
-				}
-			case "transfer-encoding":
-				// No chunked parser on the relay path: downgrade to
-				// copy-until-close.
-				contentLength = -1
-				keepAlive = false
-			}
-		}
-	}
-	if _, err := client.Write(raw); err != nil {
-		return false, err
-	}
-	s.forward.BackendToClient.Add(int64(len(raw)))
-
-	if method == "HEAD" || contentLength == 0 {
-		return keepAlive, nil
-	}
-	if contentLength > 0 {
-		n, err := io.CopyN(client, backendBR, contentLength)
-		s.forward.BackendToClient.Add(n)
-		if err != nil {
-			return false, err
-		}
-		return keepAlive, nil
-	}
-	// Unknown length: copy until the back end closes.
-	n, _ := io.Copy(client, backendBR)
-	s.forward.BackendToClient.Add(n)
-	return false, nil
 }

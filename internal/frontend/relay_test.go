@@ -1,0 +1,364 @@
+package frontend
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lard/internal/backend"
+	"lard/internal/handoff"
+	"lard/internal/httprelay"
+	"lard/internal/loadgen"
+)
+
+// startRawBackend runs fn for every handed-off connection on a fresh
+// handoff listener, for tests that need byte-level control of the
+// back-end side.
+func startRawBackend(t *testing.T, fn func(net.Conn)) string {
+	t.Helper()
+	ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go fn(conn)
+		}
+	}()
+	t.Cleanup(func() { ln.Close() })
+	return ln.Addr().String()
+}
+
+// startRelayFrontend builds a re-handoff front end over the given
+// back-end addresses.
+func startRelayFrontend(t *testing.T, addrs []string, mod ...func(*Config)) (*Server, string) {
+	t.Helper()
+	cfg := Config{
+		Backends:            addrs,
+		Strategy:            "wrr",
+		RehandoffPerRequest: true,
+		ProbeInterval:       -1,
+	}
+	for _, m := range mod {
+		m(&cfg)
+	}
+	fe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	t.Cleanup(func() { fe.Close() })
+	return fe, ln.Addr().String()
+}
+
+// readOneResponse reads one full response off a raw client connection.
+func readOneResponse(t *testing.T, br *bufio.Reader, method string) (httprelay.ResponseHead, string) {
+	t.Helper()
+	h, err := httprelay.ReadResponseHead(br, 1<<16)
+	if err != nil {
+		t.Fatalf("reading response head: %v", err)
+	}
+	var body strings.Builder
+	if _, _, err := httprelay.CopyResponseBody(&body, br, h, method); err != nil {
+		t.Fatalf("reading response body: %v", err)
+	}
+	return h, body.String()
+}
+
+// TestChunkedResponseThroughRehandoff is the acceptance criterion: a
+// chunked HTTP/1.1 response relays through re-handoff mode without
+// downgrading the connection — the same client connection carries the
+// next request, served by a different back end.
+func TestChunkedResponseThroughRehandoff(t *testing.T) {
+	// Two real net/http back ends whose handler emits chunked responses
+	// (no Content-Length, explicit flush).
+	var addrs []string
+	for i := 0; i < 2; i++ {
+		i := i
+		ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			fl := w.(http.Flusher)
+			fmt.Fprintf(w, "chunk-one-from-%d|", i)
+			fl.Flush()
+			fmt.Fprintf(w, "chunk-two-for%s", r.URL.Path)
+		})}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close(); ln.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+	fe, feAddr := startRelayFrontend(t, addrs, func(c *Config) { c.Strategy = "lb" })
+
+	conn, err := net.Dial("tcp", feAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+
+	// Enough distinct targets that LB maps some to each back end.
+	seen := map[string]bool{}
+	for i := 0; i < 8; i++ {
+		target := fmt.Sprintf("/doc-%d", i)
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", target)
+		h, body := readOneResponse(t, br, "GET")
+		if h.Status != 200 || !h.Chunked {
+			t.Fatalf("request %d: status %d chunked=%v (response downgraded?)", i, h.Status, h.Chunked)
+		}
+		if !strings.Contains(body, "chunk-two-for"+target) {
+			t.Fatalf("request %d: body %q lost through chunk relay", i, body)
+		}
+		for _, b := range []string{"from-0", "from-1"} {
+			if strings.Contains(body, b) {
+				seen[b] = true
+			}
+		}
+	}
+	st := fe.Stats()
+	if st.Accepted != 1 {
+		t.Fatalf("Accepted = %d: the client connection did not survive chunked relaying", st.Accepted)
+	}
+	if len(seen) < 2 || st.Rehandoffs == 0 {
+		t.Fatalf("no re-handoff across back ends (seen %v, rehandoffs %d)", seen, st.Rehandoffs)
+	}
+}
+
+// TestHTTP10BackendResponseNotReused is the satellite regression: an
+// HTTP/1.0 back-end response without Connection: keep-alive must not
+// leave the back-end connection in the reuse pool — the front end closes
+// the client connection (the close semantics were relayed verbatim)
+// instead of blocking a follow-up request against a dying socket.
+func TestHTTP10BackendResponseNotReused(t *testing.T) {
+	addr := startRawBackend(t, func(conn net.Conn) {
+		defer conn.Close()
+		br := bufio.NewReader(conn)
+		if _, err := httprelay.ReadRequestHead(br, 1<<16); err != nil {
+			return
+		}
+		// An HTTP/1.0 server: respond, then close without ceremony.
+		io.WriteString(conn, "HTTP/1.0 200 OK\r\nContent-Length: 2\r\n\r\nok")
+	})
+	_, feAddr := startRelayFrontend(t, []string{addr})
+
+	conn, err := net.Dial("tcp", feAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	br := bufio.NewReader(conn)
+	fmt.Fprintf(conn, "GET /a HTTP/1.1\r\nHost: t\r\n\r\n")
+	h, body := readOneResponse(t, br, "GET")
+	if h.Status != 200 || body != "ok" {
+		t.Fatalf("first response: %d %q", h.Status, body)
+	}
+	// The front end must close promptly (EOF), not hold the connection
+	// waiting to relay onto the closed back-end socket.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("connection after HTTP/1.0 response: %v, want EOF", err)
+	}
+}
+
+// TestSmugglingShapedRequestsRejected covers the Content-Length satellite
+// end to end: framing violations must be answered with 400 and never
+// forwarded, in both whole-connection and re-handoff modes.
+func TestSmugglingShapedRequestsRejected(t *testing.T) {
+	forwarded := make(chan string, 16)
+	addr := startRawBackend(t, func(conn net.Conn) {
+		defer conn.Close()
+		buf := make([]byte, 4096)
+		n, _ := conn.Read(buf)
+		forwarded <- string(buf[:n])
+	})
+
+	bad := []string{
+		"POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: -5\r\n\r\n",
+		"POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: 5 GET /evil HTTP/1.1\r\n\r\n",
+		"POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n",
+		"POST /x HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\nTransfer-Encoding: chunked\r\n\r\n0\r\n\r\n",
+	}
+	for _, rehandoff := range []bool{false, true} {
+		_, feAddr := startRelayFrontend(t, []string{addr}, func(c *Config) {
+			c.RehandoffPerRequest = rehandoff
+		})
+		for _, raw := range bad {
+			conn, err := net.Dial("tcp", feAddr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.WriteString(conn, raw)
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			h, err := httprelay.ReadResponseHead(bufio.NewReader(conn), 1<<16)
+			if err != nil {
+				t.Fatalf("rehandoff=%v %q: no response: %v", rehandoff, raw, err)
+			}
+			if h.Status != 400 {
+				t.Fatalf("rehandoff=%v %q: status %d, want 400", rehandoff, raw, h.Status)
+			}
+			conn.Close()
+		}
+		select {
+		case head := <-forwarded:
+			t.Fatalf("rehandoff=%v: smuggling-shaped head reached the back end: %q", rehandoff, head)
+		default:
+		}
+	}
+}
+
+// TestPersistentKeepAliveE2E drives the whole P-HTTP stack end to end:
+// the load generator's raw keep-alive client (bounded requests per
+// connection) against a live front end in per-request re-handoff mode
+// over real back ends — every response framed by the same httprelay code
+// on both sides. Run under -race in CI.
+func TestPersistentKeepAliveE2E(t *testing.T) {
+	tr := smallTrace(t, 60, 600)
+	perNodeCache := int64(20 * 4096)
+	mc := startCluster(t, 3, "lard", tr, perNodeCache, func(c *Config) {
+		c.RehandoffPerRequest = true
+	})
+
+	st, err := loadgen.Run(context.Background(), loadgen.Config{
+		BaseURL:     "http://" + mc.feAddr,
+		Trace:       tr,
+		Clients:     4,
+		KeepAlive:   true,
+		ReqsPerConn: 8,
+		ConnDist:    loadgen.ConnDistGeometric,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors > 0 {
+		t.Fatalf("loadgen errors: %d of %d", st.Errors, st.Requests+st.Errors)
+	}
+	if st.Requests != uint64(tr.Len()) {
+		t.Fatalf("served %d of %d requests", st.Requests, tr.Len())
+	}
+	var reqs uint64
+	for _, be := range mc.backends {
+		s := be.Stats()
+		reqs += s.Requests
+		if s.Requests == 0 {
+			t.Fatal("a back end saw no traffic: re-handoff not spreading")
+		}
+	}
+	if reqs != uint64(tr.Len()) {
+		t.Fatalf("back ends served %d of %d", reqs, tr.Len())
+	}
+	fst := mc.fe.Stats()
+	// Bounded connections: far fewer accepts than requests; re-handoffs
+	// must have occurred for mixed targets on one connection.
+	if fst.Accepted >= uint64(tr.Len())/2 {
+		t.Fatalf("Accepted = %d for %d requests: keep-alive not reusing connections", fst.Accepted, tr.Len())
+	}
+	if fst.Rehandoffs == 0 {
+		t.Fatal("no re-handoffs across a keep-alive run")
+	}
+}
+
+// TestIdleConnectionTimeoutClosesQuietly pins the end-of-life
+// classification: a connection that idles past HeaderTimeout without
+// sending a byte is closed silently — no 400, no error count — in both
+// dispatch modes. (A connection that dies *mid-head* is still a framing
+// error.)
+func TestIdleConnectionTimeoutClosesQuietly(t *testing.T) {
+	addr := startRawBackend(t, func(conn net.Conn) { conn.Close() })
+	for _, rehandoff := range []bool{false, true} {
+		fe, feAddr := startRelayFrontend(t, []string{addr}, func(c *Config) {
+			c.RehandoffPerRequest = rehandoff
+			c.HeaderTimeout = 150 * time.Millisecond
+		})
+		conn, err := net.Dial("tcp", feAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		buf := make([]byte, 64)
+		n, rerr := conn.Read(buf)
+		if n != 0 || rerr != io.EOF {
+			t.Fatalf("rehandoff=%v: idle timeout produced %d bytes (%q), err %v; want silent EOF",
+				rehandoff, n, buf[:n], rerr)
+		}
+		conn.Close()
+		if got := fe.Stats().Errors; got != 0 {
+			t.Fatalf("rehandoff=%v: idle timeout counted %d errors", rehandoff, got)
+		}
+	}
+}
+
+// TestAddBackendProbedAfterMarkDown is the health-slice regression: a
+// node added via AddBackend after construction must be counted by the
+// mark-down accounting and revived by the prober, exactly like a
+// configured node.
+func TestAddBackendProbedAfterMarkDown(t *testing.T) {
+	tr := smallTrace(t, 10, 20)
+	mc := startCluster(t, 1, "wrr", tr, 1<<20, func(c *Config) {
+		c.ProbeInterval = 50 * time.Millisecond
+		c.DialFailuresBeforeDown = 1
+		c.DialTimeout = 500 * time.Millisecond
+	})
+
+	// Reserve an address with nothing behind it, then join it.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinAddr := dead.Addr().String()
+	dead.Close()
+	node := mc.fe.AddBackend(joinAddr)
+
+	// Drive fresh connections until the added node attracts a dial and
+	// gets marked down.
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	deadline := time.Now().Add(10 * time.Second)
+	for mc.fe.Stats().MarkedDown == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("added node never marked down")
+		}
+		resp, err := client.Get("http://" + mc.feAddr + tr.At(0).Target)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+
+	// Bring a real back end up on the joined address; the prober must
+	// restore the node without operator intervention.
+	ln, err := handoff.Listen("tcp", joinAddr)
+	if err != nil {
+		t.Skipf("could not rebind reserved address %s: %v", joinAddr, err)
+	}
+	be := backend.New(backend.Config{Store: backend.NewDocStore(tr.Targets), CacheBytes: 1 << 20})
+	srv := &http.Server{Handler: be.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+
+	for mc.fe.Stats().ProbeRecoveries == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("probe never restored added node %d (stats %+v, nodes %+v)",
+				node, mc.fe.Stats(), mc.fe.Nodes())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	states := mc.fe.Dispatcher().NodeStates()
+	if states[node].Down {
+		t.Fatalf("node %d still down after probe recovery", node)
+	}
+}

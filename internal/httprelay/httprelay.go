@@ -1,0 +1,186 @@
+// Package httprelay implements the HTTP/1.x framing the front end needs
+// on its persistent-connection relay path (paper Section 5).
+//
+// The paper's re-handoff design — "the front end ... hands off a
+// connection multiple times, so that different requests on the same
+// connection can be served by different back ends" — requires the front
+// end to know exactly where each request and each response ends, because
+// between two messages the connection must be quiescent enough to hand
+// off. This package is that framing layer, shared by the front end's
+// dispatch parser, the re-handoff relay, and the load generator's raw
+// persistent-connection client:
+//
+//   - request heads with strict Content-Length parsing (digits only,
+//     no negatives, conflicting duplicates rejected — the
+//     request-smuggling shapes surface as MalformedError, which the
+//     front end answers with 400 instead of forwarding verbatim);
+//   - Connection header token-list parsing ("keep-alive, TE" is a list,
+//     not a literal) and version-aware keep-alive defaults (HTTP/1.1
+//     defaults to persistent, HTTP/1.0 to close);
+//   - chunked transfer framing relayed chunk by chunk — the relay knows
+//     where the body ends without downgrading the connection to
+//     copy-until-close;
+//   - bodiless responses (1xx, 204, 304, and any response to HEAD) and
+//     100 Continue interleaving;
+//   - pipelined requests: readers consume exactly one message, leaving
+//     any follow-on bytes buffered for the next read.
+package httprelay
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MalformedError reports a message that violates HTTP framing rules in a
+// way the relay must not paper over (request smuggling shapes included).
+// The front end maps request-side MalformedErrors to 400 responses.
+type MalformedError struct {
+	Reason string
+}
+
+func (e *MalformedError) Error() string { return "httprelay: malformed message: " + e.Reason }
+
+func malformedf(format string, args ...any) error {
+	return &MalformedError{Reason: fmt.Sprintf(format, args...)}
+}
+
+// maxLineBytes bounds any single line read outside the head-size budget
+// (chunk-size lines and trailer lines).
+const maxLineBytes = 16 << 10
+
+// readLine reads one line through its '\n' terminator, erroring once the
+// line exceeds max bytes, so a peer cannot grow a single unterminated
+// line without bound.
+func readLine(br *bufio.Reader, max int) ([]byte, error) {
+	var line []byte
+	for {
+		frag, err := br.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > max {
+			return nil, malformedf("line exceeds %d bytes", max)
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		return line, err
+	}
+}
+
+// trimCRLF strips trailing CR/LF bytes.
+func trimCRLF(s string) string {
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// splitHeader splits "Name: value" into a lower-cased name and a
+// whitespace-trimmed value. A name containing whitespace ("Name : v")
+// is rejected, not trimmed: RFC 7230 §3.2.4 mandates treating it as an
+// error, because a relay that ignores such a header while forwarding it
+// verbatim lets a lenient peer honor a field this parser never saw —
+// the message-boundary desync behind request smuggling.
+func splitHeader(line string) (name, value string, ok bool) {
+	i := strings.IndexByte(line, ':')
+	if i < 0 {
+		return "", "", false
+	}
+	name = line[:i]
+	if strings.ContainsAny(name, " \t") {
+		return "", "", false
+	}
+	return strings.ToLower(name), trimOWS(line[i+1:]), true
+}
+
+// trimOWS trims optional whitespace (SP / HTAB) from both ends.
+func trimOWS(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// tokens splits a comma-separated header value into lower-cased,
+// OWS-trimmed tokens, dropping empty elements ("a,, b" yields "a", "b").
+func tokens(value string) []string {
+	parts := strings.Split(value, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if t := strings.ToLower(trimOWS(p)); t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// hasToken reports whether the comma-list value contains the (lower-case)
+// token.
+func hasToken(value, token string) bool {
+	for _, t := range tokens(value) {
+		if t == token {
+			return true
+		}
+	}
+	return false
+}
+
+// parseContentLength parses one strict Content-Length value: ASCII digits
+// only, so "+5", "-1", "0x10", and "5 GET /" are all rejected rather than
+// truncated or sign-extended. The header value may be a comma-separated
+// list of identical copies (the shape proxies produce when folding
+// duplicate headers); differing members are a smuggling shape and are
+// rejected.
+func parseContentLength(value string, prev int64, seen bool) (int64, error) {
+	members := tokens(value)
+	if len(members) == 0 {
+		return 0, malformedf("empty Content-Length")
+	}
+	n := prev
+	have := seen
+	for _, m := range members {
+		for i := 0; i < len(m); i++ {
+			if m[i] < '0' || m[i] > '9' {
+				return 0, malformedf("invalid Content-Length %q", value)
+			}
+		}
+		v, err := strconv.ParseInt(m, 10, 64)
+		if err != nil {
+			return 0, malformedf("invalid Content-Length %q: %v", value, err)
+		}
+		if have && v != n {
+			return 0, malformedf("conflicting Content-Length values %d and %d", n, v)
+		}
+		n, have = v, true
+	}
+	return n, nil
+}
+
+// parseHTTPVersion parses "HTTP/major.minor".
+func parseHTTPVersion(proto string) (major, minor int, ok bool) {
+	const prefix = "HTTP/"
+	if !strings.HasPrefix(proto, prefix) {
+		return 0, 0, false
+	}
+	rest := proto[len(prefix):]
+	dot := strings.IndexByte(rest, '.')
+	if dot <= 0 || dot == len(rest)-1 {
+		return 0, 0, false
+	}
+	maj, err1 := strconv.Atoi(rest[:dot])
+	mnr, err2 := strconv.Atoi(rest[dot+1:])
+	if err1 != nil || err2 != nil || maj < 0 || mnr < 0 {
+		return 0, 0, false
+	}
+	return maj, mnr, true
+}
+
+// atLeast11 reports whether an HTTP version is 1.1 or newer — the
+// versions whose connections default to persistent.
+func atLeast11(major, minor int) bool {
+	return major > 1 || (major == 1 && minor >= 1)
+}

@@ -1,0 +1,204 @@
+package httprelay
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// RequestHead is one parsed HTTP request head: the exact bytes received
+// (forwarded verbatim on handoff) plus the fields the dispatcher and the
+// relay need.
+type RequestHead struct {
+	// Raw holds the head exactly as received, terminated by the blank
+	// line. It is only populated for heads that parse cleanly — a head
+	// that fails validation must not be forwarded.
+	Raw []byte
+
+	Method string
+	Target string
+	Proto  string
+	Major  int
+	Minor  int
+
+	// ContentLength is the declared body length; 0 when the request has
+	// no Content-Length header. Meaningless when Chunked is set.
+	ContentLength int64
+
+	// Chunked reports a "Transfer-Encoding: chunked" body.
+	Chunked bool
+
+	// KeepAlive is the connection's fate after this request: the
+	// version-appropriate default (HTTP/1.1 persistent, HTTP/1.0 close)
+	// overridden by Connection header tokens.
+	KeepAlive bool
+
+	// ExpectContinue reports an "Expect: 100-continue" request: the
+	// client withholds the body until a 100 Continue arrives, so the
+	// relay must interleave the back end's response with the body copy.
+	ExpectContinue bool
+}
+
+// HasBody reports whether the request carries a message body.
+func (h RequestHead) HasBody() bool { return h.Chunked || h.ContentLength > 0 }
+
+// Size is the body size the dispatcher should account for (0 when
+// unknown, e.g. chunked).
+func (h RequestHead) Size() int64 {
+	if h.Chunked {
+		return 0
+	}
+	return h.ContentLength
+}
+
+// ReadRequestHead consumes exactly one request head (through the blank
+// line) from br, leaving any pipelined follow-on bytes buffered. Framing
+// violations — trailing garbage or signs in Content-Length, conflicting
+// duplicate Content-Length headers, a body declared both chunked and
+// length-delimited, unknown transfer codings, obsolete line folding —
+// return a MalformedError; the caller should answer 400 and close rather
+// than forward the head.
+//
+// An I/O error before any byte of the head — io.EOF on a clean close
+// between pipelined requests, a read-deadline expiry on an idle
+// keep-alive connection — is returned untouched, so callers can tell the
+// connection's normal end of life from a truncated or malformed message
+// (only the latter are MalformedErrors deserving a 400).
+func ReadRequestHead(br *bufio.Reader, maxBytes int) (RequestHead, error) {
+	var h RequestHead
+	var raw bytes.Buffer
+	var sawCL, sawClose, sawKeepAlive bool
+	started := false
+	for {
+		line, err := readLine(br, maxBytes-raw.Len()+1)
+		raw.Write(line)
+		if err != nil {
+			if !started && raw.Len() == 0 {
+				if _, ok := err.(*MalformedError); !ok {
+					return h, err // nothing received: not a framing fault
+				}
+			}
+			if _, ok := err.(*MalformedError); ok {
+				return h, err
+			}
+			return h, malformedf("truncated request head: %v", err)
+		}
+		if raw.Len() > maxBytes {
+			return h, malformedf("request head exceeds %d bytes", maxBytes)
+		}
+		trimmed := trimCRLF(string(line))
+		if !started {
+			if trimmed == "" {
+				continue // tolerate blank lines before the request line
+			}
+			started = true
+			var ok bool
+			h.Method, h.Target, h.Proto, ok = ParseRequestLine(trimmed)
+			if !ok {
+				return h, malformedf("malformed request line %q", trimmed)
+			}
+			h.Major, h.Minor, ok = parseHTTPVersion(h.Proto)
+			if !ok {
+				return h, malformedf("malformed HTTP version %q", h.Proto)
+			}
+			h.KeepAlive = atLeast11(h.Major, h.Minor)
+			continue
+		}
+		if trimmed == "" {
+			break // end of head
+		}
+		if line[0] == ' ' || line[0] == '\t' {
+			// Obsolete line folding: a parser that ignores the
+			// continuation while forwarding it verbatim lets a header
+			// smuggle past inspection; reject instead (RFC 7230 §3.2.4).
+			return h, malformedf("obsolete line folding in request head")
+		}
+		name, value, ok := splitHeader(trimmed)
+		if !ok {
+			return h, malformedf("malformed header line %q", trimmed)
+		}
+		switch name {
+		case "content-length":
+			v, err := parseContentLength(value, h.ContentLength, sawCL)
+			if err != nil {
+				return h, err
+			}
+			h.ContentLength, sawCL = v, true
+		case "transfer-encoding":
+			tks := tokens(value)
+			if len(tks) == 0 || tks[len(tks)-1] != "chunked" {
+				// A transfer coding we cannot frame (or chunked applied
+				// non-finally) makes the body boundary unknowable.
+				return h, malformedf("unsupported Transfer-Encoding %q", value)
+			}
+			h.Chunked = true
+		case "connection":
+			for _, t := range tokens(value) {
+				switch t {
+				case "close":
+					sawClose = true
+				case "keep-alive":
+					sawKeepAlive = true
+				}
+			}
+		case "expect":
+			if hasToken(value, "100-continue") {
+				h.ExpectContinue = true
+			}
+		}
+	}
+	if h.Chunked && sawCL {
+		// The classic request-smuggling shape: two peers disagreeing on
+		// which header frames the body (RFC 7230 §3.3.3).
+		return h, malformedf("both Content-Length and Transfer-Encoding present")
+	}
+	// "close" wins over "keep-alive" if a confused peer sends both.
+	if sawClose {
+		h.KeepAlive = false
+	} else if sawKeepAlive {
+		h.KeepAlive = true
+	}
+	h.Raw = raw.Bytes()
+	return h, nil
+}
+
+// ParseRequestLine splits "METHOD target HTTP/x.y" on the first and last
+// space, so targets containing (technically illegal) spaces still parse.
+func ParseRequestLine(line string) (method, target, proto string, ok bool) {
+	sp1 := -1
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' {
+			sp1 = i
+			break
+		}
+	}
+	if sp1 <= 0 {
+		return "", "", "", false
+	}
+	sp2 := -1
+	for i := len(line) - 1; i > sp1; i-- {
+		if line[i] == ' ' {
+			sp2 = i
+			break
+		}
+	}
+	if sp2 <= sp1+1 {
+		return "", "", "", false
+	}
+	return line[:sp1], line[sp1+1 : sp2], line[sp2+1:], true
+}
+
+// RelayRequestBody forwards the request's body from the (buffered) client
+// side to the back end, framed per the head: chunked bodies are relayed
+// chunk by chunk through their trailers, length-delimited bodies copy
+// exactly ContentLength bytes, and bodiless requests copy nothing. It
+// returns the bytes forwarded.
+func RelayRequestBody(dst io.Writer, br *bufio.Reader, h RequestHead) (int64, error) {
+	if h.Chunked {
+		return relayChunked(dst, br)
+	}
+	if h.ContentLength > 0 {
+		return io.CopyN(dst, br, h.ContentLength)
+	}
+	return 0, nil
+}

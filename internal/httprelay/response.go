@@ -1,0 +1,246 @@
+package httprelay
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"strconv"
+)
+
+// ResponseHead is one parsed HTTP response head.
+type ResponseHead struct {
+	// Raw holds the head exactly as received, terminated by the blank
+	// line.
+	Raw []byte
+
+	Proto string
+	Major int
+	Minor int
+
+	// Status is the three-digit status code.
+	Status int
+
+	// ContentLength is the declared body length, or -1 when absent (body
+	// delimited by connection close). Meaningless when Chunked is set.
+	ContentLength int64
+
+	// Chunked reports a "Transfer-Encoding: chunked" body.
+	Chunked bool
+
+	// KeepAlive reports whether the sender will keep its side of the
+	// connection open after this response: HTTP/1.1 defaults to yes,
+	// HTTP/1.0 to no ("Connection: keep-alive" required), and a
+	// "Connection: close" token always wins. This is the satellite-fix
+	// semantics: an HTTP/1.0 back-end response without an explicit
+	// keep-alive must NOT be treated as reusable.
+	KeepAlive bool
+}
+
+// BodilessStatus reports whether the status code forbids a message body
+// regardless of framing headers: 1xx, 204, 304 (RFC 7230 §3.3.3).
+func (h ResponseHead) BodilessStatus() bool {
+	return (h.Status >= 100 && h.Status < 200) || h.Status == 204 || h.Status == 304
+}
+
+// Informational reports a 1xx interim response, which is always followed
+// by another response on the same connection.
+func (h ResponseHead) Informational() bool { return h.Status >= 100 && h.Status < 200 }
+
+// ReadResponseHead consumes exactly one response head (through the blank
+// line) from br. Framing violations return a MalformedError; the relay
+// should treat the back-end connection as poisoned (502 + close), never
+// guess at the body boundary.
+func ReadResponseHead(br *bufio.Reader, maxBytes int) (ResponseHead, error) {
+	h := ResponseHead{ContentLength: -1}
+	var raw bytes.Buffer
+	var sawCL, sawClose, sawKeepAlive, unknownTE bool
+	started := false
+	for {
+		line, err := readLine(br, maxBytes-raw.Len()+1)
+		raw.Write(line)
+		if err != nil {
+			if _, ok := err.(*MalformedError); ok {
+				return h, err
+			}
+			return h, malformedf("truncated response head: %v", err)
+		}
+		if raw.Len() > maxBytes {
+			return h, malformedf("response head exceeds %d bytes", maxBytes)
+		}
+		trimmed := trimCRLF(string(line))
+		if !started {
+			started = true
+			var ok bool
+			h.Proto, h.Status, ok = parseStatusLine(trimmed)
+			if !ok {
+				return h, malformedf("malformed status line %q", trimmed)
+			}
+			h.Major, h.Minor, ok = parseHTTPVersion(h.Proto)
+			if !ok {
+				return h, malformedf("malformed HTTP version %q", h.Proto)
+			}
+			h.KeepAlive = atLeast11(h.Major, h.Minor)
+			continue
+		}
+		if trimmed == "" {
+			break
+		}
+		if line[0] == ' ' || line[0] == '\t' {
+			return h, malformedf("obsolete line folding in response head")
+		}
+		name, value, ok := splitHeader(trimmed)
+		if !ok {
+			return h, malformedf("malformed header line %q", trimmed)
+		}
+		switch name {
+		case "content-length":
+			prev := h.ContentLength
+			if !sawCL {
+				prev = 0
+			}
+			v, err := parseContentLength(value, prev, sawCL)
+			if err != nil {
+				return h, err
+			}
+			h.ContentLength, sawCL = v, true
+		case "transfer-encoding":
+			tks := tokens(value)
+			if len(tks) > 0 && tks[len(tks)-1] == "chunked" {
+				h.Chunked = true
+			} else {
+				// A coding this relay cannot frame. Unlike a request
+				// (rejected with 400), a response body has a fallback
+				// boundary — the connection close (RFC 7230 §3.3.3) —
+				// so degrade to copy-until-close rather than dropping
+				// the response on the floor.
+				unknownTE = true
+			}
+		case "connection":
+			for _, t := range tokens(value) {
+				switch t {
+				case "close":
+					sawClose = true
+				case "keep-alive":
+					sawKeepAlive = true
+				}
+			}
+		}
+	}
+	if h.Chunked {
+		// In a response Transfer-Encoding wins over Content-Length
+		// (RFC 7230 §3.3.3); the length header is ignored, not fatal,
+		// because the chunk framing still tells us where the body ends.
+		h.ContentLength = -1
+	}
+	if sawClose {
+		h.KeepAlive = false
+	} else if sawKeepAlive {
+		h.KeepAlive = true
+	}
+	if unknownTE {
+		// Close-delimited fallback: the sender's close is the only body
+		// boundary we can trust, chunk framing included.
+		h.Chunked = false
+		h.ContentLength = -1
+		h.KeepAlive = false
+	}
+	h.Raw = raw.Bytes()
+	return h, nil
+}
+
+// parseStatusLine splits "HTTP/1.1 200 OK" into the protocol and status
+// code; the reason phrase is free text and may be empty.
+func parseStatusLine(line string) (proto string, status int, ok bool) {
+	sp := -1
+	for i := 0; i < len(line); i++ {
+		if line[i] == ' ' {
+			sp = i
+			break
+		}
+	}
+	if sp <= 0 || len(line) < sp+4 {
+		return "", 0, false
+	}
+	code := line[sp+1 : sp+4]
+	if len(line) > sp+4 && line[sp+4] != ' ' {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(code)
+	if err != nil || n < 100 || n > 999 {
+		return "", 0, false
+	}
+	return line[:sp], n, true
+}
+
+// CopyResponseBody forwards the body of a response whose head has already
+// been written, framed per the head and the request method: HEAD
+// responses and bodiless statuses copy nothing, chunked bodies relay
+// chunk by chunk, length-delimited bodies copy exactly ContentLength
+// bytes, and unframed bodies copy until the back end closes. It returns
+// the bytes forwarded and whether the source connection remains usable
+// for another message.
+func CopyResponseBody(dst io.Writer, br *bufio.Reader, h ResponseHead, reqMethod string) (int64, bool, error) {
+	if reqMethod == "HEAD" || h.BodilessStatus() {
+		return 0, h.KeepAlive, nil
+	}
+	if h.Chunked {
+		n, err := relayChunked(dst, br)
+		return n, err == nil && h.KeepAlive, err
+	}
+	if h.ContentLength >= 0 {
+		n, err := io.CopyN(dst, br, h.ContentLength)
+		return n, err == nil && h.KeepAlive, err
+	}
+	// No framing: the body ends when the sender closes (HTTP/1.0 style);
+	// the connection is spent by construction.
+	n, err := io.Copy(dst, br)
+	return n, false, err
+}
+
+// RelayResponse relays one complete response — interim 1xx heads
+// included — from the back end to the client: each head verbatim, the
+// final body reframed per its declared encoding. on100, when non-nil, is
+// invoked (once) after a 100 Continue head has been relayed, which is
+// where the caller forwards the withheld request body of an
+// Expect: 100-continue request. reqMethod gives HEAD its bodiless
+// semantics.
+//
+// It returns the bytes written to the client and whether the *back-end*
+// connection remains usable for another request. A 101 Switching
+// Protocols response means the stream is no longer HTTP: the relay
+// degrades to forwarding backend→client until the back end closes and
+// reports the connection spent. The client→backend direction is NOT
+// pumped — upgraded protocols where the client speaks first will stall
+// until the back end gives up, so callers that need real upgrades must
+// splice the raw connections themselves.
+func RelayResponse(client io.Writer, backendBR *bufio.Reader, reqMethod string, maxHeadBytes int, on100 func() error) (int64, bool, error) {
+	var written int64
+	for {
+		h, err := ReadResponseHead(backendBR, maxHeadBytes)
+		if err != nil {
+			return written, false, err
+		}
+		n, err := client.Write(h.Raw)
+		written += int64(n)
+		if err != nil {
+			return written, false, err
+		}
+		if h.Informational() {
+			if h.Status == 101 {
+				nc, err := io.Copy(client, backendBR)
+				written += nc
+				return written, false, err
+			}
+			if h.Status == 100 && on100 != nil {
+				if err := on100(); err != nil {
+					return written, false, err
+				}
+				on100 = nil
+			}
+			continue
+		}
+		nb, reusable, err := CopyResponseBody(client, backendBR, h, reqMethod)
+		written += nb
+		return written, reusable, err
+	}
+}

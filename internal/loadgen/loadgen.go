@@ -39,6 +39,21 @@ type Config struct {
 	// handoff per request as in the paper's HTTP/1.0 measurements.
 	KeepAlive bool
 
+	// ReqsPerConn, when > 0 together with KeepAlive, selects the raw
+	// P-HTTP client mode (phttp.go): each simulated client issues a
+	// bounded number of requests per connection — drawn from ConnDist
+	// with this mean — then closes and reconnects, the paper's
+	// Section 5 persistent-connection workload. 0 keeps the net/http
+	// transport with unbounded connection reuse.
+	ReqsPerConn int
+
+	// ConnDist is the requests-per-connection distribution:
+	// ConnDistFixed (default) or ConnDistGeometric.
+	ConnDist string
+
+	// Seed drives the ConnDist draws (default 1).
+	Seed int64
+
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
 }
@@ -85,6 +100,12 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	timeout := cfg.Timeout
 	if timeout <= 0 {
 		timeout = 30 * time.Second
+	}
+	if _, err := connLenDraw(cfg.ConnDist, cfg.ReqsPerConn, nil); err != nil {
+		return Stats{}, err
+	}
+	if cfg.KeepAlive && cfg.ReqsPerConn > 0 {
+		return runPHTTP(ctx, cfg, clients, total, timeout)
 	}
 
 	transport := &http.Transport{

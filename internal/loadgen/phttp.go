@@ -1,0 +1,189 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lard/internal/httprelay"
+	"lard/internal/trace"
+)
+
+// This file is the P-HTTP client mode: the paper's Section 5 workload
+// where "clients use persistent connections" and the interesting policy
+// question is how many requests ride on each connection before it closes.
+// Instead of net/http's opaque pooling, each simulated client speaks raw
+// HTTP/1.1 over its own TCP connection, issues a bounded number of
+// requests drawn from the configured distribution, and closes — framing
+// every response through internal/httprelay, the same code the front
+// end's relay uses.
+
+// ConnDist names for Config.ConnDist, shared with the simulator so the
+// phttp experiment's modelled workload matches the live one.
+const (
+	ConnDistFixed     = trace.ConnDistFixed
+	ConnDistGeometric = trace.ConnDistGeometric
+)
+
+// connLenDraw is trace.ConnLenDraw with loadgen-flavoured errors.
+func connLenDraw(dist string, mean int, rng *rand.Rand) (func() int, error) {
+	draw, err := trace.ConnLenDraw(dist, mean, rng)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
+	return draw, nil
+}
+
+// runPHTTP drives the raw persistent-connection client mode.
+func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.Duration) (Stats, error) {
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil {
+		return Stats{}, fmt.Errorf("loadgen: bad BaseURL: %w", err)
+	}
+	if u.Scheme != "http" || u.Host == "" {
+		return Stats{}, fmt.Errorf("loadgen: P-HTTP mode needs an http://host:port BaseURL, got %q", cfg.BaseURL)
+	}
+	host := u.Host
+	// Honor a BaseURL path prefix exactly like the net/http mode, which
+	// fetches cfg.BaseURL+target.
+	prefix := strings.TrimSuffix(u.Path, "/")
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+
+	var (
+		cursor  atomic.Int64
+		nOK     atomic.Uint64
+		nErr    atomic.Uint64
+		nBytes  atomic.Int64
+		latMu   sync.Mutex
+		latAll  []time.Duration
+		wg      sync.WaitGroup
+		started = time.Now()
+	)
+
+	worker := func(id int) {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed + int64(id)))
+		draw, _ := connLenDraw(cfg.ConnDist, cfg.ReqsPerConn, rng)
+		lats := make([]time.Duration, 0, 1024)
+		for ctx.Err() == nil {
+			// Claim up to one connection's worth of requests.
+			k := int64(draw())
+			first := cursor.Add(k) - k
+			if first >= int64(total) {
+				break
+			}
+			if first+k > int64(total) {
+				k = int64(total) - first
+			}
+			n, nerr, connLats := runConn(ctx, cfg, host, prefix, first, int(k), timeout, &nBytes)
+			nOK.Add(n)
+			nErr.Add(nerr)
+			lats = append(lats, connLats...)
+		}
+		latMu.Lock()
+		latAll = append(latAll, lats...)
+		latMu.Unlock()
+	}
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go worker(c)
+	}
+	wg.Wait()
+
+	st := Stats{
+		Requests:  nOK.Load(),
+		Errors:    nErr.Load(),
+		BytesRead: nBytes.Load(),
+		Elapsed:   time.Since(started),
+	}
+	if st.Elapsed > 0 {
+		st.Throughput = float64(st.Requests) / st.Elapsed.Seconds()
+	}
+	summarizeLatencies(&st, latAll)
+	return st, nil
+}
+
+// runConn issues requests [first, first+k) of the trace on one persistent
+// connection, reconnecting if the server closes early. It returns the
+// success and error counts plus per-request latencies.
+func runConn(ctx context.Context, cfg Config, host, prefix string, first int64, k int, timeout time.Duration, nBytes *atomic.Int64) (uint64, uint64, []time.Duration) {
+	var ok, nerr uint64
+	lats := make([]time.Duration, 0, k)
+
+	var conn net.Conn
+	var br *bufio.Reader
+	dial := func() error {
+		var err error
+		conn, err = net.DialTimeout("tcp", host, timeout)
+		if err != nil {
+			return err
+		}
+		br = bufio.NewReaderSize(conn, 16<<10)
+		return nil
+	}
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+
+	for j := 0; j < k; j++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if conn == nil {
+			if err := dial(); err != nil {
+				nerr += uint64(k - j) // the rest of this connection is lost
+				return ok, nerr, lats
+			}
+		}
+		r := cfg.Trace.At(int((first + int64(j))) % cfg.Trace.Len())
+		t0 := time.Now()
+		conn.SetDeadline(time.Now().Add(timeout))
+		// The final request announces the close, as a polite client does.
+		connHdr := ""
+		if j == k-1 {
+			connHdr = "Connection: close\r\n"
+		}
+		if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\n%s\r\n", prefix+r.Target, host, connHdr); err != nil {
+			nerr++
+			conn.Close()
+			conn = nil
+			continue
+		}
+		h, err := httprelay.ReadResponseHead(br, 64<<10)
+		if err != nil {
+			nerr++
+			conn.Close()
+			conn = nil
+			continue
+		}
+		n, reusable, err := httprelay.CopyResponseBody(io.Discard, br, h, "GET")
+		nBytes.Add(n)
+		if err != nil || h.Status != 200 {
+			nerr++
+			conn.Close()
+			conn = nil
+			continue
+		}
+		ok++
+		lats = append(lats, time.Since(t0))
+		if !reusable {
+			conn.Close()
+			conn = nil
+		}
+	}
+	return ok, nerr, lats
+}
