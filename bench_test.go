@@ -389,6 +389,70 @@ func TestRiceSweepSmoke(t *testing.T) {
 
 // --- Dispatcher scalability: locked vs. sharded ----------------------------
 
+// BenchmarkSessionDispatch measures the session API's overhead against
+// the one-shot path it sugars: requests dispatched through an 8-request
+// session per connection (one allocation plus policy consultation per
+// request) versus the same requests through one-shot Dispatch. Pin skips
+// the strategy after the first request, so its per-request cost is the
+// floor; perreq is the one-shot path plus session bookkeeping; costaware
+// adds the shared recency-table lookup and update.
+func BenchmarkSessionDispatch(b *testing.B) {
+	const nodes = 8
+	targets := make([]string, 1024)
+	for i := range targets {
+		targets[i] = fmt.Sprintf("/doc%04d.html", i)
+	}
+	newDisp := func(b *testing.B) publard.Dispatcher {
+		d, err := publard.New("lard/r",
+			publard.WithNodes(nodes),
+			publard.WithMaxOutstanding(-1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return d
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		d := newDisp(b)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_, done, err := d.Dispatch(0, publard.Request{Target: targets[i%len(targets)]})
+			if err != nil {
+				b.Fatal(err)
+			}
+			done()
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "dispatch/s")
+	})
+	for _, mk := range []struct {
+		name   string
+		policy func() publard.ConnPolicy
+	}{
+		{"session/pin", publard.Pin},
+		{"session/perreq", publard.PerRequest},
+		{"session/costaware", func() publard.ConnPolicy { return publard.CostAware(publard.CostAwareConfig{}) }},
+	} {
+		b.Run(mk.name, func(b *testing.B) {
+			d := newDisp(b)
+			policy := mk.policy()
+			b.ResetTimer()
+			i := 0
+			for i < b.N {
+				s := d.NewSession(policy)
+				for r := 0; r < 8 && i < b.N; r++ {
+					_, _, done, err := s.Dispatch(0, publard.Request{Target: targets[i%len(targets)]})
+					if err != nil {
+						b.Fatal(err)
+					}
+					done()
+					i++
+				}
+				s.Close()
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "dispatch/s")
+		})
+	}
+}
+
 // BenchmarkDispatch measures the public dispatch layer's raw throughput:
 // Dispatch + done per operation on a 16-node cluster, from 1 to 16
 // goroutines, with a single-lock dispatcher versus a sharded one. The

@@ -6,11 +6,18 @@
 //
 //	lardfe -listen 127.0.0.1:8080 \
 //	       -backends 127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
-//	       -strategy lard/r -shards 4 -probe 1s -admin 127.0.0.1:8081
+//	       -strategy lard/r -connpolicy costaware -shards 4 \
+//	       -probe 1s -admin 127.0.0.1:8081
 //
-// The optional admin server exposes cluster membership:
+// -connpolicy selects how persistent client connections trade affinity
+// against locality (pin | perreq | costaware, see pkg/lard.ConnPolicy);
+// the deprecated -rehandoff is shorthand for -connpolicy perreq.
+//
+// The optional admin server exposes cluster membership and counters:
 //
 //	GET  /admin/nodes            per-node state (addr, health, drain, load)
+//	GET  /admin/stats            JSON snapshot: dispatches, rejects,
+//	                             rehandoffs, per-policy session counts, ...
 //	POST /admin/drain?node=N     stop new assignments to node N
 //	POST /admin/undrain?node=N   restore a draining node
 //	POST /admin/remove?node=N    permanently remove node N
@@ -42,6 +49,7 @@ type options struct {
 	shards     int
 	params     core.Params
 	cacheBytes int64
+	connpolicy string
 	rehandoff  bool
 	headerTime time.Duration
 	maxHeader  int
@@ -62,7 +70,9 @@ func main() {
 	k := flag.Duration("k", 20*time.Second, "LARD/R replication timer K")
 	mapCap := flag.Int("mapcap", 0, "LRU bound on the target mapping (0 = unbounded)")
 	flag.Int64Var(&o.cacheBytes, "cachebytes", lard.DefaultCacheBytes, "per-node cache size assumed by lb/gc")
-	flag.BoolVar(&o.rehandoff, "rehandoff", false, "re-dispatch every request on persistent connections")
+	flag.StringVar(&o.connpolicy, "connpolicy", "",
+		"persistent-connection dispatch policy: pin, perreq, or costaware (default pin)")
+	flag.BoolVar(&o.rehandoff, "rehandoff", false, "deprecated: shorthand for -connpolicy perreq")
 	flag.DurationVar(&o.headerTime, "headertimeout", 30*time.Second, "time limit for a client to deliver a request head")
 	flag.IntVar(&o.maxHeader, "maxheader", 64<<10, "request/response head size limit in bytes for the relay parser")
 	flag.DurationVar(&o.statsEach, "stats", 0, "print stats at this interval (0 = never)")
@@ -90,6 +100,7 @@ func run(o options) error {
 	fe, err := frontend.New(frontend.Config{
 		Backends:               addrs,
 		Dispatcher:             d,
+		ConnPolicy:             o.connpolicy,
 		RehandoffPerRequest:    o.rehandoff,
 		HeaderTimeout:          o.headerTime,
 		MaxHeaderBytes:         o.maxHeader,
@@ -120,8 +131,8 @@ func run(o options) error {
 		}()
 		fmt.Printf("lardfe: admin endpoints on %s\n", o.admin)
 	}
-	fmt.Printf("lardfe: %s over %d back ends on %s (shards=%d rehandoff=%v probe=%v)\n",
-		d.Name(), len(addrs), o.listen, d.Shards(), o.rehandoff, o.probe)
+	fmt.Printf("lardfe: %s over %d back ends on %s (shards=%d connpolicy=%s probe=%v)\n",
+		d.Name(), len(addrs), o.listen, d.Shards(), fe.ConnPolicy().Name(), o.probe)
 	return fe.ListenAndServe(o.listen)
 }
 
@@ -131,6 +142,10 @@ func adminMux(fe *frontend.Server) http.Handler {
 	mux.HandleFunc("/admin/nodes", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(fe.Nodes())
+	})
+	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(fe.Stats())
 	})
 	nodeOp := func(name string, op func(int)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {

@@ -102,6 +102,22 @@ func TestAdminMux(t *testing.T) {
 	if len(nodes) != 3 || nodes[2].Addr != "127.0.0.1:9005" || nodes[1].State.Member {
 		t.Fatalf("nodes snapshot: %+v", nodes)
 	}
+
+	resp, err = http.Get(srv.URL + "/admin/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st frontend.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(st.ActivePerNode) != 3 {
+		t.Fatalf("stats ActivePerNode = %v, want 3 nodes", st.ActivePerNode)
+	}
+	if _, ok := st.SessionsByPolicy["pin"]; !ok {
+		t.Fatalf("stats missing per-policy session counts: %+v", st.SessionsByPolicy)
+	}
 }
 
 func TestSplitAddrs(t *testing.T) {

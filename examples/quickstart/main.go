@@ -30,6 +30,16 @@ func main() {
 	}
 	fmt.Printf("dispatcher: strategy=%s nodes=%d shards=%d\n\n", d.Name(), d.NodeCount(), d.Shards())
 
+	// The dispatcher's clock: every Dispatch receives a monotonically
+	// advancing virtual (or wall-clock) time. LARD/R ages its replica
+	// sets on the K interval measured by this clock, so a caller that
+	// hard-codes now = 0 silently freezes the aging machinery.
+	now := time.Duration(0)
+	tick := func() time.Duration {
+		now += 100 * time.Millisecond
+		return now
+	}
+
 	// 1. Locality: requests for the same document always land on the same
 	// back end, so its cache keeps the document hot.
 	fmt.Println("locality — 12 documents, 3 requests each:")
@@ -37,7 +47,7 @@ func main() {
 	for round := 0; round < 3; round++ {
 		for i := 0; i < 12; i++ {
 			target := fmt.Sprintf("/doc%02d.html", i)
-			node, done, err := d.Dispatch(0, lard.Request{Target: target})
+			node, done, err := d.Dispatch(tick(), lard.Request{Target: target})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -59,7 +69,7 @@ func main() {
 	fmt.Println("load accounting — 8 held connections:")
 	var dones []func()
 	for i := 0; i < 8; i++ {
-		_, done, err := d.Dispatch(0, lard.Request{Target: fmt.Sprintf("/doc%02d.html", i)})
+		_, done, err := d.Dispatch(tick(), lard.Request{Target: fmt.Sprintf("/doc%02d.html", i)})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -73,7 +83,7 @@ func main() {
 	fmt.Printf("admission — paper bound S = (n-1)*T_high + T_low + 1 = %d:\n", s)
 	admitted := len(dones)
 	for i := 0; ; i++ {
-		_, done, err := d.Dispatch(0, lard.Request{Target: fmt.Sprintf("/burst%d", i)})
+		_, done, err := d.Dispatch(tick(), lard.Request{Target: fmt.Sprintf("/burst%d", i)})
 		if err != nil {
 			fmt.Printf("  connection %d rejected: %v\n", admitted+1, err)
 			break

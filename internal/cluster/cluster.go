@@ -48,11 +48,13 @@ type Cluster struct {
 	next        int
 	dropped     int
 
-	// Persistent-connection state (phttp.go): the per-connection length
-	// generator, a drawn-but-not-yet-admitted connection length (so
-	// overload pushback never skews the seeded draw sequence),
-	// connections parked on the admission bound mid-stream, and the
-	// count of back-end switches in re-handoff mode.
+	// Persistent-connection state (phttp.go): the connection policy the
+	// sessions consult, the per-connection length generator, a
+	// drawn-but-not-yet-admitted connection length (so overload pushback
+	// never skews the seeded draw sequence), connections parked on the
+	// admission bound mid-stream, and the count of back-end switches
+	// (session moves).
+	connPolicy lard.ConnPolicy
 	connLen    func() int
 	pendingLen int
 	stalled    []*connState
@@ -117,6 +119,7 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 	}
 	if cfg.ReqsPerConn >= 1 {
 		c.connLen = newConnLen(cfg)
+		c.connPolicy = newConnPolicy(cfg)
 	}
 
 	c.scheduleFailures()

@@ -9,6 +9,7 @@ import (
 	"lard/internal/cache"
 	"lard/internal/core"
 	"lard/internal/trace"
+	"lard/pkg/lard"
 )
 
 // StrategyKind names the request-distribution configurations evaluated in
@@ -290,15 +291,46 @@ type Config struct {
 	// are reproducible.
 	ConnSeed int64
 
-	// RehandoffPerRequest selects the paper's multiple-handoff design
-	// for persistent connections: every request on a connection is
-	// re-dispatched, and each move to a different back end is charged
-	// Cost.HandoffCost + establishment there (plus teardown on the node
-	// it left). When false, a persistent connection is pinned to the
-	// back end its *first* request's target selected — the per-
-	// connection policy whose lost locality the phttp experiment
-	// measures.
+	// ConnPolicy selects the persistent-connection dispatch policy by
+	// name — how the session behind each simulated connection trades
+	// affinity against locality (pkg/lard's ConnPolicy):
+	//
+	//   - "pin": the whole connection is served by the back end its
+	//     first request's target selected — the per-connection policy
+	//     whose lost locality the phttp experiment measures;
+	//   - "perreq": every request re-dispatches and each move to a
+	//     different back end is charged Cost.HandoffCost + establishment
+	//     there (plus teardown on the node it left) — the paper's
+	//     multiple-handoff design;
+	//   - "costaware": re-dispatches every request but only moves when
+	//     the modelled locality gain beats the switch cost; the policy's
+	//     thresholds are derived from this Config's CostModel and Params.
+	//
+	// Empty selects "perreq" when the deprecated RehandoffPerRequest is
+	// set and "pin" otherwise.
+	ConnPolicy string
+
+	// RehandoffPerRequest is the deprecated boolean form of ConnPolicy:
+	// true means "perreq", false means "pin". Ignored when ConnPolicy is
+	// set (setting both to conflicting values is a Validate error).
 	RehandoffPerRequest bool
+
+	// SessionPolicy, when non-nil, is the connection policy instance the
+	// simulation's sessions consult, overriding ConnPolicy /
+	// RehandoffPerRequest — the hook for custom lard.ConnPolicy
+	// implementations and tuned CostAware configurations.
+	SessionPolicy lard.ConnPolicy
+}
+
+// connPolicyName resolves the persistent-connection policy name through
+// the shared pkg/lard rule; Validate has already rejected unknown names
+// and conflicts, so the error path is unreachable here.
+func (c Config) connPolicyName() string {
+	name, err := lard.ResolveConnPolicyName(c.ConnPolicy, c.RehandoffPerRequest)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: unvalidated ConnPolicy: %v", err))
+	}
+	return name
 }
 
 // DefaultConfig returns the paper's default simulation setup for the given
@@ -390,14 +422,13 @@ func (c Config) Validate() error {
 	if c.ReqsPerConn >= 1 && c.Strategy == WRRGMS {
 		return fmt.Errorf("cluster: persistent connections are not supported with WRR/GMS")
 	}
-	if c.ReqsPerConn >= 1 && !c.RehandoffPerRequest && (len(c.Failures) > 0 || len(c.Churn) > 0) {
-		// A pinned connection never re-consults the dispatcher, so it
-		// would keep serving on a node the schedule has failed — the
-		// simulation would silently understate the outage. Re-handoff
-		// mode re-dispatches every request and handles churn correctly.
-		return fmt.Errorf("cluster: scripted failures/churn with pinned persistent connections " +
-			"(ReqsPerConn >= 1 without RehandoffPerRequest) is not supported")
+	if _, err := lard.ResolveConnPolicyName(c.ConnPolicy, c.RehandoffPerRequest); err != nil {
+		return fmt.Errorf("cluster: %w", err)
 	}
+	// Note scripted failures/churn now compose with every connection
+	// policy: the session behind each connection re-dispatches when its
+	// node drains, fails, or leaves, so even a pinned connection moves on
+	// its next request (PR 3 had to reject this combination).
 	return nil
 }
 

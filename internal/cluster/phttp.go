@@ -14,19 +14,24 @@ import (
 // This file is the simulator's persistent-connection (P-HTTP) model,
 // paper Section 5: consecutive trace requests are grouped into
 // connections, and the dispatch policy question — pin the whole
-// connection to the back end its first request selected, or re-hand it
-// off per request — becomes a Config switch. The cost asymmetry is the
-// trade-off under study: pinning loses locality (requests 2..k land
-// wherever request 1 went), re-handoff keeps locality but charges
-// Cost.HandoffCost + connection establishment on every back-end switch
-// and a teardown on the node the connection left.
+// connection to the back end its first request selected, re-hand it off
+// per request, or move only when the locality regained is worth the
+// switch — is a lard.ConnPolicy consulted by the lard.Session behind
+// each connection. The cost asymmetry is the trade-off under study:
+// pinning loses locality (requests 2..k land wherever request 1 went),
+// re-handoff keeps locality but charges Cost.HandoffCost + connection
+// establishment on every back-end switch and a teardown on the node the
+// connection left; the cost-aware middle pays the switch only when the
+// modelled miss it avoids costs more.
 
-// connState tracks one in-flight persistent connection in per-request
-// re-handoff mode.
+// connState tracks one in-flight persistent connection: its remaining
+// requests, the session owning its dispatch state, and the node that
+// served the previous request (for teardown accounting on moves).
 type connState struct {
-	reqs     []core.Request
-	i        int // next request to dispatch
-	prevNode int // node serving the previous request, -1 before the first
+	reqs []core.Request
+	i    int // next request to dispatch
+	sess *lard.Session
+	prev int // node serving the previous request, -1 before the first
 }
 
 // newConnLen builds the requests-per-connection generator — the same
@@ -45,10 +50,38 @@ func newConnLen(cfg Config) func() int {
 	return draw
 }
 
+// newConnPolicy builds the configured lard.ConnPolicy. CostAware's
+// thresholds are derived from this simulation's own cost model, so the
+// policy's modelled economics match the costs the simulator charges.
+// One instance serves every connection of the run (its recency table is
+// shared state, like a front end's).
+func newConnPolicy(cfg Config) lard.ConnPolicy {
+	if cfg.SessionPolicy != nil {
+		return cfg.SessionPolicy
+	}
+	switch cfg.connPolicyName() {
+	case lard.ConnPerRequest:
+		return lard.PerRequest()
+	case lard.ConnCostAware:
+		return lard.CostAware(lard.CostAwareConfig{
+			HandoffCost:   cfg.Cost.HandoffTime(),
+			EstablishCost: cfg.Cost.EstablishTime(),
+			TeardownCost:  cfg.Cost.TeardownTime(),
+			MissPenalty:   cfg.Cost.DiskFirstLatency,
+			WarmWindow:    cfg.Params.K,
+			// A replica earns its one-time miss back once the target
+			// draws a couple of requests per node per window.
+			HotReplicate: max(3*cfg.Nodes/2, 2),
+		})
+	default:
+		return lard.Pin()
+	}
+}
+
 // pumpPersistent is the closed loop over connections rather than
-// requests. Stalled per-request connections (a re-dispatch that hit the
-// admission bound) resume first — they were admitted earlier and hold
-// the connection's place — then new connections enter while capacity
+// requests. Stalled connections (a dispatch that hit the admission
+// bound) resume first — they were admitted earlier and hold the
+// connection's place — then new connections enter while capacity
 // remains.
 func (c *Cluster) pumpPersistent() {
 	for len(c.stalled) > 0 {
@@ -75,36 +108,16 @@ func (c *Cluster) pumpPersistent() {
 			r := c.tr.At(c.next + i)
 			reqs[i] = core.Request{Target: r.Target, Size: r.Size}
 		}
-		if c.cfg.RehandoffPerRequest {
-			cs := &connState{reqs: reqs, prevNode: -1}
-			c.next += k
-			c.pendingLen = 0
-			if !c.stepConn(cs) {
-				// Admitted as far as the closed loop is concerned: park
-				// it at the head of the stalled queue rather than
-				// rebuilding it on every completion.
-				c.stalled = append(c.stalled, cs)
-				return
-			}
-			continue
-		}
-		// Per-connection handoff: one dispatch decision — the first
-		// request's target — pins every request of the connection.
-		node, done, err := c.d.Dispatch(c.eng.Now(), reqs[0])
-		if errors.Is(err, lard.ErrOverloaded) {
-			return // pendingLen keeps this connection's draw for retry
-		}
+		cs := &connState{reqs: reqs, prev: -1, sess: c.d.NewSession(c.connPolicy)}
 		c.next += k
 		c.pendingLen = 0
-		if err != nil {
-			c.dropped += k // total outage
-			continue
+		if !c.stepConn(cs) {
+			// Admitted as far as the closed loop is concerned: park it on
+			// the stalled queue rather than rebuilding it on every
+			// completion.
+			c.stalled = append(c.stalled, cs)
+			return
 		}
-		c.outstanding++
-		if c.outstanding > c.peak {
-			c.peak = c.outstanding
-		}
-		c.runPinnedConn(node, reqs, done)
 	}
 	// The loop can end on an outage that dropped the trace tail with
 	// nothing in flight; close the timeline here, since no completion
@@ -112,67 +125,39 @@ func (c *Cluster) pumpPersistent() {
 	c.maybeFinish()
 }
 
-// runPinnedConn serves a connection's requests sequentially on one node:
-// handoff + establishment ahead of the first request, teardown after the
-// last. The dispatcher slot is held for the connection's whole lifetime —
-// load is "active connections", as the paper counts it.
-func (c *Cluster) runPinnedConn(node int, reqs []core.Request, done func()) {
-	n := c.nodes[node]
-	i := 0
-	var serveNext func()
-	serveNext = func() {
-		extra := time.Duration(0)
-		if i == 0 {
-			extra = c.cfg.Cost.HandoffTime() + c.cfg.Cost.EstablishTime()
-		}
-		start := c.eng.Now()
-		n.ServePersistent(reqs[i], extra, func() {
-			c.completeRequest(node, start)
-			i++
-			if i < len(reqs) {
-				serveNext()
-				return
-			}
-			n.ChargeTeardown()
-			done()
-			c.outstanding--
-			c.pump()
-			c.maybeFinish()
-		})
-	}
-	serveNext()
-}
-
-// stepConn dispatches request cs.i of a per-request-mode connection. It
-// returns false when the admission bound is hit, leaving cs untouched so
-// the caller can park it on the stalled queue.
+// stepConn dispatches request cs.i of a connection through its session.
+// It returns false when the admission bound is hit, leaving cs untouched
+// so the caller can park it on the stalled queue.
 func (c *Cluster) stepConn(cs *connState) bool {
 	req := cs.reqs[cs.i]
-	node, done, err := c.d.Dispatch(c.eng.Now(), req)
+	node, moved, done, err := cs.sess.Dispatch(c.eng.Now(), req)
 	if errors.Is(err, lard.ErrOverloaded) {
 		return false
 	}
 	if err != nil {
 		// Total outage: the client loses the rest of the connection.
 		c.dropped += len(cs.reqs) - cs.i
-		if cs.prevNode >= 0 {
-			c.nodes[cs.prevNode].ChargeTeardown()
+		if cs.prev >= 0 {
+			c.nodes[cs.prev].ChargeTeardown()
 		}
+		cs.sess.Close()
 		c.maybeFinish()
 		return true
 	}
 	var extra time.Duration
-	if node != cs.prevNode {
-		// The connection moves: teardown where it was, handoff +
-		// establishment where it lands. The first request always pays
-		// this (its handoff is the connection's arrival).
-		if cs.prevNode >= 0 {
-			c.nodes[cs.prevNode].ChargeTeardown()
-			c.rehandoffs++
-		}
+	switch {
+	case cs.prev < 0:
+		// The connection's arrival: handoff + establishment at the first
+		// back end.
+		extra = c.cfg.Cost.HandoffTime() + c.cfg.Cost.EstablishTime()
+	case moved:
+		// The session moved the connection: teardown where it was,
+		// handoff + establishment where it lands.
+		c.nodes[cs.prev].ChargeTeardown()
+		c.rehandoffs++
 		extra = c.cfg.Cost.HandoffTime() + c.cfg.Cost.EstablishTime()
 	}
-	cs.prevNode = node
+	cs.prev = node
 	c.outstanding++
 	if c.outstanding > c.peak {
 		c.peak = c.outstanding
@@ -189,6 +174,7 @@ func (c *Cluster) stepConn(cs *connState) bool {
 			}
 		} else {
 			c.nodes[node].ChargeTeardown()
+			cs.sess.Close()
 		}
 		c.pump()
 		c.maybeFinish()

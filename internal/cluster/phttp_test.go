@@ -3,15 +3,17 @@ package cluster
 import (
 	"testing"
 	"time"
+
+	"lard/pkg/lard"
 )
 
 // phttpConfig builds a persistent-connection config over a cache-pressure
-// trace.
-func phttpConfig(kind StrategyKind, nodes, reqsPerConn int, rehandoff bool) Config {
+// trace, dispatching connections under the named lard.ConnPolicy.
+func phttpConfig(kind StrategyKind, nodes, reqsPerConn int, policy string) Config {
 	cfg := DefaultConfig(kind, nodes)
 	cfg.CacheBytes = 64 << 10 // force real cache pressure at test scale
 	cfg.ReqsPerConn = reqsPerConn
-	cfg.RehandoffPerRequest = rehandoff
+	cfg.ConnPolicy = policy
 	return cfg
 }
 
@@ -36,17 +38,46 @@ func TestPersistentValidation(t *testing.T) {
 	if err := cfg.Validate(); err == nil {
 		t.Fatal("negative HandoffCost accepted")
 	}
-	// Pinned connections cannot track scripted node failures; only
-	// re-handoff mode composes with churn.
 	cfg = DefaultConfig(LARD, 2)
 	cfg.ReqsPerConn = 4
-	cfg.Churn = []ChurnEvent{FailAt(1, time.Second)}
+	cfg.ConnPolicy = "sticky-ish"
 	if err := cfg.Validate(); err == nil {
-		t.Fatal("pinned persistent connections with churn accepted")
+		t.Fatal("unknown ConnPolicy accepted")
+	}
+	cfg = DefaultConfig(LARD, 2)
+	cfg.ReqsPerConn = 4
+	cfg.ConnPolicy = lard.ConnPin
+	cfg.RehandoffPerRequest = true
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("conflicting ConnPolicy/RehandoffPerRequest accepted")
+	}
+	// Sessions re-dispatch when their node fails or drains, so every
+	// policy — pinned included — now composes with scripted churn (PR 3
+	// had to reject pin + churn).
+	for _, policy := range []string{lard.ConnPin, lard.ConnPerRequest, lard.ConnCostAware} {
+		cfg = DefaultConfig(LARD, 2)
+		cfg.ReqsPerConn = 4
+		cfg.ConnPolicy = policy
+		cfg.Churn = []ChurnEvent{FailAt(1, time.Second)}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("%s persistent connections with churn rejected: %v", policy, err)
+		}
+	}
+}
+
+func TestConnPolicyNameResolution(t *testing.T) {
+	cfg := DefaultConfig(LARD, 2)
+	if got := cfg.connPolicyName(); got != lard.ConnPin {
+		t.Fatalf("default policy = %q, want pin", got)
 	}
 	cfg.RehandoffPerRequest = true
-	if err := cfg.Validate(); err != nil {
-		t.Fatalf("re-handoff persistent connections with churn rejected: %v", err)
+	if got := cfg.connPolicyName(); got != lard.ConnPerRequest {
+		t.Fatalf("legacy rehandoff policy = %q, want perreq", got)
+	}
+	cfg.ConnPolicy = lard.ConnCostAware
+	cfg.RehandoffPerRequest = false
+	if got := cfg.connPolicyName(); got != lard.ConnCostAware {
+		t.Fatalf("explicit policy = %q, want costaware", got)
 	}
 }
 
@@ -81,29 +112,29 @@ func TestNewConnLenDistributions(t *testing.T) {
 
 func TestPersistentServesWholeTrace(t *testing.T) {
 	tr := zipfTrace(40, 8<<10, 2000, 0.8, 7)
-	for _, rehandoff := range []bool{false, true} {
-		res, err := Simulate(phttpConfig(LARD, 4, 8, rehandoff), tr)
+	for _, policy := range []string{lard.ConnPin, lard.ConnPerRequest, lard.ConnCostAware} {
+		res, err := Simulate(phttpConfig(LARD, 4, 8, policy), tr)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if res.Requests != tr.Len() || res.Dropped != 0 {
-			t.Fatalf("rehandoff=%v: served %d of %d (%d dropped)",
-				rehandoff, res.Requests, tr.Len(), res.Dropped)
+			t.Fatalf("%s: served %d of %d (%d dropped)",
+				policy, res.Requests, tr.Len(), res.Dropped)
 		}
 		var nodeReqs uint64
 		for _, n := range res.PerNode {
 			nodeReqs += n.Requests
 		}
 		if nodeReqs != uint64(tr.Len()) {
-			t.Fatalf("rehandoff=%v: node requests %d != trace %d", rehandoff, nodeReqs, tr.Len())
+			t.Fatalf("%s: node requests %d != trace %d", policy, nodeReqs, tr.Len())
 		}
 		if res.Throughput <= 0 || res.SimTime <= 0 {
-			t.Fatalf("rehandoff=%v: degenerate result %+v", rehandoff, res)
+			t.Fatalf("%s: degenerate result %+v", policy, res)
 		}
-		if rehandoff && res.Rehandoffs == 0 {
-			t.Fatal("re-handoff mode recorded no back-end switches")
+		if policy != lard.ConnPin && res.Rehandoffs == 0 {
+			t.Fatalf("%s recorded no back-end switches", policy)
 		}
-		if !rehandoff && res.Rehandoffs != 0 {
+		if policy == lard.ConnPin && res.Rehandoffs != 0 {
 			t.Fatalf("pinned mode recorded %d re-handoffs", res.Rehandoffs)
 		}
 	}
@@ -117,15 +148,15 @@ func TestPersistentAffinityCostsLARDLocality(t *testing.T) {
 	// and re-handoff must recover (most of) the HTTP/1.0 miss ratio.
 	tr := zipfTrace(120, 8<<10, 4000, 0.7, 11)
 
-	baseline, err := Simulate(phttpConfig(LARD, 4, 0, false), tr) // HTTP/1.0 model
+	baseline, err := Simulate(phttpConfig(LARD, 4, 0, ""), tr) // HTTP/1.0 model
 	if err != nil {
 		t.Fatal(err)
 	}
-	pinned, err := Simulate(phttpConfig(LARD, 4, 16, false), tr)
+	pinned, err := Simulate(phttpConfig(LARD, 4, 16, lard.ConnPin), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rehandoff, err := Simulate(phttpConfig(LARD, 4, 16, true), tr)
+	rehandoff, err := Simulate(phttpConfig(LARD, 4, 16, lard.ConnPerRequest), tr)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,9 +175,61 @@ func TestPersistentAffinityCostsLARDLocality(t *testing.T) {
 	}
 }
 
+func TestCostAwareHoldsLocalityWithFewerMoves(t *testing.T) {
+	// The cost-aware middle on a trace with a real cold tail: it must
+	// land between the extremes — fewer back-end switches than
+	// per-request, better miss ratio than pinning.
+	tr := zipfTrace(600, 8<<10, 4000, 0.7, 11)
+
+	pinned, err := Simulate(phttpConfig(LARD, 4, 8, lard.ConnPin), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perreq, err := Simulate(phttpConfig(LARD, 4, 8, lard.ConnPerRequest), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costaware, err := Simulate(phttpConfig(LARD, 4, 8, lard.ConnCostAware), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if costaware.Rehandoffs >= perreq.Rehandoffs {
+		t.Fatalf("cost-aware switched %d times, per-request %d: no moves saved",
+			costaware.Rehandoffs, perreq.Rehandoffs)
+	}
+	if costaware.Rehandoffs == 0 {
+		t.Fatal("cost-aware never moved: warm targets should justify switches")
+	}
+	if costaware.MissRatio >= pinned.MissRatio {
+		t.Fatalf("cost-aware miss %.3f not below pinned %.3f",
+			costaware.MissRatio, pinned.MissRatio)
+	}
+}
+
+func TestPinnedSessionMovesOnChurn(t *testing.T) {
+	// A pinned connection whose node fails moves on its next request —
+	// the session semantics that made pin + churn supportable. One of two
+	// nodes fails mid-run and recovers later; the whole trace must still
+	// be served, with the forced moves visible as re-handoffs.
+	tr := zipfTrace(40, 8<<10, 2000, 0.8, 7)
+	cfg := phttpConfig(LARD, 2, 16, lard.ConnPin)
+	cfg.Churn = []ChurnEvent{FailAt(0, 200*time.Millisecond), RecoverAt(0, 2*time.Second)}
+	res, err := Simulate(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("%d requests dropped with one node always alive", res.Dropped)
+	}
+	if res.Rehandoffs == 0 {
+		t.Fatal("no forced moves recorded: pinned sessions served through the failure")
+	}
+}
+
 func TestPersistentGeometricRuns(t *testing.T) {
 	tr := zipfTrace(40, 8<<10, 1500, 0.8, 3)
-	cfg := phttpConfig(LARDR, 4, 6, true)
+	cfg := phttpConfig(LARDR, 4, 6, lard.ConnPerRequest)
 	cfg.ConnDist = "geometric"
 	cfg.ConnSeed = 5
 	res, err := Simulate(cfg, tr)
@@ -170,15 +253,35 @@ func TestPersistentAdmissionBoundHolds(t *testing.T) {
 	// The closed loop must still respect S even when connections hold
 	// slots for many requests (pinned) or re-dispatch mid-stream.
 	tr := zipfTrace(30, 8<<10, 1200, 0.9, 13)
-	for _, rehandoff := range []bool{false, true} {
-		cfg := phttpConfig(LARD, 2, 8, rehandoff)
+	for _, policy := range []string{lard.ConnPin, lard.ConnPerRequest, lard.ConnCostAware} {
+		cfg := phttpConfig(LARD, 2, 8, policy)
 		s := cfg.Params.MaxOutstanding(2)
 		res, err := Simulate(cfg, tr)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if res.PeakOutstanding > s {
-			t.Fatalf("rehandoff=%v: peak %d exceeds S=%d", rehandoff, res.PeakOutstanding, s)
+			t.Fatalf("%s: peak %d exceeds S=%d", policy, res.PeakOutstanding, s)
 		}
+	}
+}
+
+func TestLegacyRehandoffBoolStillDrivesPerRequest(t *testing.T) {
+	// PR 3 callers set RehandoffPerRequest; the boolean must keep
+	// selecting the per-request policy bit for bit.
+	tr := zipfTrace(40, 8<<10, 1000, 0.8, 7)
+	old := phttpConfig(LARD, 4, 8, "")
+	old.RehandoffPerRequest = true
+	new_ := phttpConfig(LARD, 4, 8, lard.ConnPerRequest)
+	a, err := Simulate(old, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(new_, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Throughput != b.Throughput || a.Rehandoffs != b.Rehandoffs || a.MissRatio != b.MissRatio {
+		t.Fatalf("legacy bool diverged from ConnPolicy: %+v vs %+v", a, b)
 	}
 }

@@ -1,17 +1,19 @@
 // Package frontend implements the live prototype's front end (Section 6):
-// it accepts client connections, inspects the first request's target,
-// picks a back end through the public lard.Dispatcher (the same policy
-// code the simulator runs), hands the connection off via the handoff
-// protocol, and then forwards bytes without further inspection.
+// it accepts client connections and runs each through a lard.Session over
+// the public lard.Dispatcher (the same policy code the simulator runs).
+// The session owns the paper's Section 5 pin/re-handoff decision through
+// the configured connection policy: every request's head is parsed, the
+// session decides whether the connection stays on its back end or is
+// handed off again, and the message is relayed with full HTTP framing
+// (internal/httprelay).
 //
 // The layering mirrors the paper's Figure 15: the *dispatcher* (policy +
-// load accounting + admission, pkg/lard) is consulted once per handoff;
-// the *handoff* module transfers the connection; the *forwarding* module
-// is a dumb fast path.
+// load accounting + admission + session affinity, pkg/lard) decides per
+// request; the *handoff* module transfers the connection; the relay loop
+// (rehandoff.go) is the data path.
 package frontend
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -58,11 +60,21 @@ type Config struct {
 	// Shards are ignored. Its NodeCount must match len(Backends).
 	Dispatcher lard.Dispatcher
 
-	// RehandoffPerRequest enables the paper's alternative HTTP/1.1
-	// design: each request on a persistent connection is re-dispatched,
-	// so "different requests on the same connection can be served by
-	// different back ends". The default (false) hands the whole
-	// connection to one back end.
+	// ConnPolicy selects how each client connection's session trades
+	// back-end affinity against locality, by lard.ConnPolicy name:
+	// "pin" serves the whole connection where its first request landed,
+	// "perreq" re-dispatches every request and always follows the
+	// strategy, "costaware" re-dispatches every request but pays a
+	// re-handoff only when the modelled locality gain beats the switch
+	// cost. Empty selects "perreq" when the deprecated
+	// RehandoffPerRequest is set and "pin" otherwise. Regardless of
+	// policy, a session whose back end drains, fails, or is removed
+	// moves on its next request.
+	ConnPolicy string
+
+	// RehandoffPerRequest is the deprecated boolean form of ConnPolicy:
+	// true means "perreq", false means "pin". Ignored when ConnPolicy is
+	// set.
 	RehandoffPerRequest bool
 
 	// DialTimeout bounds back-end dials (default 5s).
@@ -95,6 +107,7 @@ type Config struct {
 // Stats is a snapshot of front-end activity.
 type Stats struct {
 	Accepted        uint64
+	Dispatches      uint64 // session dispatch decisions taken (one per relayed request)
 	Handoffs        uint64
 	Rehandoffs      uint64
 	Errors          uint64
@@ -105,6 +118,12 @@ type Stats struct {
 	ClientToBackend int64
 	BackendToClient int64
 	ActivePerNode   []int
+
+	// SessionsByPolicy counts sessions opened per connection-policy name
+	// (this front end runs one policy, so one key); ActiveSessions is
+	// how many are currently open.
+	SessionsByPolicy map[string]uint64
+	ActiveSessions   int64
 }
 
 // Server is a running front end. Create with New; start with Serve or
@@ -114,8 +133,11 @@ type Server struct {
 	start time.Time
 
 	// d is the concurrency-safe dispatch layer: policy, per-node load
-	// accounting, and admission control all live behind it.
-	d lard.Dispatcher
+	// accounting, and admission control all live behind it. policy is
+	// the connection policy every client session consults (shared state,
+	// e.g. CostAware's recency table, lives inside it).
+	d      lard.Dispatcher
+	policy lard.ConnPolicy
 
 	// backends holds the per-node handoff addresses; indices line up with
 	// dispatcher node ids, including removed nodes (their slots stay).
@@ -134,6 +156,9 @@ type Server struct {
 	probing    []bool
 
 	accepted   atomic.Uint64
+	dispatches atomic.Uint64
+	sessions   atomic.Uint64
+	activeSess atomic.Int64
 	handoffs   atomic.Uint64
 	rehandoffs atomic.Uint64
 	errors     atomic.Uint64
@@ -194,10 +219,23 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DialFailuresBeforeDown <= 0 {
 		cfg.DialFailuresBeforeDown = DefaultDialFailuresBeforeDown
 	}
+	// One shared resolution rule with the simulator: empty defaults to
+	// pin (or perreq under the deprecated boolean), and a leftover
+	// -rehandoff next to a conflicting explicit policy is an error, not
+	// a silent winner.
+	policyName, err := lard.ResolveConnPolicyName(cfg.ConnPolicy, cfg.RehandoffPerRequest)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
+	policy, err := lard.NewConnPolicy(policyName)
+	if err != nil {
+		return nil, fmt.Errorf("frontend: %w", err)
+	}
 	return &Server{
 		cfg:      cfg,
 		start:    time.Now(),
 		d:        d,
+		policy:   policy,
 		backends: append([]string(nil), cfg.Backends...),
 		// All three health slices are sized up front: relying on lazy
 		// growth inside the health lock left a node added via AddBackend
@@ -213,10 +251,18 @@ func New(cfg Config) (*Server, error) {
 // diagnostics.
 func (s *Server) Dispatcher() lard.Dispatcher { return s.d }
 
+// ConnPolicy returns the connection policy client sessions run under.
+func (s *Server) ConnPolicy() lard.ConnPolicy { return s.policy }
+
 // Stats returns a snapshot of the front end's counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Accepted:        s.accepted.Load(),
+		Accepted:   s.accepted.Load(),
+		Dispatches: s.dispatches.Load(),
+		SessionsByPolicy: map[string]uint64{
+			s.policy.Name(): s.sessions.Load(),
+		},
+		ActiveSessions:  s.activeSess.Load(),
 		Handoffs:        s.handoffs.Load(),
 		Rehandoffs:      s.rehandoffs.Load(),
 		Errors:          s.errors.Load(),
@@ -293,76 +339,6 @@ func (s *Server) logf(format string, args ...any) {
 	if s.cfg.ErrorLog != nil {
 		s.cfg.ErrorLog.Printf(format, args...)
 	}
-}
-
-// handleConn runs a client connection through dispatch + handoff. In the
-// default mode the whole connection goes to one back end; in re-handoff
-// mode each request is dispatched separately (rehandoff.go).
-func (s *Server) handleConn(client net.Conn) {
-	if s.cfg.RehandoffPerRequest {
-		s.handlePerRequest(client)
-		return
-	}
-	defer client.Close()
-
-	client.SetReadDeadline(time.Now().Add(s.cfg.HeaderTimeout))
-	br := bufio.NewReaderSize(client, 16<<10)
-	head, err := httprelay.ReadRequestHead(br, s.cfg.MaxHeaderBytes)
-	if err != nil {
-		s.headReadFailed(client, err, "reading request head")
-		return
-	}
-	client.SetReadDeadline(time.Time{})
-
-	node, done, err := s.dispatch(head.Target, head.Size())
-	if err != nil {
-		s.rejected.Add(1)
-		writeServiceUnavailable(client)
-		return
-	}
-	defer done()
-
-	backend, err := s.dialAndHandoff(node, client, head, br, 0)
-	if err != nil {
-		s.errors.Add(1)
-		s.logf("frontend: handoff to backend %d: %v", node, err)
-		writeBadGateway(client)
-		return
-	}
-	s.handoffs.Add(1)
-	// Forwarding fast path: the dispatcher never sees this connection
-	// again.
-	handoff.Forward(client, backend, &s.forward)
-}
-
-// dispatch claims a connection slot on the node the policy picks. The
-// returned done func releases the slot; it is non-nil exactly when err is
-// nil. Both a saturated cluster (lard.ErrOverloaded) and a total outage
-// (lard.ErrUnavailable) surface to the client as 503.
-func (s *Server) dispatch(target string, size int64) (int, func(), error) {
-	return s.d.Dispatch(time.Since(s.start), lard.Request{Target: target, Size: size})
-}
-
-// dialAndHandoff connects to the chosen back end and transfers the
-// connection: the handoff message carries the parsed head plus any bytes
-// the reader buffered beyond it (a request body prefix or pipelined
-// follow-on requests).
-func (s *Server) dialAndHandoff(node int, client net.Conn, head httprelay.RequestHead, br *bufio.Reader, flags byte) (net.Conn, error) {
-	backend, err := s.dialBackend(node)
-	if err != nil {
-		return nil, err
-	}
-	initial := head.Raw
-	if n := br.Buffered(); n > 0 {
-		extra, _ := br.Peek(n)
-		br.Discard(n)
-		initial = append(append([]byte(nil), initial...), extra...)
-	}
-	if err := handoff.Send(backend, client.RemoteAddr().String(), initial, flags); err != nil {
-		backend.Close()
-		return nil, err
-	}
-	return backend, nil
 }
 
 // headReadFailed classifies a ReadRequestHead failure: a clean close or

@@ -327,6 +327,96 @@ func TestDialFailureMarksNodeDown(t *testing.T) {
 	}
 }
 
+func TestConnPolicyConfigAndSessionStats(t *testing.T) {
+	// Every policy name must build; the session counters must reflect the
+	// traffic.
+	tr := smallTrace(t, 10, 30)
+	for _, policy := range []string{lard.ConnPin, lard.ConnPerRequest, lard.ConnCostAware} {
+		mc := startCluster(t, 2, "lard", tr, 1<<20, func(c *Config) { c.ConnPolicy = policy })
+		if got := mc.fe.ConnPolicy().Name(); got != policy {
+			t.Fatalf("ConnPolicy() = %q, want %q", got, policy)
+		}
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+		for i := 0; i < 6; i++ {
+			resp, err := client.Get("http://" + mc.feAddr + tr.At(i).Target)
+			if err != nil {
+				t.Fatalf("%s: %v", policy, err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		client.CloseIdleConnections()
+		st := mc.fe.Stats()
+		if st.Dispatches != 6 {
+			t.Fatalf("%s: Dispatches = %d, want 6", policy, st.Dispatches)
+		}
+		if st.SessionsByPolicy[policy] == 0 {
+			t.Fatalf("%s: no sessions counted: %+v", policy, st.SessionsByPolicy)
+		}
+	}
+	if _, err := New(Config{Backends: []string{"127.0.0.1:1"}, ConnPolicy: "bogus"}); err == nil {
+		t.Fatal("unknown ConnPolicy accepted")
+	}
+	if _, err := New(Config{
+		Backends:            []string{"127.0.0.1:1"},
+		ConnPolicy:          lard.ConnPin,
+		RehandoffPerRequest: true,
+	}); err == nil {
+		t.Fatal("conflicting ConnPolicy/RehandoffPerRequest accepted")
+	}
+	if _, err := New(Config{
+		Backends:            []string{"127.0.0.1:1"},
+		ConnPolicy:          lard.ConnPerRequest,
+		RehandoffPerRequest: true,
+	}); err != nil {
+		t.Fatalf("redundant but consistent ConnPolicy/RehandoffPerRequest rejected: %v", err)
+	}
+}
+
+func TestPinnedSessionMovesWhenBackendDrains(t *testing.T) {
+	// The membership semantics the unified session loop buys: a
+	// keep-alive connection pinned to a draining back end moves on its
+	// next request instead of sticking forever.
+	tr := smallTrace(t, 12, 40)
+	mc := startCluster(t, 2, "lard", tr, 1<<20,
+		func(c *Config) { c.ConnPolicy = lard.ConnPin; c.ProbeInterval = -1 })
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 1}}
+	get := func(i int) {
+		t.Helper()
+		resp, err := client.Get("http://" + mc.feAddr + tr.At(i).Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	get(0)
+	first := -1
+	for node := range mc.backends {
+		if mc.backends[node].Stats().Requests > 0 {
+			first = node
+		}
+	}
+	if first < 0 {
+		t.Fatal("no backend served the first request")
+	}
+	mc.fe.DrainBackend(first)
+	for i := 1; i < 6; i++ {
+		get(i)
+	}
+	client.CloseIdleConnections()
+	other := 1 - first
+	if mc.backends[other].Stats().Requests == 0 {
+		t.Fatalf("drained backend %d kept the pinned connection (stats %+v)", first, mc.fe.Stats())
+	}
+	if mc.fe.Stats().Rehandoffs == 0 {
+		t.Fatal("forced move not counted as a re-handoff")
+	}
+}
+
 func TestNewValidation(t *testing.T) {
 	if _, err := New(Config{}); err == nil {
 		t.Fatal("no backends accepted")

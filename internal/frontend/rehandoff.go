@@ -7,17 +7,28 @@ import (
 
 	"lard/internal/handoff"
 	"lard/internal/httprelay"
+	"lard/pkg/lard"
 )
 
-// This file implements the paper's alternative persistent-connection
-// design (Section 5): "the protocol allows the front end ... to hand off a
-// connection multiple times, so that different requests on the same
-// connection can be served by different back ends."
+// This file is the front end's one relay loop: every client connection —
+// whatever its connection policy — runs through a lard.Session that owns
+// the paper's Section 5 decision ("the protocol allows the front end ...
+// to hand off a connection multiple times, so that different requests on
+// the same connection can be served by different back ends"). The
+// session consults the configured ConnPolicy per request: under "pin" it
+// keeps returning the first back end (and the loop keeps reusing one
+// back-end connection, the paper's whole-connection handoff), under
+// "perreq" every request follows the strategy, and under "costaware"
+// the session moves only when the locality regained is worth the switch.
+// Because the decision is re-taken per request, a session whose back end
+// drains, fails, or is removed moves on its next request under every
+// policy — the membership semantics PR 3's split pinned/per-request
+// paths could not provide.
 //
-// Per-request re-handoff requires the front end to retain HTTP framing —
-// it must know where each request and each response ends — so this path
-// runs every message through internal/httprelay: request bodies are
-// delimited by Content-Length or chunked framing, responses by
+// Retaining HTTP framing is what makes multiple handoff possible — the
+// front end must know where each request and each response ends — so
+// the loop runs every message through internal/httprelay: request bodies
+// are delimited by Content-Length or chunked framing, responses by
 // Content-Length, chunked framing, bodiless status rules (1xx/204/304,
 // HEAD), or connection close. Chunked responses relay chunk by chunk
 // without downgrading the connection, 100 Continue interleaves with the
@@ -25,21 +36,25 @@ import (
 // response's actual HTTP version (an HTTP/1.0 response without an
 // explicit keep-alive is never pooled).
 
-// handlePerRequest relays one client connection, re-dispatching every
-// request.
-func (s *Server) handlePerRequest(client net.Conn) {
+// handleConn relays one client connection through its session.
+func (s *Server) handleConn(client net.Conn) {
 	defer client.Close()
+
+	sess := s.d.NewSession(s.policy)
+	defer sess.Close()
+	s.sessions.Add(1)
+	s.activeSess.Add(1)
+	defer s.activeSess.Add(-1)
 
 	br := bufio.NewReaderSize(client, 16<<10)
 	var (
 		backend     net.Conn
-		backendNode = -1
-		backendDone func() // releases the active connection's slot
 		backendBR   *bufio.Reader
+		requestDone func()
 	)
 	defer func() {
-		if backendDone != nil {
-			backendDone()
+		if requestDone != nil {
+			requestDone()
 		}
 		if backend != nil {
 			backend.Close()
@@ -50,53 +65,47 @@ func (s *Server) handlePerRequest(client net.Conn) {
 		client.SetReadDeadline(time.Now().Add(s.cfg.HeaderTimeout))
 		head, err := httprelay.ReadRequestHead(br, s.cfg.MaxHeaderBytes)
 		if err != nil {
-			s.headReadFailed(client, err, "rehandoff head")
+			s.headReadFailed(client, err, "reading request head")
 			return
 		}
 		client.SetReadDeadline(time.Time{})
 
-		// The connection is between requests: release the previous
-		// request's slot before re-dispatching, so the same-backend fast
-		// path doesn't need transient admission headroom (at a saturated
-		// budget that would 503 requests needing no new capacity). A
-		// concurrent connection may win the freed slot first — admission
-		// is first-come-first-served at saturation, which is fair but not
-		// sticky; an atomic exchange is impossible anyway when the new
-		// target hashes to a different dispatcher shard.
-		if backendDone != nil {
-			backendDone()
-			backendDone = nil
-		}
-		node, done, err := s.dispatch(head.Target, head.Size())
+		// The session owns the pin/re-handoff decision and the
+		// connection-slot accounting across moves; both a saturated
+		// cluster (lard.ErrOverloaded) and a total outage
+		// (lard.ErrUnavailable) surface to the client as 503.
+		node, moved, done, err := sess.Dispatch(time.Since(s.start),
+			lard.Request{Target: head.Target, Size: head.Size()})
 		if err != nil {
 			s.rejected.Add(1)
 			writeServiceUnavailable(client)
 			return
 		}
-		backendDone = done
+		s.dispatches.Add(1)
+		requestDone = done
 
-		// Re-handoff: switch back ends when the policy says so.
-		if backend == nil || node != backendNode {
+		// Re-handoff: switch back ends when the session moved (and dial
+		// the first back end on the first request).
+		if backend == nil || moved {
 			if backend != nil {
 				backend.Close()
 				s.rehandoffs.Add(1)
 			}
-			conn, err := s.dialRehandoff(node, client, head)
+			conn, err := s.dialHandoff(node, client, head)
 			if err != nil {
 				s.errors.Add(1)
-				s.logf("frontend: rehandoff dial backend %d: %v", node, err)
+				s.logf("frontend: handoff dial backend %d: %v", node, err)
 				writeBadGateway(client)
 				return
 			}
 			backend = conn
-			backendNode = node
 			backendBR = bufio.NewReaderSize(backend, 16<<10)
 			s.handoffs.Add(1)
 		} else {
 			// Same back end: reuse the connection under the fresh slot.
 			if _, err := backend.Write(head.Raw); err != nil {
 				s.errors.Add(1)
-				s.logf("frontend: rehandoff write: %v", err)
+				s.logf("frontend: relay write: %v", err)
 				return
 			}
 		}
@@ -119,7 +128,7 @@ func (s *Server) handlePerRequest(client net.Conn) {
 			on100 = sendBody
 		} else if err := sendBody(); err != nil {
 			s.errors.Add(1)
-			s.logf("frontend: rehandoff request body: %v", err)
+			s.logf("frontend: relay request body: %v", err)
 			return
 		}
 
@@ -129,9 +138,14 @@ func (s *Server) handlePerRequest(client net.Conn) {
 		s.forward.BackendToClient.Add(n)
 		if err != nil {
 			s.errors.Add(1)
-			s.logf("frontend: rehandoff response: %v", err)
+			s.logf("frontend: relay response: %v", err)
 			return
 		}
+		// The request is complete: under a non-pinning policy this
+		// releases the connection slot, so an idle keep-alive connection
+		// holds no admission capacity between requests.
+		done()
+		requestDone = nil
 		// Stop unless every party can continue: the request asked to keep
 		// the connection, the back end's response says its side stays
 		// open (relayed verbatim, the client saw the same signal), and no
@@ -142,9 +156,11 @@ func (s *Server) handlePerRequest(client net.Conn) {
 	}
 }
 
-// dialRehandoff opens a back-end connection and sends the handoff message
-// for one request.
-func (s *Server) dialRehandoff(node int, client net.Conn, head httprelay.RequestHead) (net.Conn, error) {
+// dialHandoff opens a back-end connection and sends the handoff message
+// for one request. Every handoff is flagged re-handoffable: whether the
+// connection actually moves again is the session's decision, taken per
+// request.
+func (s *Server) dialHandoff(node int, client net.Conn, head httprelay.RequestHead) (net.Conn, error) {
 	backend, err := s.dialBackend(node)
 	if err != nil {
 		return nil, err

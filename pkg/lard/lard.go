@@ -24,7 +24,12 @@
 //   - runtime cluster membership: AddNode, RemoveNode, Drain, and Undrain
 //     change the node set while traffic flows, recomputing S on every
 //     change, with NodeStates exposing the per-node membership and health
-//     flags (node indices are stable and never reused).
+//     flags (node indices are stable and never reused);
+//   - sessions for persistent connections: NewSession returns a Session
+//     that owns the per-connection pin/re-handoff decision through a
+//     pluggable ConnPolicy — Pin, PerRequest, or the locality-aware
+//     CostAware — and keeps connection-slot accounting exact as the
+//     session moves between nodes and shards.
 //
 // A minimal use:
 //
@@ -92,16 +97,34 @@ var (
 // Dispatcher selects a back-end node for each request and accounts for the
 // connection slots in flight. Implementations are safe for concurrent use
 // by any number of goroutines.
+//
+// Dispatchers are built by New: Session's slot accounting reaches into
+// the shard internals, so the interface is not intended to be
+// implemented outside this package (consumers that inject a Dispatcher,
+// like frontend.Config.Dispatcher, construct it with New and custom
+// behavior plugs in at the Strategy layer via Register).
 type Dispatcher interface {
 	// Dispatch picks the node that should serve r at the given (virtual or
 	// wall-clock) time, claims a connection slot on it, and returns a done
 	// func that releases the slot when the request completes. done is
 	// idempotent: calling it more than once releases the slot once.
 	//
+	// Dispatch is the one-shot sugar over the session API: it behaves
+	// exactly like a fresh single-request NewSession(PerRequest())
+	// session, without the session allocation.
+	//
 	// On error the node is -1 and done is nil: ErrOverloaded when the
 	// admission budget is exhausted, ErrUnavailable when every node is
 	// down.
 	Dispatch(now time.Duration, r Request) (node int, done func(), err error)
+
+	// NewSession opens a session: the dispatch state of one client
+	// connection carrying potentially many requests. The policy decides,
+	// per request, whether the connection stays on its current back end
+	// or pays a re-handoff to regain locality (nil defaults to
+	// PerRequest). Sessions own the connection-slot accounting across
+	// moves, including across shards; see Session.
+	NewSession(policy ConnPolicy) *Session
 
 	// NodeCount returns the number of back-end node indices ever created
 	// (alive, down, draining, or removed). Indices are stable and never

@@ -80,6 +80,34 @@ func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), erro
 	return node, done, nil
 }
 
+// claimNode claims a connection slot on a specific node, bypassing the
+// strategy — the Session primitive for keeping a connection where it is.
+// It fails with ErrUnavailable when the node cannot take new traffic and
+// ErrOverloaded when the shard's admission budget is exhausted.
+func (sh *lockedShard) claimNode(node int) (func(), error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if node < 0 || node >= len(sh.loads.active) || sh.blocked[node] || sh.down[node] {
+		return nil, ErrUnavailable
+	}
+	if sh.budget > 0 && sh.inFlight >= sh.budget {
+		return nil, ErrOverloaded
+	}
+	sh.loads.active[node]++
+	sh.inFlight++
+	released := false
+	done := func() {
+		sh.mu.Lock()
+		if !released {
+			released = true
+			sh.loads.active[node]--
+			sh.inFlight--
+		}
+		sh.mu.Unlock()
+	}
+	return done, nil
+}
+
 func (sh *lockedShard) snapshot() (active []int, inFlight int) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -191,6 +219,15 @@ type locked struct {
 func (d *locked) Dispatch(now time.Duration, r Request) (int, func(), error) {
 	return d.shard.dispatch(now, r)
 }
+
+func (d *locked) NewSession(p ConnPolicy) *Session { return newSession(d, p) }
+
+func (d *locked) dispatch(now time.Duration, r Request) (int, func(), error) {
+	return d.shard.dispatch(now, r)
+}
+
+func (d *locked) shardFor(string) *lockedShard { return d.shard }
+func (d *locked) eligibleNode(node int) bool   { return d.mem.eligibleNode(node) }
 
 func (d *locked) NodeCount() int { return d.mem.nodeCount() }
 func (d *locked) Shards() int    { return 1 }

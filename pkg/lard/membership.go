@@ -35,7 +35,7 @@ func (s NodeState) Eligible() bool { return s.Member && !s.Draining && !s.Down }
 // deliberate capacity changes. An explicit WithMaxOutstanding override is
 // never recomputed.
 type membership struct {
-	mu    sync.Mutex
+	mu    sync.RWMutex
 	state []NodeState
 	opts  Options
 }
@@ -63,15 +63,26 @@ func (m *membership) budgetLocked() int {
 	return m.opts.budgetFor(n)
 }
 
+// eligibleNode reports whether the node may receive new assignments —
+// the Session's per-request check that its pinned node has not drained,
+// failed, or left since the last dispatch. It sits on the pinned-session
+// hot path, so it takes only the read lock: concurrent sessions share it
+// without serializing on the membership record.
+func (m *membership) eligibleNode(node int) bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return node >= 0 && node < len(m.state) && m.state[node].Eligible()
+}
+
 func (m *membership) nodeCount() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return len(m.state)
 }
 
 func (m *membership) snapshot() []NodeState {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	return append([]NodeState(nil), m.state...)
 }
 

@@ -1,0 +1,204 @@
+package lard
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrSessionClosed is returned by Session.Dispatch after Close.
+var ErrSessionClosed = errors.New("lard: session closed")
+
+// sessionHost is the dispatcher surface a Session is built over, shared
+// by the locked and sharded variants.
+type sessionHost interface {
+	// dispatch consults the strategy and claims a connection slot on the
+	// chosen node (the one-shot path).
+	dispatch(now time.Duration, r Request) (int, func(), error)
+
+	// shardFor returns the shard responsible for the target, where the
+	// slot of a request for it must be accounted.
+	shardFor(target string) *lockedShard
+
+	// eligibleNode reports whether the node may still receive new
+	// assignments (member, not draining, not down).
+	eligibleNode(node int) bool
+}
+
+// Session is one client connection's dispatch state: it remembers the
+// node currently serving the connection, consults its ConnPolicy per
+// request, and owns the connection-slot accounting across moves —
+// releasing on the node (and shard) the connection leaves and claiming
+// on the one it lands on, which keeps loads exact even when successive
+// targets hash to different shards of a sharded dispatcher.
+//
+// The paper's P-HTTP section leaves the per-request-versus-per-connection
+// handoff decision open; Session is that decision made the dispatcher's,
+// parameterized by ConnPolicy. A session whose current node drains,
+// fails, or is removed moves on its next request regardless of policy.
+//
+// A Session may be driven by one goroutine at a time (each connection
+// owns one); the returned done funcs are safe to call from any
+// goroutine, and distinct Sessions of one Dispatcher are independent.
+type Session struct {
+	h      sessionHost
+	policy ConnPolicy
+	hold   bool // policy.HoldBetweenRequests, resolved once
+
+	mu        sync.Mutex
+	cur       int    // node currently serving the connection, -1 before the first dispatch
+	claim     func() // idempotent release of the outstanding slot, nil when none
+	sinceMove int
+	moves     int
+	closed    bool
+}
+
+// newSession builds a Session over a dispatcher variant. A nil policy
+// defaults to PerRequest, making a fresh session exactly the one-shot
+// Dispatch.
+func newSession(h sessionHost, p ConnPolicy) *Session {
+	if p == nil {
+		p = PerRequest()
+	}
+	return &Session{h: h, policy: p, hold: p.HoldBetweenRequests(), cur: -1}
+}
+
+// Policy returns the session's connection policy.
+func (s *Session) Policy() ConnPolicy { return s.policy }
+
+// Node returns the node currently serving the session, or -1 before the
+// first successful dispatch.
+func (s *Session) Node() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur
+}
+
+// Moves returns how many re-handoffs (back-end switches after the first
+// dispatch) the session has performed.
+func (s *Session) Moves() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.moves
+}
+
+// Dispatch picks the node that serves r on this session. It returns the
+// node, whether the session moved to a different back end than the
+// previous request's (a re-handoff the caller must perform), and a done
+// func marking the request complete.
+//
+// Slot accounting follows the policy: under a holding policy (Pin) one
+// connection slot is claimed at the first dispatch and released at Close,
+// and done is a no-op; otherwise each dispatch claims a slot on the
+// serving node — on the shard that owns r.Target — and done releases it
+// (done is idempotent, and a dispatch force-releases its predecessor's
+// slot if the caller never called done).
+//
+// Errors mirror the one-shot path: ErrOverloaded when the admission
+// budget is exhausted (the session keeps its affinity and the caller may
+// retry), ErrUnavailable on total outage, ErrSessionClosed after Close.
+func (s *Session) Dispatch(now time.Duration, r Request) (node int, moved bool, done func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return -1, false, nil, ErrSessionClosed
+	}
+	first := s.cur < 0
+
+	// Stay-without-consulting fast path: the policy pins the request and
+	// the current node can still take traffic. The strategy is neither
+	// consulted nor mutated.
+	if !first && !s.policy.Reconsider(now, s.cur, r) && s.h.eligibleNode(s.cur) {
+		if !s.hold {
+			// Non-holding policies account slots per request on the shard
+			// that owns the request's target: retire any stale claim so
+			// the fresh one lands on the right shard.
+			s.releaseLocked()
+		}
+		if s.claim == nil {
+			c, cerr := s.h.shardFor(r.Target).claimNode(s.cur)
+			if cerr != nil {
+				if errors.Is(cerr, ErrOverloaded) {
+					return -1, false, nil, cerr
+				}
+				// The node became unavailable under us: fall through to a
+				// forced re-dispatch below.
+			} else {
+				s.claim = c
+			}
+		}
+		if s.claim != nil {
+			s.sinceMove++
+			s.policy.Observe(now, s.cur, r)
+			return s.cur, false, s.requestDone(), nil
+		}
+	}
+
+	// Consult the strategy. Release the outstanding slot first so a
+	// same-node outcome needs no transient admission headroom (at a
+	// saturated budget that would reject a request needing no new
+	// capacity).
+	s.releaseLocked()
+	n, c, err := s.h.dispatch(now, r)
+	if err != nil {
+		// The session keeps its affinity (cur) so an overloaded retry can
+		// still come back as a non-move.
+		return -1, false, nil, err
+	}
+	if !first && n != s.cur &&
+		!s.policy.Accept(now, s.cur, n, s.sinceMove, r) && s.h.eligibleNode(s.cur) {
+		// The policy declines the move: swap the freshly claimed slot for
+		// one on the current node, on this request's shard. The candidate's
+		// slot is released first — at a saturated admission budget (the
+		// closed loop's steady state) claiming before releasing would
+		// always fail and silently turn every stay into a move.
+		c()
+		if cc, cerr := s.h.shardFor(r.Target).claimNode(s.cur); cerr == nil {
+			n, c = s.cur, cc
+		} else if n2, c2, err2 := s.h.dispatch(now, r); err2 == nil {
+			// A concurrent claim stole the released slot (or the node just
+			// failed): fall back to wherever the strategy now sends us.
+			n, c = n2, c2
+		} else {
+			return -1, false, nil, err2
+		}
+	}
+	if !first && n != s.cur {
+		moved = true
+		s.moves++
+		s.sinceMove = 0
+	} else {
+		s.sinceMove++
+	}
+	s.cur = n
+	s.claim = c
+	s.policy.Observe(now, n, r)
+	return n, moved, s.requestDone(), nil
+}
+
+// requestDone builds the per-request done func. Callers hold s.mu.
+func (s *Session) requestDone() func() {
+	if s.hold {
+		// The connection claim spans requests; Close releases it.
+		return func() {}
+	}
+	return s.claim
+}
+
+// releaseLocked releases the outstanding slot, if any. Callers hold s.mu.
+func (s *Session) releaseLocked() {
+	if s.claim != nil {
+		s.claim() // idempotent: harmless if the caller's done already ran
+		s.claim = nil
+	}
+}
+
+// Close releases any connection slot the session still holds and makes
+// further Dispatch calls fail with ErrSessionClosed. Close is
+// idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	s.releaseLocked()
+}

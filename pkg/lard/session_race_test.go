@@ -1,0 +1,113 @@
+package lard
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSessionSlotAccountingUnderChurn is the session property test: many
+// sessions whose targets hash across shards, driven concurrently with
+// Drain/Undrain/RemoveNode/AddNode churn, must keep the load table
+// consistent — no per-node load ever goes negative, and once every
+// session is closed InFlight drains to exactly zero. Run under -race in
+// CI.
+func TestSessionSlotAccountingUnderChurn(t *testing.T) {
+	const (
+		seed       = 20260726
+		goroutines = 8
+		sessions   = 30 // per goroutine
+		requests   = 40 // per session
+		baseNodes  = 6
+	)
+	d := MustNew("lard/r", WithNodes(baseNodes), WithShards(4))
+	policies := []func() ConnPolicy{Pin, PerRequest, func() ConnPolicy { return CostAware(CostAwareConfig{}) }}
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	// Churn: drains and undrains sweep all nodes; removals are bounded and
+	// each is compensated by an AddNode so the cluster never empties.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(seed))
+		removed := 0
+		for !stop.Load() {
+			node := rng.Intn(d.NodeCount())
+			switch rng.Intn(10) {
+			case 0, 1, 2, 3:
+				d.Drain(node)
+			case 4, 5, 6, 7:
+				d.Undrain(node)
+			case 8:
+				if removed < 4 {
+					d.AddNode()
+					d.RemoveNode(node)
+					removed++
+				}
+			case 9:
+				d.SetNodeDown(node, rng.Intn(2) == 0)
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+		// Leave the cluster serviceable for the tail of the run.
+		for n := 0; n < d.NodeCount(); n++ {
+			d.Undrain(n)
+			d.SetNodeDown(n, false)
+		}
+	}()
+
+	// Invariant checker: loads must never be negative, even mid-churn.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			for node, load := range d.Loads() {
+				if load < 0 {
+					panic(fmt.Sprintf("node %d load %d < 0", node, load))
+				}
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}()
+
+	var sessionWG sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		sessionWG.Add(1)
+		go func(g int) {
+			defer sessionWG.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)))
+			for si := 0; si < sessions; si++ {
+				s := d.NewSession(policies[rng.Intn(len(policies))]())
+				for ri := 0; ri < requests; ri++ {
+					target := fmt.Sprintf("/doc%03d.html", rng.Intn(240))
+					now := time.Duration(ri) * time.Millisecond
+					_, _, done, err := s.Dispatch(now, Request{Target: target})
+					if err != nil {
+						continue // overloaded or mid-churn outage: move on
+					}
+					if rng.Intn(10) < 7 {
+						done() // else: the next Dispatch force-releases it
+					}
+				}
+				s.Close()
+			}
+		}(g)
+	}
+	sessionWG.Wait()
+	stop.Store(true)
+	wg.Wait()
+
+	if got := d.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after every session closed, want 0", got)
+	}
+	for node, load := range d.Loads() {
+		if load != 0 {
+			t.Fatalf("node %d load = %d after drain-down, want 0", node, load)
+		}
+	}
+}

@@ -30,6 +30,18 @@ func (d *sharded) Dispatch(now time.Duration, r Request) (int, func(), error) {
 	return d.shards[shardOf(r.Target, len(d.shards))].dispatch(now, r)
 }
 
+func (d *sharded) NewSession(p ConnPolicy) *Session { return newSession(d, p) }
+
+func (d *sharded) dispatch(now time.Duration, r Request) (int, func(), error) {
+	return d.Dispatch(now, r)
+}
+
+func (d *sharded) shardFor(target string) *lockedShard {
+	return d.shards[shardOf(target, len(d.shards))]
+}
+
+func (d *sharded) eligibleNode(node int) bool { return d.mem.eligibleNode(node) }
+
 func (d *sharded) NodeCount() int { return d.mem.nodeCount() }
 func (d *sharded) Shards() int    { return len(d.shards) }
 func (d *sharded) Name() string   { return d.name }
