@@ -1,0 +1,23 @@
+# Convenience targets; CI runs the same steps explicitly (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build test race bench
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -shuffle=on ./...
+
+# bench runs the dispatch-path benchmarks (BenchmarkDispatch,
+# BenchmarkSessionDispatch, BenchmarkHandoffDial) and writes the
+# BENCH_PR5.json trajectory file. BENCHTIME=5s make bench for stabler
+# numbers.
+bench:
+	scripts/bench.sh $(BENCHTIME)

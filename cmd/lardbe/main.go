@@ -17,6 +17,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"lard/internal/backend"
 	"lard/internal/cluster"
@@ -32,16 +33,17 @@ func main() {
 		cacheSize = flag.String("cache", "32m", "cache capacity (e.g. 8m, 64m)")
 		useLRU    = flag.Bool("lru", false, "use LRU replacement instead of GDS")
 		diskScale = flag.Float64("diskscale", 0.01, "emulated disk delay scale (1.0 = full 28ms seeks, 0 = none)")
+		statsEach = flag.Duration("stats", 0, "print handoff/cache stats at this interval (0 = never)")
 	)
 	flag.Parse()
 
-	if err := run(*listen, *profile, *seed, *cacheSize, *useLRU, *diskScale); err != nil {
+	if err := run(*listen, *profile, *seed, *cacheSize, *useLRU, *diskScale, *statsEach); err != nil {
 		fmt.Fprintln(os.Stderr, "lardbe:", err)
 		os.Exit(1)
 	}
 }
 
-func run(listen, profile string, seed int64, cacheSize string, useLRU bool, diskScale float64) error {
+func run(listen, profile string, seed int64, cacheSize string, useLRU bool, diskScale float64, statsEach time.Duration) error {
 	capacity, err := parseBytes(cacheSize)
 	if err != nil {
 		return err
@@ -68,6 +70,18 @@ func run(listen, profile string, seed int64, cacheSize string, useLRU bool, disk
 	ln, err := handoff.Listen("tcp", listen)
 	if err != nil {
 		return err
+	}
+	if statsEach > 0 {
+		// Sessions vs. handled requests is the pooled-handoff view: with
+		// session-framed transports many sessions (and more requests)
+		// ride each accepted TCP connection.
+		go func() {
+			for range time.Tick(statsEach) {
+				st := be.Stats()
+				fmt.Printf("lardbe: sessions=%d rejected=%d requests=%d hits=%d misses=%d cache=%dB/%d\n",
+					ln.Sessions(), ln.Rejected(), st.Requests, st.Hits, st.Misses, st.CacheUsed, st.CacheLen)
+			}
+		}()
 	}
 	fmt.Printf("lardbe: serving %d documents on %s (cache %s, policy %s, disk scale %g)\n",
 		tr.TargetCount(), ln.Addr(), cacheSize, policyName(useLRU), diskScale)

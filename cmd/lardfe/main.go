@@ -13,11 +13,19 @@
 // against locality (pin | perreq | costaware, see pkg/lard.ConnPolicy);
 // the deprecated -rehandoff is shorthand for -connpolicy perreq.
 //
+// -poolsize and -poolidle size the per-back-end pool of idle handoff
+// connections (the session-sequenced handoff protocol): a handoff to a
+// node with an idle pooled connection reuses it instead of dialing, so
+// the per-handoff cost is protocol processing, not TCP establishment.
+// -poolsize 0 disables pooling and reverts to one dial per handoff.
+//
 // The optional admin server exposes cluster membership and counters:
 //
 //	GET  /admin/nodes            per-node state (addr, health, drain, load)
 //	GET  /admin/stats            JSON snapshot: dispatches, rejects,
-//	                             rehandoffs, per-policy session counts, ...
+//	                             rehandoffs (+ failed moves, re-dispatches),
+//	                             pool hits/misses/evictions/idle, stale
+//	                             retries, per-policy session counts, ...
 //	POST /admin/drain?node=N     stop new assignments to node N
 //	POST /admin/undrain?node=N   restore a draining node
 //	POST /admin/remove?node=N    permanently remove node N
@@ -56,6 +64,8 @@ type options struct {
 	statsEach  time.Duration
 	probe      time.Duration
 	dialFails  int
+	poolSize   int
+	poolIdle   time.Duration
 	admin      string
 }
 
@@ -78,6 +88,8 @@ func main() {
 	flag.DurationVar(&o.statsEach, "stats", 0, "print stats at this interval (0 = never)")
 	flag.DurationVar(&o.probe, "probe", frontend.DefaultProbeInterval, "health-probe interval for down back ends (negative = off)")
 	flag.IntVar(&o.dialFails, "dialfails", frontend.DefaultDialFailuresBeforeDown, "consecutive dial failures before a back end is marked down")
+	flag.IntVar(&o.poolSize, "poolsize", frontend.DefaultPoolSize, "idle back-end connections pooled per node for handoff reuse (0 = no pooling)")
+	flag.DurationVar(&o.poolIdle, "poolidle", frontend.DefaultPoolIdle, "idle TTL for pooled back-end connections")
 	flag.StringVar(&o.admin, "admin", "", "admin listen address for /admin/nodes and /admin/drain (empty = off)")
 	flag.Parse()
 
@@ -97,6 +109,10 @@ func run(o options) error {
 	if err != nil {
 		return err
 	}
+	poolSize := o.poolSize
+	if poolSize == 0 {
+		poolSize = -1 // flag 0 = off; Config 0 = default
+	}
 	fe, err := frontend.New(frontend.Config{
 		Backends:               addrs,
 		Dispatcher:             d,
@@ -106,6 +122,8 @@ func run(o options) error {
 		MaxHeaderBytes:         o.maxHeader,
 		ProbeInterval:          o.probe,
 		DialFailuresBeforeDown: o.dialFails,
+		PoolSize:               poolSize,
+		PoolIdle:               o.poolIdle,
 		ErrorLog:               log.New(os.Stderr, "", log.LstdFlags),
 	})
 	if err != nil {
@@ -115,8 +133,11 @@ func run(o options) error {
 		go func() {
 			for range time.Tick(o.statsEach) {
 				st := fe.Stats()
-				log.Printf("stats: accepted=%d handoffs=%d rehandoffs=%d errors=%d rejected=%d down=%d probes=%d recovered=%d c2b=%dB b2c=%dB active=%v",
-					st.Accepted, st.Handoffs, st.Rehandoffs, st.Errors, st.Rejected,
+				log.Printf("stats: accepted=%d handoffs=%d rehandoffs=%d rhfail=%d redispatch=%d stale=%d pool=%d/%d/%d/%d errors=%d rejected=%d down=%d probes=%d recovered=%d c2b=%dB b2c=%dB active=%v",
+					st.Accepted, st.Handoffs, st.Rehandoffs, st.RehandoffFails,
+					st.Redispatches, st.StaleRetries,
+					st.PoolHits, st.PoolMisses, st.PoolEvictions, st.PoolIdle,
+					st.Errors, st.Rejected,
 					st.MarkedDown, st.Probes, st.ProbeRecoveries,
 					st.ClientToBackend, st.BackendToClient, st.ActivePerNode)
 			}
@@ -131,8 +152,9 @@ func run(o options) error {
 		}()
 		fmt.Printf("lardfe: admin endpoints on %s\n", o.admin)
 	}
-	fmt.Printf("lardfe: %s over %d back ends on %s (shards=%d connpolicy=%s probe=%v)\n",
-		d.Name(), len(addrs), o.listen, d.Shards(), fe.ConnPolicy().Name(), o.probe)
+	fmt.Printf("lardfe: %s over %d back ends on %s (shards=%d connpolicy=%s probe=%v pool=%d/%v)\n",
+		d.Name(), len(addrs), o.listen, d.Shards(), fe.ConnPolicy().Name(), o.probe,
+		o.poolSize, o.poolIdle)
 	return fe.ListenAndServe(o.listen)
 }
 

@@ -53,6 +53,16 @@ type CostModel struct {
 	// per back-end *switch* under per-request re-handoff, which is the
 	// CPU side of the locality-vs-affinity trade-off the phttp
 	// experiment sweeps.
+	//
+	// Crucially this models handoff *protocol* processing only, not TCP
+	// establishment: the live front end's pooled handoff path
+	// (internal/frontend/pool.go) exists to keep reality aligned with
+	// that assumption. BenchmarkHandoffDial on the prototype measures a
+	// fresh dial+handoff round trip at roughly twice the cost of a
+	// pooled checkout+handoff (≈87 µs vs ≈41 µs wall-clock on a 2.1 GHz
+	// Xeon over loopback, BENCH_PR5.json) — without pooling, the dial
+	// would dominate the modeled HandoffCost and the simulator's
+	// re-handoff economics would flatter the implementation.
 	HandoffCost time.Duration
 
 	// CPUSpeed scales CPU costs down (2.0 = a CPU twice as fast). Disk

@@ -80,6 +80,18 @@ type Config struct {
 	// DialTimeout bounds back-end dials (default 5s).
 	DialTimeout time.Duration
 
+	// PoolSize bounds the idle back-end connections kept per node for
+	// handoff reuse (0 = DefaultPoolSize; negative disables pooling, and
+	// with it the session-framed handoff protocol — every handoff then
+	// pays a fresh dial, the pre-pool behavior).
+	PoolSize int
+
+	// PoolIdle is how long an idle pooled connection may wait for its
+	// next session before being discarded (0 = DefaultPoolIdle; negative
+	// = no expiry). Keep it below the back end's
+	// handoff.DefaultSessionIdleTimeout.
+	PoolIdle time.Duration
+
 	// ProbeInterval is how often the health prober re-dials back ends
 	// that are marked down and restores them on a successful dial
 	// (health.go). 0 selects DefaultProbeInterval; a negative value
@@ -109,7 +121,10 @@ type Stats struct {
 	Accepted        uint64
 	Dispatches      uint64 // session dispatch decisions taken (one per relayed request)
 	Handoffs        uint64
-	Rehandoffs      uint64
+	Rehandoffs      uint64 // completed back-end switches (counted only after the replacement handoff succeeds)
+	RehandoffFails  uint64 // moves the session decided on that no back end could be established for
+	Redispatches    uint64 // dial failures recovered by re-dispatching the session to another node
+	StaleRetries    uint64 // reused back-end transports (pooled checkouts or kept-alive session conns) found dead at first write/read, transparently retried fresh
 	Errors          uint64
 	Rejected        uint64 // requests refused because no back end was available
 	MarkedDown      uint64 // nodes taken out of rotation after consecutive dial failures
@@ -118,6 +133,14 @@ type Stats struct {
 	ClientToBackend int64
 	BackendToClient int64
 	ActivePerNode   []int
+
+	// Connection-pool counters: checkouts served from the per-node idle
+	// pool versus fresh dials, discards (capacity, TTL, death, node
+	// eviction), and the idle population right now.
+	PoolHits      uint64
+	PoolMisses    uint64
+	PoolEvictions uint64
+	PoolIdle      int
 
 	// SessionsByPolicy counts sessions opened per connection-policy name
 	// (this front end runs one policy, so one key); ActiveSessions is
@@ -155,18 +178,25 @@ type Server struct {
 	dialEpochs []uint64
 	probing    []bool
 
-	accepted   atomic.Uint64
-	dispatches atomic.Uint64
-	sessions   atomic.Uint64
-	activeSess atomic.Int64
-	handoffs   atomic.Uint64
-	rehandoffs atomic.Uint64
-	errors     atomic.Uint64
-	rejected   atomic.Uint64
-	markdowns  atomic.Uint64
-	probes     atomic.Uint64
-	recoveries atomic.Uint64
-	forward    handoff.ForwardStats
+	// pool holds idle session-framed transports per node; nil when
+	// pooling is disabled (Config.PoolSize < 0).
+	pool *backendPool
+
+	accepted       atomic.Uint64
+	dispatches     atomic.Uint64
+	sessions       atomic.Uint64
+	activeSess     atomic.Int64
+	handoffs       atomic.Uint64
+	rehandoffs     atomic.Uint64
+	rehandoffFails atomic.Uint64
+	redispatches   atomic.Uint64
+	staleRetries   atomic.Uint64
+	errors         atomic.Uint64
+	rejected       atomic.Uint64
+	markdowns      atomic.Uint64
+	probes         atomic.Uint64
+	recoveries     atomic.Uint64
+	forward        handoff.ForwardStats
 
 	lnMu     sync.Mutex
 	ln       net.Listener
@@ -231,11 +261,22 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("frontend: %w", err)
 	}
+	if cfg.PoolSize == 0 {
+		cfg.PoolSize = DefaultPoolSize
+	}
+	if cfg.PoolIdle == 0 {
+		cfg.PoolIdle = DefaultPoolIdle
+	}
+	var pool *backendPool
+	if cfg.PoolSize > 0 {
+		pool = newBackendPool(cfg.PoolSize, cfg.PoolIdle)
+	}
 	return &Server{
 		cfg:      cfg,
 		start:    time.Now(),
 		d:        d,
 		policy:   policy,
+		pool:     pool,
 		backends: append([]string(nil), cfg.Backends...),
 		// All three health slices are sized up front: relying on lazy
 		// growth inside the health lock left a node added via AddBackend
@@ -256,7 +297,7 @@ func (s *Server) ConnPolicy() lard.ConnPolicy { return s.policy }
 
 // Stats returns a snapshot of the front end's counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Accepted:   s.accepted.Load(),
 		Dispatches: s.dispatches.Load(),
 		SessionsByPolicy: map[string]uint64{
@@ -265,6 +306,9 @@ func (s *Server) Stats() Stats {
 		ActiveSessions:  s.activeSess.Load(),
 		Handoffs:        s.handoffs.Load(),
 		Rehandoffs:      s.rehandoffs.Load(),
+		RehandoffFails:  s.rehandoffFails.Load(),
+		Redispatches:    s.redispatches.Load(),
+		StaleRetries:    s.staleRetries.Load(),
 		Errors:          s.errors.Load(),
 		Rejected:        s.rejected.Load(),
 		MarkedDown:      s.markdowns.Load(),
@@ -274,12 +318,21 @@ func (s *Server) Stats() Stats {
 		BackendToClient: s.forward.BackendToClient.Load(),
 		ActivePerNode:   s.d.Loads(),
 	}
+	if s.pool != nil {
+		st.PoolHits, st.PoolMisses, st.PoolEvictions = s.pool.counters()
+		st.PoolIdle, _ = s.pool.idleCount(-1)
+	}
+	return st
 }
 
 // SetBackendDown marks a back end failed or restored, when the strategy
-// supports it (Section 2.6 recovery).
+// supports it (Section 2.6 recovery). Marking a node down also evicts
+// its pooled connections.
 func (s *Server) SetBackendDown(node int, down bool) {
 	s.d.SetNodeDown(node, down)
+	if down {
+		s.evictPooled(node)
+	}
 }
 
 // ListenAndServe listens on addr and serves until Close.
@@ -297,8 +350,15 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.lnMu.Lock()
 	s.ln = ln
 	s.lnMu.Unlock()
-	if s.cfg.ProbeInterval > 0 {
-		s.probeGo.Do(func() { go s.probeLoop(s.cfg.ProbeInterval) })
+	if s.cfg.ProbeInterval > 0 || s.pool != nil {
+		s.probeGo.Do(func() {
+			if s.cfg.ProbeInterval > 0 {
+				go s.probeLoop(s.cfg.ProbeInterval)
+			}
+			if s.pool != nil {
+				go s.pool.janitor(s.stop)
+			}
+		})
 	}
 	for {
 		conn, err := ln.Accept()
@@ -323,10 +383,14 @@ func (s *Server) Addr() net.Addr {
 	return s.ln.Addr()
 }
 
-// Close stops accepting connections and stops the health prober.
+// Close stops accepting connections, stops the health prober, and
+// discards the pooled back-end connections.
 func (s *Server) Close() error {
 	s.closed.Store(true)
 	s.stopOnce.Do(func() { close(s.stop) })
+	if s.pool != nil {
+		s.pool.closeAll()
+	}
 	s.lnMu.Lock()
 	defer s.lnMu.Unlock()
 	if s.ln != nil {

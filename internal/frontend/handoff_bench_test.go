@@ -1,0 +1,83 @@
+package frontend
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"testing"
+
+	"lard/internal/backend"
+	"lard/internal/handoff"
+	"lard/internal/httprelay"
+	"lard/internal/trace"
+)
+
+// BenchmarkHandoffDial measures the front end's cost of establishing one
+// handed-off session and relaying its response — the hot path the
+// paper's Section 5 budget (~300µs per handoff) is about — with and
+// without the connection pool:
+//
+//	fresh:  every handoff dials a new back-end TCP connection (protocol
+//	        v1, the pre-pool behavior);
+//	pooled: the handoff reuses an idle session-framed transport from the
+//	        per-node pool; the dial was paid once, at pool fill.
+//
+// The back end serves a cached document with no emulated disk delay, so
+// the difference between the variants is the dial + listener-handshake
+// cost the pool amortizes.
+func BenchmarkHandoffDial(b *testing.B) {
+	cfg := trace.SyntheticConfig{
+		Name:         "bench",
+		Targets:      8,
+		Requests:     8,
+		DataSetBytes: 8 * 4096,
+		ZipfAlpha:    0.8,
+		SizeSigma:    0.1,
+		MinFileBytes: 512,
+	}
+	tr := trace.MustGenerate(cfg, 42)
+	store := backend.NewDocStore(tr.Targets)
+	be := backend.New(backend.Config{Store: store, CacheBytes: 1 << 20, DiskTimeScale: 0})
+	ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := &http.Server{Handler: be.Handler()}
+	go srv.Serve(ln)
+	defer func() { srv.Close(); ln.Close() }()
+
+	head := buildRequestHead(b, fmt.Sprintf("GET %s HTTP/1.1\r\nHost: bench\r\n\r\n", tr.At(0).Target))
+	clientSide, farSide := net.Pipe() // only RemoteAddr is consulted
+	defer clientSide.Close()
+	defer farSide.Close()
+
+	run := func(b *testing.B, poolSize int) {
+		s, err := New(Config{
+			Backends:      []string{ln.Addr().String()},
+			Strategy:      "wrr",
+			ConnPolicy:    "perreq",
+			ProbeInterval: -1,
+			PoolSize:      poolSize,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bc, err := s.connectBackend(0, clientSide, head, true)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, _, err := httprelay.RelayResponse(io.Discard, bc.br, "GET", 64<<10, nil); err != nil {
+				b.Fatal(err)
+			}
+			bc.clean = true
+			s.releaseBackend(bc)
+		}
+	}
+
+	b.Run("fresh", func(b *testing.B) { run(b, -1) })
+	b.Run("pooled", func(b *testing.B) { run(b, 1) })
+}

@@ -1,6 +1,7 @@
 package frontend
 
 import (
+	"bufio"
 	"fmt"
 	"net"
 	"time"
@@ -77,6 +78,7 @@ func (s *Server) dialBackend(node int) (net.Conn, error) {
 			// from re-counting and re-logging the same outage.
 			s.markdowns.Add(1)
 			s.d.SetNodeDown(node, true)
+			s.evictPooled(node)
 			s.logf("frontend: backend %d (%q) marked down after %d consecutive dial failures",
 				node, addr, s.cfg.DialFailuresBeforeDown)
 		}
@@ -192,11 +194,22 @@ func (s *Server) probeOnce() {
 			if err != nil {
 				return
 			}
-			conn.Close()
 			s.resetDialFailures(node)
 			s.recoveries.Add(1)
 			s.d.SetNodeDown(node, false)
 			s.logf("frontend: probe restored backend %d (%s)", node, addr)
+			// The probe dial already paid for connection establishment:
+			// seed the pool with it instead of throwing it away, so the
+			// first handoffs after recovery skip their dials (the back
+			// end holds an unused transport in handshake state briefly;
+			// its handshake timeout reaps it if traffic never comes).
+			// The eligibility re-check mirrors releaseBackend: an admin
+			// drain racing the recovery must not get a warm transport.
+			if s.pool != nil && s.nodePoolable(node) {
+				s.pool.put(node, conn, bufio.NewReaderSize(conn, 16<<10))
+			} else {
+				conn.Close()
+			}
 		}(node, addr)
 	}
 }
@@ -242,15 +255,32 @@ func (s *Server) AddBackend(addr string) int {
 }
 
 // RemoveBackend permanently removes a back end; in-flight connections
-// finish, new requests go elsewhere.
-func (s *Server) RemoveBackend(node int) { s.d.RemoveNode(node) }
+// finish, new requests go elsewhere, and the node's pooled connections
+// are discarded.
+func (s *Server) RemoveBackend(node int) {
+	s.d.RemoveNode(node)
+	s.evictPooled(node)
+}
 
 // DrainBackend stops new assignments to a back end; watch
-// Stats().ActivePerNode reach zero to know the drain completed.
-func (s *Server) DrainBackend(node int) { s.d.Drain(node) }
+// Stats().ActivePerNode reach zero to know the drain completed. The
+// node's pooled connections are discarded so no session can reach it
+// through the pool.
+func (s *Server) DrainBackend(node int) {
+	s.d.Drain(node)
+	s.evictPooled(node)
+}
 
 // UndrainBackend restores a draining back end.
 func (s *Server) UndrainBackend(node int) { s.d.Undrain(node) }
+
+// evictPooled discards node's idle pooled connections; a no-op when
+// pooling is off.
+func (s *Server) evictPooled(node int) {
+	if s.pool != nil {
+		s.pool.evictNode(node)
+	}
+}
 
 // Nodes returns the administrative snapshot of every back end.
 func (s *Server) Nodes() []NodeInfo {

@@ -1,0 +1,247 @@
+package frontend
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"time"
+)
+
+// This file is the front end's per-back-end connection pool. The paper's
+// efficiency argument (Section 5) budgets a few hundred microseconds per
+// connection handoff; a fresh TCP dial per handoff — and per *re-handoff*
+// — spends that budget on connection establishment instead of handoff
+// processing. With the session-sequenced handoff protocol
+// (internal/handoff, FlagSessionFramed) one back-end connection carries a
+// sequence of client sessions, so when a session ends (or re-handoffs
+// away) the connection is checked back into a bounded per-node idle pool
+// and the next handoff to that node reuses it: the dial is paid once per
+// pool fill, not once per handoff.
+
+// DefaultPoolSize is the per-node idle-connection bound used when
+// Config.PoolSize is zero.
+const DefaultPoolSize = 8
+
+// DefaultPoolIdle is the idle TTL after which a pooled connection is
+// discarded, used when Config.PoolIdle is zero. It must stay well below
+// the back end's handoff.DefaultSessionIdleTimeout so the front end's
+// eviction, not the back end's safety net, ends an idle transport.
+const DefaultPoolIdle = 30 * time.Second
+
+// pooledConn is one idle back-end transport: the connection, its buffered
+// response reader (which must travel with the conn so no response bytes
+// are lost across checkouts), and when it went idle.
+type pooledConn struct {
+	c     net.Conn
+	br    *bufio.Reader
+	since time.Time
+}
+
+// backendPool is a bounded per-node idle pool with TTL expiry. Checkouts
+// are LIFO — the most recently used connection is the least likely to
+// have been idle-closed by the back end.
+type backendPool struct {
+	size int
+	ttl  time.Duration
+
+	mu     sync.Mutex
+	idle   map[int][]pooledConn
+	closed bool
+
+	// Counters, guarded by mu; surfaced through Stats.
+	hits      uint64 // checkouts served from the pool
+	misses    uint64 // checkouts that found no live idle conn
+	evictions uint64 // conns discarded: capacity, TTL, death, or node eviction
+}
+
+func newBackendPool(size int, ttl time.Duration) *backendPool {
+	return &backendPool{size: size, ttl: ttl, idle: make(map[int][]pooledConn)}
+}
+
+// get checks out an idle connection for node, discarding expired or dead
+// ones. The liveness probe is a zero-deadline peek: an idle transport
+// should have nothing to say, so readable data or EOF both mean the
+// connection is unusable (the back end hung up, or broke protocol).
+func (p *backendPool) get(node int) (net.Conn, *bufio.Reader, bool) {
+	for {
+		pc, ok := p.pop(node)
+		if !ok {
+			return nil, nil, false
+		}
+		if p.ttl > 0 && time.Since(pc.since) > p.ttl {
+			pc.c.Close()
+			p.countEviction()
+			continue
+		}
+		if pc.br.Buffered() == 0 {
+			pc.c.SetReadDeadline(time.Now())
+			_, err := pc.br.Peek(1)
+			pc.c.SetReadDeadline(time.Time{})
+			if err == nil || !isDeadlineErr(err) {
+				// Data or EOF where silence was required: dead or dirty.
+				pc.c.Close()
+				p.countEviction()
+				continue
+			}
+		} else {
+			// Buffered bytes between sessions are a protocol violation.
+			pc.c.Close()
+			p.countEviction()
+			continue
+		}
+		p.mu.Lock()
+		p.hits++
+		p.mu.Unlock()
+		return pc.c, pc.br, true
+	}
+}
+
+func (p *backendPool) pop(node int) (pooledConn, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	conns := p.idle[node]
+	if len(conns) == 0 {
+		p.misses++
+		return pooledConn{}, false
+	}
+	pc := conns[len(conns)-1]
+	p.idle[node] = conns[:len(conns)-1]
+	return pc, true
+}
+
+func (p *backendPool) countEviction() {
+	p.mu.Lock()
+	p.evictions++
+	p.mu.Unlock()
+}
+
+// put checks a clean (end-of-session sent, response fully read) transport
+// back in. Beyond the per-node bound the oldest idle conn is evicted —
+// LIFO reuse means the oldest is the most likely to die next anyway.
+func (p *backendPool) put(node int, c net.Conn, br *bufio.Reader) {
+	p.mu.Lock()
+	if p.closed || p.size <= 0 {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	conns := p.idle[node]
+	var evict net.Conn
+	if len(conns) >= p.size {
+		evict = conns[0].c
+		conns = append(conns[:0], conns[1:]...)
+		p.evictions++
+	}
+	p.idle[node] = append(conns, pooledConn{c: c, br: br, since: time.Now()})
+	p.mu.Unlock()
+	if evict != nil {
+		evict.Close()
+	}
+}
+
+// evictNode discards every idle connection to node — called on drain,
+// removal, and mark-down, so no session can be handed to a gone node
+// through the pool.
+func (p *backendPool) evictNode(node int) {
+	p.mu.Lock()
+	conns := p.idle[node]
+	delete(p.idle, node)
+	p.evictions += uint64(len(conns))
+	p.mu.Unlock()
+	for _, pc := range conns {
+		pc.c.Close()
+	}
+}
+
+// sweep discards idle connections past the TTL; the janitor calls it so
+// an idle pool drains even with no traffic arriving.
+func (p *backendPool) sweep() {
+	if p.ttl <= 0 {
+		return
+	}
+	cutoff := time.Now().Add(-p.ttl)
+	var dead []net.Conn
+	p.mu.Lock()
+	for node, conns := range p.idle {
+		kept := conns[:0]
+		for _, pc := range conns {
+			if pc.since.Before(cutoff) {
+				dead = append(dead, pc.c)
+				p.evictions++
+			} else {
+				kept = append(kept, pc)
+			}
+		}
+		p.idle[node] = kept
+	}
+	p.mu.Unlock()
+	for _, c := range dead {
+		c.Close()
+	}
+}
+
+// closeAll shuts the pool down; subsequent puts close their conns.
+func (p *backendPool) closeAll() {
+	p.mu.Lock()
+	p.closed = true
+	var all []net.Conn
+	for _, conns := range p.idle {
+		for _, pc := range conns {
+			all = append(all, pc.c)
+		}
+	}
+	p.idle = make(map[int][]pooledConn)
+	p.mu.Unlock()
+	for _, c := range all {
+		c.Close()
+	}
+}
+
+// idleCount returns the number of idle connections, total and for node
+// (node < 0 skips the per-node count).
+func (p *backendPool) idleCount(node int) (total, forNode int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for n, conns := range p.idle {
+		total += len(conns)
+		if n == node {
+			forNode = len(conns)
+		}
+	}
+	return total, forNode
+}
+
+// counters snapshots the pool's counters.
+func (p *backendPool) counters() (hits, misses, evictions uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.hits, p.misses, p.evictions
+}
+
+// janitor sweeps expired idle connections until stop closes.
+func (p *backendPool) janitor(stop <-chan struct{}) {
+	if p.ttl <= 0 {
+		return
+	}
+	interval := p.ttl / 2
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			p.sweep()
+		}
+	}
+}
+
+// isDeadlineErr reports a read-deadline expiry — the healthy outcome of
+// the liveness peek.
+func isDeadlineErr(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}

@@ -1,0 +1,475 @@
+package frontend
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lard/internal/backend"
+	"lard/internal/handoff"
+	"lard/internal/httprelay"
+)
+
+// pipeConn returns the pool-side end of a fresh in-memory connection.
+func pipeConn(t *testing.T) net.Conn {
+	t.Helper()
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a
+}
+
+// TestPoolProperty drives the pool through a seeded random schedule of
+// puts and checkouts and asserts its invariants: the idle population
+// never exceeds the per-node bound, expired connections are never handed
+// out, and the counters balance — every checkout is a hit or a miss, and
+// every put is eventually a hit, an eviction, or still idle.
+func TestPoolProperty(t *testing.T) {
+	const size = 3
+	p := newBackendPool(size, time.Hour) // TTL out of the way for the random phase
+	rng := rand.New(rand.NewSource(7))
+
+	var puts, checkouts, handedOut int
+	for i := 0; i < 500; i++ {
+		node := rng.Intn(4)
+		if rng.Intn(2) == 0 {
+			c := pipeConn(t)
+			p.put(node, c, bufio.NewReaderSize(c, 1<<10))
+			puts++
+		} else {
+			if _, _, ok := p.get(node); ok {
+				handedOut++
+			}
+			checkouts++
+		}
+		for n := 0; n < 4; n++ {
+			if _, forNode := p.idleCount(n); forNode > size {
+				t.Fatalf("node %d holds %d idle conns, bound %d", n, forNode, size)
+			}
+		}
+	}
+	hits, misses, evictions := p.counters()
+	if hits+misses != uint64(checkouts) {
+		t.Fatalf("hits %d + misses %d != checkouts %d", hits, misses, checkouts)
+	}
+	if hits != uint64(handedOut) {
+		t.Fatalf("hits %d != successful checkouts %d", hits, handedOut)
+	}
+	idle, _ := p.idleCount(-1)
+	if uint64(puts) != hits+evictions+uint64(idle) {
+		t.Fatalf("puts %d != hits %d + evictions %d + idle %d", puts, hits, evictions, idle)
+	}
+}
+
+// TestPoolTTLAndSweep: an idle connection past its TTL is not handed out
+// at checkout, and the janitor's sweep discards it without traffic.
+func TestPoolTTLAndSweep(t *testing.T) {
+	p := newBackendPool(2, 30*time.Millisecond)
+
+	c0 := pipeConn(t)
+	p.put(0, c0, bufio.NewReaderSize(c0, 1<<10))
+	time.Sleep(50 * time.Millisecond)
+	if _, _, ok := p.get(0); ok {
+		t.Fatal("expired connection handed out")
+	}
+	if _, _, ev := p.counters(); ev != 1 {
+		t.Fatalf("evictions = %d, want 1 (TTL)", ev)
+	}
+
+	c1 := pipeConn(t)
+	p.put(1, c1, bufio.NewReaderSize(c1, 1<<10))
+	time.Sleep(50 * time.Millisecond)
+	p.sweep()
+	if idle, _ := p.idleCount(-1); idle != 0 {
+		t.Fatalf("sweep left %d idle conns", idle)
+	}
+}
+
+// TestPoolDetectsDeadConnAtCheckout: a connection the back end closed
+// while idle must be discarded by the checkout liveness probe, never
+// handed to a session.
+func TestPoolDetectsDeadConnAtCheckout(t *testing.T) {
+	p := newBackendPool(2, time.Hour)
+	a, b := net.Pipe()
+	defer a.Close()
+	p.put(0, a, bufio.NewReaderSize(a, 1<<10))
+	b.Close() // the "back end" hangs up while the conn is idle
+	if _, _, ok := p.get(0); ok {
+		t.Fatal("dead connection handed out")
+	}
+	if hits, _, ev := p.counters(); hits != 0 || ev != 1 {
+		t.Fatalf("hits=%d evictions=%d, want 0/1", hits, ev)
+	}
+}
+
+// startPooledFrontend builds a pooled front end over the given back ends.
+func startPooledFrontend(t *testing.T, addrs []string, mod ...func(*Config)) (*Server, string) {
+	t.Helper()
+	cfg := Config{
+		Backends:      addrs,
+		Strategy:      "wrr",
+		ConnPolicy:    "perreq",
+		ProbeInterval: -1,
+	}
+	for _, m := range mod {
+		m(&cfg)
+	}
+	fe, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(ln)
+	t.Cleanup(func() { fe.Close() })
+	return fe, ln.Addr().String()
+}
+
+// rawKeepAliveGet performs one request on a fresh client connection
+// without announcing "Connection: close" — the session ends by the
+// client hanging up after the response, like a browser abandoning a
+// keep-alive connection — and then waits for the front end to retire the
+// session, so the back-end transport is back in the pool before the
+// caller's next request. (A client that *does* send Connection: close
+// gets a close-flagged back-end response, which correctly makes the
+// transport non-reusable; pooling pays off for keep-alive clients.)
+func rawKeepAliveGet(t *testing.T, fe *Server, feAddr, target string) int {
+	t.Helper()
+	conn, err := net.Dial("tcp", feAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", target)
+	br := bufio.NewReader(conn)
+	h, _ := readOneResponse(t, br, "GET")
+	conn.Close()
+	waitFor(t, 5*time.Second, "session to retire", func() bool {
+		return fe.Stats().ActiveSessions == 0
+	})
+	return h.Status
+}
+
+// TestPooledHandoffReuse is the tentpole's e2e smoke: successive client
+// connections to the same node must reuse one back-end transport (pool
+// hits), and the back end must see one TCP connection carrying many
+// sessions.
+func TestPooledHandoffReuse(t *testing.T) {
+	tr := smallTrace(t, 10, 50)
+	store := backend.NewDocStore(tr.Targets)
+	be := backend.New(backend.Config{Store: store, CacheBytes: 1 << 20})
+	ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: be.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+
+	fe, feAddr := startPooledFrontend(t, []string{ln.Addr().String()})
+
+	const reqs = 20
+	for i := 0; i < reqs; i++ {
+		if code := rawKeepAliveGet(t, fe, feAddr, tr.At(i%tr.Len()).Target); code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	st := fe.Stats()
+	if st.PoolHits == 0 {
+		t.Fatalf("no pool hits over %d sequential sessions: %+v", reqs, st)
+	}
+	if st.PoolHits+st.PoolMisses == 0 || st.PoolMisses > 3 {
+		t.Fatalf("pool misses %d: the dial was not amortized (hits %d)", st.PoolMisses, st.PoolHits)
+	}
+	if got := be.Stats().Requests; got != reqs {
+		t.Fatalf("back end served %d requests, want %d", got, reqs)
+	}
+	if sessions := ln.Sessions(); sessions != reqs {
+		t.Fatalf("back end saw %d sessions, want %d", sessions, reqs)
+	}
+}
+
+// TestPoolEvictionOnMembership: drain, mark-down, and removal must each
+// discard the node's pooled connections — no session may be handed to a
+// gone node through a warm transport. Runs in the CI race job.
+func TestPoolEvictionOnMembership(t *testing.T) {
+	tr := smallTrace(t, 12, 60)
+	store := backend.NewDocStore(tr.Targets)
+	var addrs []string
+	for i := 0; i < 3; i++ {
+		be := backend.New(backend.Config{Store: store, CacheBytes: 1 << 20})
+		ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := &http.Server{Handler: be.Handler()}
+		go srv.Serve(ln)
+		t.Cleanup(func() { srv.Close(); ln.Close() })
+		addrs = append(addrs, ln.Addr().String())
+	}
+	fe, feAddr := startPooledFrontend(t, addrs)
+
+	get := func(i int) {
+		t.Helper()
+		if code := rawKeepAliveGet(t, fe, feAddr, tr.At(i%tr.Len()).Target); code != 200 {
+			t.Fatalf("request %d: status %d", i, code)
+		}
+	}
+	// Warm the pool on every node (WRR round-robins).
+	for i := 0; i < 12; i++ {
+		get(i)
+	}
+	if idle, _ := fe.pool.idleCount(0); idle == 0 {
+		t.Fatal("pool not warmed")
+	}
+
+	// Drain node 0: its idle transports must go immediately.
+	fe.DrainBackend(0)
+	if _, forNode := fe.pool.idleCount(0); forNode != 0 {
+		t.Fatalf("drained node still pools %d conns", forNode)
+	}
+	before := fe.Stats()
+	for i := 0; i < 9; i++ {
+		get(100 + i)
+	}
+	if _, forNode := fe.pool.idleCount(0); forNode != 0 {
+		t.Fatalf("drained node re-pooled %d conns under traffic", forNode)
+	}
+	if hits := fe.Stats().PoolHits; hits == before.PoolHits {
+		t.Fatal("survivors not served through the pool")
+	}
+
+	// Removal likewise.
+	fe.UndrainBackend(0)
+	for i := 0; i < 6; i++ {
+		get(200 + i)
+	}
+	fe.RemoveBackend(0)
+	if _, forNode := fe.pool.idleCount(0); forNode != 0 {
+		t.Fatalf("removed node still pools %d conns", forNode)
+	}
+
+	// Mark-down (via SetBackendDown, the manual Section 2.6 path).
+	if _, forNode := fe.pool.idleCount(1); forNode == 0 {
+		for i := 0; i < 6; i++ {
+			get(300 + i)
+		}
+	}
+	fe.SetBackendDown(1, true)
+	if _, forNode := fe.pool.idleCount(1); forNode != 0 {
+		t.Fatalf("marked-down node still pools %d conns", forNode)
+	}
+}
+
+// TestDialFailureRedispatch is the headline bugfix test: with healthy
+// alternates present, a refused back-end dial must never surface to the
+// client as a 502 — the session re-dispatches to another node.
+func TestDialFailureRedispatch(t *testing.T) {
+	tr := smallTrace(t, 8, 40)
+	store := backend.NewDocStore(tr.Targets)
+	be := backend.New(backend.Config{Store: store, CacheBytes: 1 << 20})
+	ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: be.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+
+	// A dead address that refuses instantly.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	// The mark-down threshold is out of reach: every request that WRR
+	// sends to the dead node must be saved by re-dispatch alone.
+	fe, feAddr := startPooledFrontend(t, []string{deadAddr, ln.Addr().String()}, func(c *Config) {
+		c.DialTimeout = 250 * time.Millisecond
+		c.DialFailuresBeforeDown = 1 << 30
+	})
+
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+	for i := 0; i < 20; i++ {
+		resp, err := client.Get("http://" + feAddr + tr.At(i%tr.Len()).Target)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d — dial failure leaked to the client", i, resp.StatusCode)
+		}
+	}
+	st := fe.Stats()
+	if st.Redispatches == 0 {
+		t.Fatalf("no re-dispatches recorded: %+v", st)
+	}
+	if st.RehandoffFails != 0 {
+		t.Fatalf("RehandoffFails = %d, want 0", st.RehandoffFails)
+	}
+	// WRR keeps choosing the dead node, so roughly half the requests
+	// should have been saved.
+	if st.Redispatches < 5 {
+		t.Fatalf("Redispatches = %d, want ~10", st.Redispatches)
+	}
+
+	// Regression: completing a redispatched request must release the
+	// *replacement* claim (the original done was superseded) — idle
+	// keep-alive connections hold no admission capacity. Two sessions,
+	// one request each, held open: WRR guarantees one of them was
+	// redispatched off the dead node.
+	var held []net.Conn
+	defer func() {
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", feAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, conn)
+		fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", tr.At(i).Target)
+		readOneResponse(t, bufio.NewReader(conn), "GET")
+	}
+	waitFor(t, 5*time.Second, "idle sessions to release their slots", func() bool {
+		return fe.Dispatcher().InFlight() == 0
+	})
+}
+
+// TestStaleConnRetriedTransparently: a pooled transport the back end
+// drops right after accepting the next session's header (the keep-alive
+// race: header written, nothing comes back) must be retried once on a
+// fresh connection with nothing visible to the client.
+func TestStaleConnRetriedTransparently(t *testing.T) {
+	const doc = "HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok"
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+
+	// A hand-rolled back end speaking the session-framed protocol: the
+	// first transport serves one session, absorbs the end-of-session
+	// record, accepts the *second* session's header — and hangs up. The
+	// retry's fresh transport then serves normally.
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		br := bufio.NewReader(conn)
+		if _, err := handoff.ReadHeader(br); err != nil {
+			return
+		}
+		io.WriteString(conn, doc)
+		var end [4]byte
+		io.ReadFull(br, end[:]) // end-of-session record
+		// Second session: take the header, then die silently.
+		handoff.ReadHeader(br)
+		conn.Close()
+
+		conn2, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		br2 := bufio.NewReader(conn2)
+		if _, err := handoff.ReadHeader(br2); err != nil {
+			return
+		}
+		io.WriteString(conn2, doc)
+		var end2 [4]byte
+		io.ReadFull(br2, end2[:])
+		conn2.Close()
+	}()
+
+	fe, feAddr := startPooledFrontend(t, []string{ln.Addr().String()})
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+	for i := 0; i < 2; i++ {
+		resp, err := client.Get("http://" + feAddr + "/x")
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 || string(body) != "ok" {
+			t.Fatalf("request %d: %d %q — stale conn leaked to the client", i, resp.StatusCode, body)
+		}
+	}
+	st := fe.Stats()
+	if st.StaleRetries == 0 {
+		t.Fatalf("StaleRetries = 0: the retry path did not run (%+v)", st)
+	}
+	if st.PoolHits == 0 {
+		t.Fatalf("PoolHits = 0: second session did not come from the pool (%+v)", st)
+	}
+}
+
+// TestPoolDisabledFallsBackToV1: PoolSize < 0 reverts to one dial per
+// handoff with the plain (v1) protocol — the pre-pool behavior — and the
+// pool counters stay zero.
+func TestPoolDisabledFallsBackToV1(t *testing.T) {
+	tr := smallTrace(t, 6, 20)
+	store := backend.NewDocStore(tr.Targets)
+	be := backend.New(backend.Config{Store: store, CacheBytes: 1 << 20})
+	ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: be.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+
+	fe, feAddr := startPooledFrontend(t, []string{ln.Addr().String()}, func(c *Config) {
+		c.PoolSize = -1
+	})
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get("http://" + feAddr + tr.At(i%tr.Len()).Target)
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	st := fe.Stats()
+	if st.PoolHits != 0 || st.PoolMisses != 0 || st.PoolIdle != 0 {
+		t.Fatalf("pool counters moved with pooling disabled: %+v", st)
+	}
+	if got := be.Stats().Requests; got != 5 {
+		t.Fatalf("back end served %d requests, want 5", got)
+	}
+}
+
+// buildRequestHead parses a literal head for tests and benchmarks.
+func buildRequestHead(t testing.TB, raw string) httprelay.RequestHead {
+	t.Helper()
+	head, err := httprelay.ReadRequestHead(bufio.NewReader(strings.NewReader(raw)), 1<<16)
+	if err != nil {
+		t.Fatalf("parsing %q: %v", raw, err)
+	}
+	return head
+}

@@ -2,6 +2,7 @@ package frontend
 
 import (
 	"bufio"
+	"io"
 	"net"
 	"time"
 
@@ -22,19 +23,52 @@ import (
 // the session moves only when the locality regained is worth the switch.
 // Because the decision is re-taken per request, a session whose back end
 // drains, fails, or is removed moves on its next request under every
-// policy — the membership semantics PR 3's split pinned/per-request
-// paths could not provide.
+// policy.
 //
-// Retaining HTTP framing is what makes multiple handoff possible — the
-// front end must know where each request and each response ends — so
-// the loop runs every message through internal/httprelay: request bodies
-// are delimited by Content-Length or chunked framing, responses by
-// Content-Length, chunked framing, bodiless status rules (1xx/204/304,
-// HEAD), or connection close. Chunked responses relay chunk by chunk
-// without downgrading the connection, 100 Continue interleaves with the
-// withheld request body, and back-end connection reuse honours the
-// response's actual HTTP version (an HTTP/1.0 response without an
-// explicit keep-alive is never pooled).
+// Back-end connections come from the per-node pool (pool.go): a handoff
+// is a session-framed header on a pooled transport when one is idle, and
+// a fresh dial only on a pool miss, so the paper's ~300µs handoff budget
+// is not spent on TCP establishment per handoff. Three error paths keep
+// back-end trouble away from the client:
+//
+//   - a failed dial re-dispatches the session to another eligible node
+//     (bounded attempts, failed nodes excluded) before any 502 — a
+//     single refused connection must not surface to the client while
+//     healthy nodes exist;
+//   - a pooled transport that died while idle (header write fails, or
+//     the first response read returns nothing) is stale: retried once,
+//     transparently, on a freshly dialed connection — but never when
+//     part of the request body has already been relayed and cannot be
+//     replayed;
+//   - the re-handoff counter moves only after the replacement handoff
+//     succeeds, so failed moves show up as RehandoffFails, not as
+//     re-handoffs the phttp figures would credit.
+//
+// Retaining HTTP framing is what makes multiple handoff — and pooling —
+// possible: the front end must know where each request and each response
+// ends, so the loop runs every message through internal/httprelay. The
+// end of the session's last response is exactly the moment the back-end
+// transport is back at a message boundary and can be checked into the
+// pool.
+
+// dialRedispatchLimit bounds how many alternate nodes a session tries
+// after a failed back-end dial before giving up with a 502.
+const dialRedispatchLimit = 2
+
+// backendConn is the relay loop's handle on one handed-off back-end
+// connection: the transport, its buffered response reader, and the
+// session-framing writer when the pooled (v2) protocol is in use.
+type backendConn struct {
+	node int
+	c    net.Conn
+	br   *bufio.Reader
+	w    io.Writer              // request-direction writer: sw when framed, else c
+	sw   *handoff.SessionWriter // non-nil iff the handoff was session-framed
+
+	fromPool bool // checked out of the idle pool (stale-retry eligible)
+	served   int  // complete responses relayed on this checkout
+	clean    bool // at a message boundary: eligible for pool check-in
+}
 
 // handleConn relays one client connection through its session.
 func (s *Server) handleConn(client net.Conn) {
@@ -48,17 +82,14 @@ func (s *Server) handleConn(client net.Conn) {
 
 	br := bufio.NewReaderSize(client, 16<<10)
 	var (
-		backend     net.Conn
-		backendBR   *bufio.Reader
+		backend     *backendConn
 		requestDone func()
 	)
 	defer func() {
 		if requestDone != nil {
 			requestDone()
 		}
-		if backend != nil {
-			backend.Close()
-		}
+		s.releaseBackend(backend)
 	}()
 
 	for {
@@ -84,42 +115,90 @@ func (s *Server) handleConn(client net.Conn) {
 		s.dispatches.Add(1)
 		requestDone = done
 
-		// Re-handoff: switch back ends when the session moved (and dial
-		// the first back end on the first request).
 		if backend == nil || moved {
-			if backend != nil {
-				backend.Close()
-				s.rehandoffs.Add(1)
+			// Re-handoff (or first handoff): the old transport is at a
+			// message boundary — the loop only continues past a complete
+			// reusable response — so it goes back to the pool for the next
+			// session needing its node.
+			prev := backend
+			if prev != nil {
+				s.releaseBackend(prev)
+				backend = nil
 			}
-			conn, err := s.dialHandoff(node, client, head)
+			nb, ndone, err := s.establishBackend(sess, node, client, head)
 			if err != nil {
+				if prev != nil {
+					s.rehandoffFails.Add(1)
+				}
 				s.errors.Add(1)
 				s.logf("frontend: handoff dial backend %d: %v", node, err)
 				writeBadGateway(client)
 				return
 			}
-			backend = conn
-			backendBR = bufio.NewReaderSize(backend, 16<<10)
+			if ndone != nil {
+				// The dial failed and the session re-dispatched: the
+				// replacement claim's done supersedes the original.
+				requestDone = ndone
+			}
+			backend = nb
 			s.handoffs.Add(1)
+			if prev != nil && nb.node != prev.node {
+				// Counted only now, after the replacement handoff
+				// succeeded — and only if the back end actually changed: a
+				// failed move, or a dial-failure redispatch that landed
+				// back on the previous node, must not inflate the
+				// re-handoff stats the phttp figures report.
+				s.rehandoffs.Add(1)
+			}
 		} else {
-			// Same back end: reuse the connection under the fresh slot.
-			if _, err := backend.Write(head.Raw); err != nil {
-				s.errors.Add(1)
-				s.logf("frontend: relay write: %v", err)
-				return
+			// Same back end: the next request rides the same handed-off
+			// session under the fresh slot.
+			backend.clean = false
+			if _, err := backend.w.Write(head.Raw); err != nil {
+				// First write of a new request onto a reused connection
+				// failed: the back end silently dropped its keep-alive.
+				// Safe to retry for any method — an errored write cannot
+				// have delivered a complete, parseable request (a partial
+				// frame or truncated head never executes) — so retry once
+				// on a fresh connection, re-dispatching if the node
+				// itself is what died, instead of killing the session.
+				prev := backend.node
+				s.logf("frontend: stale back-end conn to %d (write: %v), retrying fresh", prev, err)
+				backend.c.Close()
+				s.staleRetries.Add(1)
+				nb, ndone, err2 := s.recoverBackend(sess, prev, client, head)
+				if err2 != nil {
+					s.errors.Add(1)
+					s.logf("frontend: stale-retry dial backend %d: %v", prev, err2)
+					writeBadGateway(client)
+					return
+				}
+				if ndone != nil {
+					requestDone = ndone
+				}
+				backend = nb
+				s.handoffs.Add(1)
+				if nb.node != prev {
+					s.rehandoffs.Add(1)
+				}
 			}
 		}
 
 		// Forward the request body. Under Expect: 100-continue the
 		// client withholds it until the back end's 100 arrives, so the
 		// copy becomes the relay's on100 hook instead of running here.
+		// bodyWritten tracks actual body bytes leaving for the back end:
+		// once any have, the request can no longer be replayed on a
+		// different connection.
 		bodySent := !head.HasBody()
+		bodyWritten := false
 		sendBody := func() error {
 			if bodySent {
 				return nil
 			}
 			bodySent = true
-			n, err := httprelay.RelayRequestBody(backend, br, head)
+			bodyWritten = true
+			n, err := httprelay.RelayRequestBody(backend.w, br, head)
 			s.forward.ClientToBackend.Add(n)
 			return err
 		}
@@ -134,8 +213,39 @@ func (s *Server) handleConn(client net.Conn) {
 
 		// Relay the response(s); the head travels to the client verbatim,
 		// so the connection semantics the client sees are the back end's.
-		n, reusable, err := httprelay.RelayResponse(client, backendBR, head.Method, s.cfg.MaxHeaderBytes, on100)
+		// The write tracker tells a dead pooled transport (no client
+		// write was ever attempted: the failure was reading the back
+		// end's head) from a client-side write failure — retrying the
+		// latter would re-execute a request the back end already served.
+		cw := &writeTracker{w: client}
+		n, reusable, err := httprelay.RelayResponse(cw, backend.br, head.Method, s.cfg.MaxHeaderBytes, on100)
 		s.forward.BackendToClient.Add(n)
+		if err != nil && !cw.wrote && backend.fromPool && backend.served == 0 &&
+			!bodyWritten && idempotentMethod(head.Method) {
+			// The pooled transport accepted the handoff but produced no
+			// response — the keep-alive race: the back end closed while
+			// the header was in flight. Nothing reached the client and no
+			// body was consumed, so the request replays verbatim on a
+			// fresh connection. Idempotent methods only: the header write
+			// succeeded, so the back end may have executed the request
+			// before dying — net/http's transport draws the same line.
+			prev := backend.node
+			s.logf("frontend: stale back-end conn to %d (read: %v), retrying fresh", prev, err)
+			backend.c.Close()
+			s.staleRetries.Add(1)
+			if nb, ndone, err2 := s.recoverBackend(sess, prev, client, head); err2 == nil {
+				if ndone != nil {
+					requestDone = ndone
+				}
+				backend = nb
+				s.handoffs.Add(1)
+				if nb.node != prev {
+					s.rehandoffs.Add(1)
+				}
+				n, reusable, err = httprelay.RelayResponse(cw, backend.br, head.Method, s.cfg.MaxHeaderBytes, on100)
+				s.forward.BackendToClient.Add(n)
+			}
+		}
 		if err != nil {
 			s.errors.Add(1)
 			s.logf("frontend: relay response: %v", err)
@@ -143,9 +253,16 @@ func (s *Server) handleConn(client net.Conn) {
 		}
 		// The request is complete: under a non-pinning policy this
 		// releases the connection slot, so an idle keep-alive connection
-		// holds no admission capacity between requests.
-		done()
+		// holds no admission capacity between requests. requestDone, not
+		// done: a dial-failure redispatch replaced the original claim
+		// with the fallback node's, and that one must be released.
+		requestDone()
 		requestDone = nil
+		backend.served++
+		// The transport is at a message boundary iff the response was
+		// fully framed and keep-alive, and no Expect dance left request
+		// body bytes undelivered.
+		backend.clean = reusable && bodySent
 		// Stop unless every party can continue: the request asked to keep
 		// the connection, the back end's response says its side stays
 		// open (relayed verbatim, the client saw the same signal), and no
@@ -156,18 +273,152 @@ func (s *Server) handleConn(client net.Conn) {
 	}
 }
 
-// dialHandoff opens a back-end connection and sends the handoff message
-// for one request. Every handoff is flagged re-handoffable: whether the
-// connection actually moves again is the session's decision, taken per
-// request.
-func (s *Server) dialHandoff(node int, client net.Conn, head httprelay.RequestHead) (net.Conn, error) {
-	backend, err := s.dialBackend(node)
+// establishBackend obtains a handed-off back-end connection for the
+// session's chosen node, re-dispatching to alternate nodes on dial
+// failure: a single refused dial must not become a client-visible 502
+// while healthy back ends exist. When the session was re-dispatched, the
+// returned done func supersedes the one from the original Dispatch.
+func (s *Server) establishBackend(sess *lard.Session, node int, client net.Conn, head httprelay.RequestHead) (*backendConn, func(), error) {
+	b, err := s.connectBackend(node, client, head, true)
+	if err == nil {
+		return b, nil, nil
+	}
+	return s.redispatchBackend(sess, client, head, []int{node}, err)
+}
+
+// recoverBackend replaces a back-end connection that died mid-session
+// (stale pooled transport, dropped keep-alive) for a fully replayable
+// request: a fresh dial to the same node first, the re-dispatch loop if
+// that node refuses too — its process may be what killed the connection.
+func (s *Server) recoverBackend(sess *lard.Session, node int, client net.Conn, head httprelay.RequestHead) (*backendConn, func(), error) {
+	b, err := s.connectBackend(node, client, head, false)
+	if err == nil {
+		return b, nil, nil
+	}
+	return s.redispatchBackend(sess, client, head, []int{node}, err)
+}
+
+// redispatchBackend is the bounded dial-failure recovery loop: ask the
+// session for the least-loaded eligible node outside tried, connect,
+// repeat. dialErr (the failure that brought us here) is surfaced when no
+// alternate works out.
+func (s *Server) redispatchBackend(sess *lard.Session, client net.Conn, head httprelay.RequestHead, tried []int, dialErr error) (*backendConn, func(), error) {
+	req := lard.Request{Target: head.Target, Size: head.Size()}
+	for i := 0; i < dialRedispatchLimit; i++ {
+		alt, done, rerr := sess.Redispatch(time.Since(s.start), req, tried)
+		if rerr != nil {
+			// No alternate can take the request; surface the dial error.
+			return nil, nil, dialErr
+		}
+		b, aerr := s.connectBackend(alt, client, head, true)
+		if aerr == nil {
+			s.redispatches.Add(1)
+			return b, done, nil
+		}
+		tried = append(tried, alt)
+		dialErr = aerr
+	}
+	return nil, nil, dialErr
+}
+
+// connectBackend obtains a connection to node carrying this session's
+// handoff header: from the idle pool when usePool is set (with one
+// transparent fall-through to a fresh dial if the pooled transport turns
+// out stale), else by dialing. The fresh-dial path keeps the mark-down
+// accounting of dialBackend.
+func (s *Server) connectBackend(node int, client net.Conn, head httprelay.RequestHead, usePool bool) (*backendConn, error) {
+	clientAddr := client.RemoteAddr().String()
+	if usePool && s.pool != nil {
+		if c, br, ok := s.pool.get(node); ok {
+			b := &backendConn{node: node, c: c, br: br, fromPool: true}
+			if err := s.sendHandoff(b, clientAddr, head.Raw); err == nil {
+				return b, nil
+			}
+			// Stale pooled transport: the write failed before anything
+			// reached the client. Fall through to a fresh dial.
+			s.logf("frontend: stale pooled conn to %d, dialing fresh", node)
+			c.Close()
+			s.staleRetries.Add(1)
+		}
+	}
+	c, err := s.dialBackend(node)
 	if err != nil {
 		return nil, err
 	}
-	if err := handoff.Send(backend, client.RemoteAddr().String(), head.Raw, handoff.FlagRehandoff); err != nil {
-		backend.Close()
+	b := &backendConn{node: node, c: c, br: bufio.NewReaderSize(c, 16<<10)}
+	if err := s.sendHandoff(b, clientAddr, head.Raw); err != nil {
+		c.Close()
 		return nil, err
 	}
-	return backend, nil
+	return b, nil
+}
+
+// sendHandoff writes the handoff header for one client session and arms
+// the connection's request-direction writer. Every handoff is flagged
+// re-handoffable; with pooling enabled it is also session-framed, so the
+// transport survives the session for reuse.
+func (s *Server) sendHandoff(b *backendConn, clientAddr string, initial []byte) error {
+	flags := handoff.FlagRehandoff
+	if s.pool != nil {
+		flags |= handoff.FlagSessionFramed
+	}
+	if err := handoff.Send(b.c, clientAddr, initial, flags); err != nil {
+		return err
+	}
+	if s.pool != nil {
+		b.sw = handoff.NewSessionWriter(b.c)
+		b.w = b.sw
+	} else {
+		b.w = b.c
+	}
+	return nil
+}
+
+// releaseBackend retires the relay loop's hold on a back-end connection:
+// a clean session-framed transport gets its end-of-session record and
+// goes back to the idle pool (unless its node can no longer take
+// traffic), anything else is closed.
+func (s *Server) releaseBackend(b *backendConn) {
+	if b == nil {
+		return
+	}
+	if b.clean && b.sw != nil && s.pool != nil && s.nodePoolable(b.node) {
+		if err := b.sw.End(); err == nil {
+			s.pool.put(b.node, b.c, b.br)
+			return
+		}
+	}
+	b.c.Close()
+}
+
+// nodePoolable reports whether idle connections for node may enter the
+// pool: a draining, down, or removed node must not keep warm transports
+// that could hand it a session.
+func (s *Server) nodePoolable(node int) bool {
+	return s.d.NodeEligible(node)
+}
+
+// idempotentMethod reports whether a request with this method may be
+// transparently replayed after the back end might already have executed
+// it (RFC 7231 §4.2.2's safe/idempotent set as net/http's transport
+// applies it to connection-reuse retries).
+func idempotentMethod(m string) bool {
+	switch m {
+	case "GET", "HEAD", "OPTIONS", "TRACE":
+		return true
+	}
+	return false
+}
+
+// writeTracker records whether any write to the client was attempted,
+// which is what distinguishes "the back end never answered" (retryable
+// on a pooled conn) from "the client went away mid-response" (not).
+type writeTracker struct {
+	w     io.Writer
+	wrote bool
+}
+
+func (t *writeTracker) Write(p []byte) (int, error) {
+	t.wrote = true
+	return t.w.Write(p)
 }

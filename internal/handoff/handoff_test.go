@@ -1,6 +1,7 @@
 package handoff
 
 import (
+	"bufio"
 	"bytes"
 	"fmt"
 	"io"
@@ -187,7 +188,7 @@ func TestConnReadsDrainInitialFirst(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	c := newConn(b, Header{ClientAddr: "198.51.100.2:999", InitialData: []byte("abcdef")})
+	c := newConn(b, bufio.NewReader(b), Header{ClientAddr: "198.51.100.2:999", InitialData: []byte("abcdef")})
 	go func() {
 		a.Write([]byte("ghi"))
 		a.Close()
@@ -208,7 +209,7 @@ func TestConnUnparseableClientAddr(t *testing.T) {
 	a, b := net.Pipe()
 	defer a.Close()
 	defer b.Close()
-	c := newConn(b, Header{ClientAddr: "not-an-address"})
+	c := newConn(b, bufio.NewReader(b), Header{ClientAddr: "not-an-address"})
 	if c.RemoteAddr().String() != "not-an-address" {
 		t.Fatalf("RemoteAddr = %v", c.RemoteAddr())
 	}

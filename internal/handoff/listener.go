@@ -1,25 +1,68 @@
 package handoff
 
 import (
+	"bufio"
 	"net"
+	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// DefaultSessionIdleTimeout is how long a session-framed transport may
+// sit idle between sessions (in the front end's pool) before the back
+// end closes it. It is deliberately much longer than the front end's
+// default pool TTL, so the front end's eviction is what normally ends an
+// idle transport; this is only the safety net against a front end that
+// vanished without closing.
+const DefaultSessionIdleTimeout = 2 * time.Minute
 
 // Listener accepts handed-off connections on the back end and presents
 // them as ordinary net.Conns whose RemoteAddr is the original client's —
 // so an unmodified net/http server (or any other TCP server) can serve
 // handed-off connections directly, mirroring the paper's transparency
 // property.
+//
+// A connection whose handoff header carries FlagSessionFramed is a
+// session-sequenced transport (protocol v2): Accept yields one virtual
+// net.Conn per handed-off session, all sharing the one TCP connection,
+// so the front end can pool and reuse back-end connections across client
+// sessions. Plain (v1) headers consume the connection as before.
 type Listener struct {
 	ln net.Listener
 
 	// HandshakeTimeout bounds how long a newly accepted connection may
-	// take to deliver its handoff header (default 5s).
+	// take to deliver its handoff header (default 5s). On a session-
+	// framed transport it also bounds each subsequent header, measured
+	// from that header's first byte.
 	HandshakeTimeout time.Duration
 
-	// rejected counts connections dropped for bad handshakes.
+	// SessionIdleTimeout bounds how long a session-framed transport may
+	// wait between sessions for the next header's first byte (default
+	// DefaultSessionIdleTimeout; negative = no limit).
+	SessionIdleTimeout time.Duration
+
+	// rejected counts connections dropped for bad handshakes; sessions
+	// counts handed-off sessions accepted (v1 connections count one
+	// each).
 	rejected atomic.Uint64
+	sessions atomic.Uint64
+
+	acceptCh  chan net.Conn
+	tempErrCh chan error
+	done      chan struct{}
+
+	startOnce sync.Once
+	closeOnce sync.Once
+
+	errMu   sync.Mutex
+	err     error
+	errDone chan struct{}
+
+	// transports tracks live session-framed transports so Close can tear
+	// them down (their lifetime is the listener's between sessions, not
+	// any accepted conn's).
+	transMu    sync.Mutex
+	transports map[net.Conn]struct{}
 }
 
 // Listen announces on the local network address and returns a handoff
@@ -34,35 +77,233 @@ func Listen(network, addr string) (*Listener, error) {
 
 // NewListener wraps an existing listener.
 func NewListener(ln net.Listener) *Listener {
-	return &Listener{ln: ln, HandshakeTimeout: 5 * time.Second}
-}
-
-// Accept waits for the next successfully handed-off connection. A peer
-// that fails the handoff handshake is closed and counted, not surfaced as
-// an Accept error, so one malformed client cannot stop an http.Server
-// loop.
-func (l *Listener) Accept() (net.Conn, error) {
-	for {
-		raw, err := l.ln.Accept()
-		if err != nil {
-			return nil, err
-		}
-		if l.HandshakeTimeout > 0 {
-			raw.SetReadDeadline(time.Now().Add(l.HandshakeTimeout))
-		}
-		h, err := ReadHeader(raw)
-		if err != nil {
-			raw.Close()
-			l.rejected.Add(1)
-			continue
-		}
-		raw.SetReadDeadline(time.Time{})
-		return newConn(raw, h), nil
+	return &Listener{
+		ln:                 ln,
+		HandshakeTimeout:   5 * time.Second,
+		SessionIdleTimeout: DefaultSessionIdleTimeout,
+		acceptCh:           make(chan net.Conn),
+		tempErrCh:          make(chan error),
+		done:               make(chan struct{}),
+		errDone:            make(chan struct{}),
+		transports:         make(map[net.Conn]struct{}),
 	}
 }
 
-// Close closes the underlying listener.
-func (l *Listener) Close() error { return l.ln.Close() }
+// Accept waits for the next successfully handed-off connection or
+// session. A peer that fails the handoff handshake is closed and
+// counted, not surfaced as an Accept error, so one malformed client
+// cannot stop an http.Server loop.
+func (l *Listener) Accept() (net.Conn, error) {
+	l.startOnce.Do(func() { go l.acceptLoop() })
+	select {
+	case c := <-l.acceptCh:
+		return c, nil
+	case err := <-l.tempErrCh:
+		// A transient accept failure (EMFILE, ECONNABORTED): surfaced to
+		// this caller — http.Server backs off and retries — while the
+		// accept loop keeps running.
+		return nil, err
+	case <-l.errDone:
+		return nil, l.acceptErr()
+	}
+}
+
+func (l *Listener) acceptErr() error {
+	l.errMu.Lock()
+	defer l.errMu.Unlock()
+	return l.err
+}
+
+func (l *Listener) setAcceptErr(err error) {
+	l.errMu.Lock()
+	if l.err == nil {
+		l.err = err
+		close(l.errDone)
+	}
+	l.errMu.Unlock()
+}
+
+// acceptLoop pulls raw TCP connections and hands each to its own
+// handshake goroutine, so one slow handshake cannot delay other peers.
+// Transient accept errors are reported without stopping the loop — a
+// moment of fd pressure must not kill the listener for good; only a
+// permanent failure (the listener closed) latches.
+func (l *Listener) acceptLoop() {
+	for {
+		raw, err := l.ln.Accept()
+		if err != nil {
+			// The same transient test http.Server applies before backing
+			// off and retrying (net.Error.Temporary, via a local
+			// interface: the method is deprecated for new APIs but is
+			// precisely the accept-retry contract).
+			type temporary interface{ Temporary() bool }
+			if te, ok := err.(temporary); ok && te.Temporary() {
+				select {
+				case l.tempErrCh <- err:
+				case <-l.done:
+					l.setAcceptErr(err)
+					return
+				}
+				continue
+			}
+			l.setAcceptErr(err)
+			return
+		}
+		go l.handshake(raw)
+	}
+}
+
+// handshake reads the first handoff header and routes the connection: a
+// v1 header yields the connection itself, a session-framed header starts
+// the transport loop that yields one virtual conn per session.
+func (l *Listener) handshake(raw net.Conn) {
+	br := bufio.NewReaderSize(raw, 16<<10)
+	if l.HandshakeTimeout > 0 {
+		raw.SetReadDeadline(time.Now().Add(l.HandshakeTimeout))
+	}
+	if _, err := br.Peek(1); err != nil {
+		// Nothing ever arrived: a health-probe dial, or a pool-seeded
+		// transport the front end discarded before first use. A quiet
+		// close, not a handshake failure.
+		raw.Close()
+		return
+	}
+	h, err := ReadHeader(br)
+	if err != nil {
+		raw.Close()
+		l.rejected.Add(1)
+		return
+	}
+	raw.SetReadDeadline(time.Time{})
+	if h.Flags&FlagSessionFramed != 0 {
+		l.addTransport(raw)
+		l.serveTransport(raw, br, h)
+		return
+	}
+	l.sessions.Add(1)
+	if !l.deliver(newConn(raw, br, h)) {
+		raw.Close()
+	}
+}
+
+// deliver pushes an accepted conn to Accept, reporting false if the
+// listener closed first.
+func (l *Listener) deliver(c net.Conn) bool {
+	select {
+	case l.acceptCh <- c:
+		return true
+	case <-l.done:
+		return false
+	}
+}
+
+// serveTransport runs one session-framed transport: yield a virtual conn
+// for the current header, wait for the server to finish with it, then
+// read the next header — for as long as each session is drained through
+// its end-of-session record and headers keep parsing. Sessions on one
+// transport are strictly sequential, mirroring the front end's pool
+// (a pooled connection is checked out by at most one client session).
+func (l *Listener) serveTransport(raw net.Conn, br *bufio.Reader, h Header) {
+	defer l.dropTransport(raw)
+	for {
+		l.sessions.Add(1)
+		sc := newSessionConn(raw, br, h)
+		if !l.deliver(sc) {
+			return
+		}
+		select {
+		case <-sc.closed:
+		case <-l.done:
+			return
+		}
+		if !sc.drained() {
+			// The server abandoned the session mid-stream (error response,
+			// handler close): the transport's read position is inside the
+			// dead session's frames, so it cannot be reused.
+			return
+		}
+		h2, err := l.readNextHeader(raw, br)
+		if err != nil {
+			if err != errIdleClosed {
+				l.rejected.Add(1)
+			}
+			return
+		}
+		h = h2
+	}
+}
+
+// errIdleClosed marks a transport that ended cleanly between sessions —
+// the front end evicted it from its pool — which is not a handshake
+// failure.
+var errIdleClosed = &idleClosedError{}
+
+type idleClosedError struct{}
+
+func (*idleClosedError) Error() string { return "handoff: transport closed while idle" }
+
+// readNextHeader waits (bounded by SessionIdleTimeout) for the next
+// session's header on an idle transport, then requires the complete
+// header within HandshakeTimeout of its first byte.
+func (l *Listener) readNextHeader(raw net.Conn, br *bufio.Reader) (Header, error) {
+	idle := l.SessionIdleTimeout
+	if idle == 0 {
+		idle = DefaultSessionIdleTimeout
+	}
+	if idle > 0 {
+		raw.SetReadDeadline(time.Now().Add(idle))
+	} else {
+		raw.SetReadDeadline(time.Time{})
+	}
+	if _, err := br.Peek(1); err != nil {
+		// EOF here is the pool eviction path: the front end closed a
+		// transport it no longer wants. Deadline expiry is the back end
+		// giving up on a front end that vanished. Neither is a handshake
+		// fault.
+		return Header{}, errIdleClosed
+	}
+	if l.HandshakeTimeout > 0 {
+		raw.SetReadDeadline(time.Now().Add(l.HandshakeTimeout))
+	} else {
+		raw.SetReadDeadline(time.Time{})
+	}
+	h, err := ReadHeader(br)
+	if err != nil {
+		return Header{}, err
+	}
+	raw.SetReadDeadline(time.Time{})
+	return h, nil
+}
+
+func (l *Listener) addTransport(raw net.Conn) {
+	l.transMu.Lock()
+	l.transports[raw] = struct{}{}
+	l.transMu.Unlock()
+}
+
+func (l *Listener) dropTransport(raw net.Conn) {
+	l.transMu.Lock()
+	delete(l.transports, raw)
+	l.transMu.Unlock()
+	raw.Close()
+}
+
+// Close closes the underlying listener and every session-framed
+// transport (virtual conns handed to the server see read errors and
+// close in turn).
+func (l *Listener) Close() error {
+	var err error
+	l.closeOnce.Do(func() {
+		close(l.done)
+		err = l.ln.Close()
+		l.transMu.Lock()
+		for raw := range l.transports {
+			raw.Close()
+		}
+		l.transMu.Unlock()
+	})
+	return err
+}
 
 // Addr returns the listener's network address.
 func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
@@ -71,25 +312,26 @@ func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
 // handoff handshake.
 func (l *Listener) Rejected() uint64 { return l.rejected.Load() }
 
-// Conn is a handed-off connection: reads drain the handoff message's
-// initial data before touching the network, and RemoteAddr reports the
-// original client's address.
+// Sessions returns how many handed-off sessions have been accepted
+// (plain v1 connections count one each).
+func (l *Listener) Sessions() uint64 { return l.sessions.Load() }
+
+// Conn is a handed-off connection (plain v1 handoff: the whole TCP
+// connection carries exactly one session): reads drain the handoff
+// message's initial data before touching the network, and RemoteAddr
+// reports the original client's address.
 type Conn struct {
 	net.Conn
+	br         *bufio.Reader
 	initial    []byte
 	clientAddr net.Addr
 	flags      byte
 }
 
-// newConn wraps a raw connection using the parsed handoff header.
-func newConn(raw net.Conn, h Header) *Conn {
-	var addr net.Addr
-	if tcp, err := net.ResolveTCPAddr("tcp", h.ClientAddr); err == nil {
-		addr = tcp
-	} else {
-		addr = clientAddr(h.ClientAddr)
-	}
-	return &Conn{Conn: raw, initial: h.InitialData, clientAddr: addr, flags: h.Flags}
+// newConn wraps a raw connection using the parsed handoff header. br
+// holds any bytes the handshake read past the header.
+func newConn(raw net.Conn, br *bufio.Reader, h Header) *Conn {
+	return &Conn{Conn: raw, br: br, initial: h.InitialData, clientAddr: parseClientAddr(h.ClientAddr), flags: h.Flags}
 }
 
 // Read implements net.Conn, serving the handed-off initial data first.
@@ -99,7 +341,7 @@ func (c *Conn) Read(p []byte) (int, error) {
 		c.initial = c.initial[n:]
 		return n, nil
 	}
-	return c.Conn.Read(p)
+	return c.br.Read(p)
 }
 
 // RemoteAddr reports the original client's address, as the paper's

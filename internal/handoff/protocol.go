@@ -53,6 +53,15 @@ const (
 	// FlagRehandoff marks a connection that may be handed off again for
 	// subsequent requests (the paper's HTTP/1.1 multiple-handoff design).
 	FlagRehandoff byte = 1 << 0
+
+	// FlagSessionFramed marks a session-sequenced handoff (protocol v2,
+	// session.go): the bytes following this header on the front-end→back-
+	// end direction are length-prefixed frames, terminated by an
+	// end-of-session record, after which the same TCP connection carries
+	// the next handoff header. This is what lets one back-end connection
+	// serve a sequence of handed-off client sessions, amortizing the TCP
+	// dial the paper's ~300µs handoff budget cannot afford per request.
+	FlagSessionFramed byte = 1 << 1
 )
 
 // Header is the handoff message exchanged from front end to back end when

@@ -1,0 +1,239 @@
+package handoff
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Session-sequenced handoff (protocol v2). A header sent with
+// FlagSessionFramed opens a *session* on the back-end connection instead
+// of consuming it: every byte the front end sends after the header is
+// wrapped in a length-prefixed frame, and a zero-length frame marks the
+// end of the session. The back-end→front-end direction stays raw — the
+// front end parses responses with full HTTP framing anyway, so it knows
+// exactly where the session's last response ends. After the end-of-
+// session record the same TCP connection is back in handshake state and
+// the next handoff header (for an unrelated client) may follow, which is
+// what lets the front end keep a per-node pool of warm connections and
+// pay the TCP dial once per pool fill rather than once per handoff.
+//
+// Frame wire format: uint32 big-endian payload length, then the payload.
+// Length 0 is the end-of-session record. Frames never exceed
+// MaxFrameLen; a larger write is split.
+
+// MaxFrameLen bounds one frame's payload. It matches MaxInitialData, the
+// bound on the request head a handoff message can carry.
+const MaxFrameLen = 1 << 20
+
+// SessionWriter wraps the front-end→back-end direction of a session-
+// framed handoff connection: each Write becomes one or more data frames,
+// and End emits the end-of-session record that returns the transport to
+// handshake state. It is not safe for concurrent use, matching the relay
+// loop's one-writer structure.
+type SessionWriter struct {
+	c      net.Conn
+	prefix [4]byte
+	ended  bool
+}
+
+// NewSessionWriter builds the framing writer for a connection on which a
+// FlagSessionFramed header has been sent.
+func NewSessionWriter(c net.Conn) *SessionWriter { return &SessionWriter{c: c} }
+
+// Write frames p and sends it. It reports len(p) on success, as io.Writer
+// requires, even though the wire carries 4 extra bytes per frame.
+func (w *SessionWriter) Write(p []byte) (int, error) {
+	if w.ended {
+		return 0, fmt.Errorf("handoff: write after end of session")
+	}
+	var written int
+	for len(p) > 0 {
+		chunk := p
+		if len(chunk) > MaxFrameLen {
+			chunk = chunk[:MaxFrameLen]
+		}
+		binary.BigEndian.PutUint32(w.prefix[:], uint32(len(chunk)))
+		// One writev keeps the frame a single segment on the wire without
+		// copying the payload next to its prefix.
+		bufs := net.Buffers{w.prefix[:], chunk}
+		if _, err := bufs.WriteTo(w.c); err != nil {
+			return written, err
+		}
+		written += len(chunk)
+		p = p[len(chunk):]
+	}
+	return written, nil
+}
+
+// End sends the end-of-session record. The transport is then ready for
+// the next handoff header (a pool check-in on the front end). End is
+// idempotent.
+func (w *SessionWriter) End() error {
+	if w.ended {
+		return nil
+	}
+	w.ended = true
+	binary.BigEndian.PutUint32(w.prefix[:], 0)
+	_, err := w.c.Write(w.prefix[:])
+	return err
+}
+
+// sessionConn is the back end's side of one handed-off session on a
+// shared transport: a virtual net.Conn whose reads drain the handoff
+// header's initial data and then unwrap data frames, returning io.EOF at
+// the end-of-session record. Writes and deadlines pass through to the
+// transport raw (one session is active per transport at a time, so the
+// response stream needs no framing). Close never closes the transport —
+// it hands control back to the listener's transport loop, which either
+// reads the next session's header or tears the transport down if the
+// session was abandoned mid-stream.
+type sessionConn struct {
+	raw net.Conn
+	br  *bufio.Reader
+
+	initial    []byte
+	clientAddr net.Addr
+	flags      byte
+
+	// Frame-decoding state. Reads are serialized by the caller (net/http
+	// issues one read at a time), but a read blocked on the transport may
+	// be aborted via SetReadDeadline and resumed later — net/http's
+	// background-read abort does exactly this between requests — so the
+	// partially-read length prefix must survive across calls.
+	frameLeft int
+	lenBuf    [4]byte
+	lenGot    int
+	sawEnd    bool
+	sticky    error
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+func newSessionConn(raw net.Conn, br *bufio.Reader, h Header) *sessionConn {
+	return &sessionConn{
+		raw:        raw,
+		br:         br,
+		initial:    h.InitialData,
+		clientAddr: parseClientAddr(h.ClientAddr),
+		flags:      h.Flags,
+		closed:     make(chan struct{}),
+	}
+}
+
+// Read implements net.Conn: initial data first, then frame payloads,
+// io.EOF at the end-of-session record.
+func (c *sessionConn) Read(p []byte) (int, error) {
+	if len(c.initial) > 0 {
+		n := copy(p, c.initial)
+		c.initial = c.initial[n:]
+		return n, nil
+	}
+	if c.sticky != nil {
+		return 0, c.sticky
+	}
+	for {
+		if c.frameLeft > 0 {
+			if len(p) > c.frameLeft {
+				p = p[:c.frameLeft]
+			}
+			n, err := c.br.Read(p)
+			c.frameLeft -= n
+			if err != nil && !isTimeout(err) {
+				c.sticky = fatalReadErr(err)
+				if n > 0 {
+					return n, nil
+				}
+				return 0, c.sticky
+			}
+			return n, err
+		}
+		if c.sawEnd {
+			return 0, io.EOF
+		}
+		// Assemble the 4-byte length prefix incrementally so an aborted
+		// (deadline) read resumes where it stopped instead of losing
+		// prefix bytes.
+		for c.lenGot < 4 {
+			n, err := c.br.Read(c.lenBuf[c.lenGot:])
+			c.lenGot += n
+			if err != nil {
+				if isTimeout(err) {
+					return 0, err
+				}
+				c.sticky = fatalReadErr(err)
+				return 0, c.sticky
+			}
+		}
+		c.lenGot = 0
+		size := binary.BigEndian.Uint32(c.lenBuf[:])
+		if size == 0 {
+			c.sawEnd = true
+			return 0, io.EOF
+		}
+		if size > MaxFrameLen {
+			c.sticky = fmt.Errorf("handoff: frame length %d exceeds %d", size, MaxFrameLen)
+			return 0, c.sticky
+		}
+		c.frameLeft = int(size)
+	}
+}
+
+// fatalReadErr normalizes a transport failure mid-session: an EOF inside
+// a frame is a truncation, not a clean end of stream, and must not look
+// like one to net/http.
+func fatalReadErr(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// isTimeout reports a deadline expiry — the only read error a session
+// conn recovers from, because it is how net/http aborts its own
+// speculative background read between requests.
+func isTimeout(err error) bool {
+	ne, ok := err.(net.Error)
+	return ok && ne.Timeout()
+}
+
+func (c *sessionConn) Write(p []byte) (int, error) { return c.raw.Write(p) }
+
+// Close releases the session back to the transport loop. The transport
+// itself stays open if (and only if) the session was read through to its
+// end-of-session record; the loop checks drained().
+func (c *sessionConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// drained reports whether the session's framed stream was consumed
+// through the end-of-session record, leaving the transport positioned at
+// the next handoff header.
+func (c *sessionConn) drained() bool {
+	return c.sawEnd && c.frameLeft == 0 && c.sticky == nil
+}
+
+func (c *sessionConn) LocalAddr() net.Addr  { return c.raw.LocalAddr() }
+func (c *sessionConn) RemoteAddr() net.Addr { return c.clientAddr }
+
+// Flags returns the handoff flags, mirroring Conn.Flags.
+func (c *sessionConn) Flags() byte { return c.flags }
+
+func (c *sessionConn) SetDeadline(t time.Time) error      { return c.raw.SetDeadline(t) }
+func (c *sessionConn) SetReadDeadline(t time.Time) error  { return c.raw.SetReadDeadline(t) }
+func (c *sessionConn) SetWriteDeadline(t time.Time) error { return c.raw.SetWriteDeadline(t) }
+
+// parseClientAddr resolves the handed-off client address, falling back to
+// an opaque representation when it is not a parseable TCP address.
+func parseClientAddr(s string) net.Addr {
+	if tcp, err := net.ResolveTCPAddr("tcp", s); err == nil {
+		return tcp
+	}
+	return clientAddr(s)
+}

@@ -1,0 +1,200 @@
+package handoff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// startSessionHTTP runs an unmodified net/http server over a handoff
+// Listener and returns the listener plus its address.
+func startSessionHTTP(t *testing.T, handler http.Handler) (*Listener, string) {
+	t.Helper()
+	ln, err := Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: handler}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+	return ln, ln.Addr().String()
+}
+
+// sendSessionHeader opens one framed session on an established transport.
+func sendSessionHeader(t *testing.T, c net.Conn, clientAddr, head string) *SessionWriter {
+	t.Helper()
+	err := Send(c, clientAddr, []byte(head), FlagRehandoff|FlagSessionFramed)
+	if err != nil {
+		t.Fatalf("session header: %v", err)
+	}
+	return NewSessionWriter(c)
+}
+
+// readHTTPResponse reads one response and its body off the transport.
+func readHTTPResponse(t *testing.T, br *bufio.Reader) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.ReadResponse(br, nil)
+	if err != nil {
+		t.Fatalf("reading response: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading body: %v", err)
+	}
+	resp.Body.Close()
+	return resp, string(body)
+}
+
+// TestSessionSequencedTransport is the protocol-v2 headline: one TCP
+// connection to the back end carries a sequence of handed-off client
+// sessions, each with its own client address, served by an unmodified
+// net/http server.
+func TestSessionSequencedTransport(t *testing.T) {
+	ln, addr := startSessionHTTP(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "%s saw %s", r.RemoteAddr, r.URL.Path)
+	}))
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+
+	for i := 0; i < 3; i++ {
+		client := fmt.Sprintf("192.0.2.%d:4000", i+1)
+		sw := sendSessionHeader(t, c, client,
+			fmt.Sprintf("GET /doc-%d HTTP/1.1\r\nHost: t\r\n\r\n", i))
+		resp, body := readHTTPResponse(t, br)
+		if resp.StatusCode != 200 {
+			t.Fatalf("session %d: status %d", i, resp.StatusCode)
+		}
+		want := fmt.Sprintf("%s saw /doc-%d", client, i)
+		if body != want {
+			t.Fatalf("session %d: body %q, want %q", i, body, want)
+		}
+		if err := sw.End(); err != nil {
+			t.Fatalf("session %d: end: %v", i, err)
+		}
+	}
+	if got := ln.Sessions(); got != 3 {
+		t.Fatalf("Sessions = %d, want 3", got)
+	}
+}
+
+// TestSessionKeepAliveWithinSession covers a session that itself carries
+// several keep-alive requests: the first head rides the handoff header's
+// initial data, later heads and bodies arrive as frames.
+func TestSessionKeepAliveWithinSession(t *testing.T) {
+	startedBodies := make(chan string, 8)
+	_, addr := startSessionHTTP(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		if len(b) > 0 {
+			startedBodies <- string(b)
+		}
+		fmt.Fprintf(w, "echo %s %d", r.URL.Path, len(b))
+	}))
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+
+	sw := sendSessionHeader(t, c, "198.51.100.9:55", "GET /first HTTP/1.1\r\nHost: t\r\n\r\n")
+	if _, body := readHTTPResponse(t, br); body != "echo /first 0" {
+		t.Fatalf("first response: %q", body)
+	}
+
+	// Second request on the same session travels as frames, body split
+	// across two frames to prove reassembly.
+	if _, err := sw.Write([]byte("POST /second HTTP/1.1\r\nHost: t\r\nContent-Length: 10\r\n\r\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if _, body := readHTTPResponse(t, br); body != "echo /second 10" {
+		t.Fatalf("second response: %q", body)
+	}
+	if got := <-startedBodies; got != "helloworld" {
+		t.Fatalf("body reassembled as %q", got)
+	}
+	if err := sw.End(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAbandonedSessionClosesTransport: a session closed by the server
+// before its end-of-session record (here: the client head asks for
+// Connection: close, so net/http closes the virtual conn) leaves the
+// transport's read position mid-session; the listener must tear the
+// transport down rather than misparse the next header.
+func TestAbandonedSessionClosesTransport(t *testing.T) {
+	_, addr := startSessionHTTP(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "bye")
+	}))
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+
+	sendSessionHeader(t, c, "192.0.2.77:1", "GET /x HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n")
+	resp, body := readHTTPResponse(t, br)
+	if resp.StatusCode != 200 || body != "bye" {
+		t.Fatalf("response %d %q", resp.StatusCode, body)
+	}
+	// The server closed its side without reading the (never sent)
+	// end-of-session record: the transport must die, not wait for reuse.
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := br.ReadByte(); err != io.EOF {
+		t.Fatalf("transport after abandoned session: %v, want EOF", err)
+	}
+}
+
+// TestFrameWriterSplitsOversizedWrites: writes beyond MaxFrameLen must be
+// split, not rejected, so large relayed bodies flow regardless of the
+// caller's buffer size.
+func TestFrameWriterSplitsOversizedWrites(t *testing.T) {
+	got := make(chan int, 1)
+	_, addr := startSessionHTTP(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		got <- len(b)
+		io.WriteString(w, "ok")
+	}))
+
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	br := bufio.NewReader(c)
+
+	size := MaxFrameLen + MaxFrameLen/2
+	sw := sendSessionHeader(t, c, "192.0.2.5:9",
+		fmt.Sprintf("POST /big HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n", size))
+	if n, err := sw.Write([]byte(strings.Repeat("z", size))); err != nil || n != size {
+		t.Fatalf("oversized write: n=%d err=%v", n, err)
+	}
+	if resp, _ := readHTTPResponse(t, br); resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if n := <-got; n != size {
+		t.Fatalf("server saw %d body bytes, want %d", n, size)
+	}
+	if err := sw.End(); err != nil {
+		t.Fatal(err)
+	}
+}

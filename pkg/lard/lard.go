@@ -157,6 +157,12 @@ type Dispatcher interface {
 	// flags, indexed by node.
 	NodeStates() []NodeState
 
+	// NodeEligible reports whether node may currently receive new
+	// assignments (member, not draining, not down) — the single-node,
+	// allocation-free form of NodeStates for hot paths that gate on one
+	// node's health, like the front end's pool check-in.
+	NodeEligible(node int) bool
+
 	// Shards returns the number of independent strategy instances the
 	// target space is partitioned over (1 for the locked dispatcher).
 	Shards() int

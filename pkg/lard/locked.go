@@ -53,6 +53,25 @@ func newLockedShard(f Factory, o Options) (*lockedShard, error) {
 	}, nil
 }
 
+// claimLocked claims one connection slot on node and returns its
+// idempotent release. Callers hold sh.mu and have validated node and the
+// admission budget; done's idempotency rides the shard mutex — the
+// released flag is only read and written inside the critical section.
+func (sh *lockedShard) claimLocked(node int) func() {
+	sh.loads.active[node]++
+	sh.inFlight++
+	released := false
+	return func() {
+		sh.mu.Lock()
+		if !released {
+			released = true
+			sh.loads.active[node]--
+			sh.inFlight--
+		}
+		sh.mu.Unlock()
+	}
+}
+
 func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -63,21 +82,7 @@ func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), erro
 	if node < 0 || node >= len(sh.loads.active) || sh.blocked[node] || sh.down[node] {
 		return -1, nil, ErrUnavailable
 	}
-	sh.loads.active[node]++
-	sh.inFlight++
-	// done's idempotency rides the shard mutex: the released flag is only
-	// read and written inside the critical section.
-	released := false
-	done := func() {
-		sh.mu.Lock()
-		if !released {
-			released = true
-			sh.loads.active[node]--
-			sh.inFlight--
-		}
-		sh.mu.Unlock()
-	}
-	return node, done, nil
+	return node, sh.claimLocked(node), nil
 }
 
 // claimNode claims a connection slot on a specific node, bypassing the
@@ -93,19 +98,40 @@ func (sh *lockedShard) claimNode(node int) (func(), error) {
 	if sh.budget > 0 && sh.inFlight >= sh.budget {
 		return nil, ErrOverloaded
 	}
-	sh.loads.active[node]++
-	sh.inFlight++
-	released := false
-	done := func() {
-		sh.mu.Lock()
-		if !released {
-			released = true
-			sh.loads.active[node]--
-			sh.inFlight--
-		}
-		sh.mu.Unlock()
+	return sh.claimLocked(node), nil
+}
+
+// claimFallback claims a connection slot on the least-loaded node that
+// can still take traffic, skipping the excluded nodes — the Session
+// primitive behind Redispatch, for moving a connection off a node the
+// caller found unreachable without disturbing the strategy's state (a
+// transient dial failure is not the paper's Section 2.6 node failure; the
+// mark-down threshold decides when it becomes one).
+func (sh *lockedShard) claimFallback(exclude []int) (int, func(), error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.budget > 0 && sh.inFlight >= sh.budget {
+		return -1, nil, ErrOverloaded
 	}
-	return done, nil
+	best := -1
+search:
+	for i := range sh.loads.active {
+		if sh.blocked[i] || sh.down[i] {
+			continue
+		}
+		for _, x := range exclude {
+			if i == x {
+				continue search
+			}
+		}
+		if best < 0 || sh.loads.active[i] < sh.loads.active[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1, nil, ErrUnavailable
+	}
+	return best, sh.claimLocked(best), nil
 }
 
 func (sh *lockedShard) snapshot() (active []int, inFlight int) {
@@ -247,12 +273,13 @@ func (d *locked) SetNodeDown(node int, down bool) {
 	d.mem.setNodeDown(node, down, d.shardList())
 }
 
-func (d *locked) AddNode() int              { return d.mem.addNode(d.shardList()) }
-func (d *locked) RemoveNode(node int)       { d.mem.removeNode(node, d.shardList()) }
-func (d *locked) Drain(node int)            { d.mem.setDraining(node, true, d.shardList()) }
-func (d *locked) Undrain(node int)          { d.mem.setDraining(node, false, d.shardList()) }
-func (d *locked) NodeStates() []NodeState   { return d.mem.snapshot() }
-func (d *locked) shardList() []*lockedShard { return []*lockedShard{d.shard} }
+func (d *locked) AddNode() int               { return d.mem.addNode(d.shardList()) }
+func (d *locked) RemoveNode(node int)        { d.mem.removeNode(node, d.shardList()) }
+func (d *locked) Drain(node int)             { d.mem.setDraining(node, true, d.shardList()) }
+func (d *locked) Undrain(node int)           { d.mem.setDraining(node, false, d.shardList()) }
+func (d *locked) NodeStates() []NodeState    { return d.mem.snapshot() }
+func (d *locked) NodeEligible(node int) bool { return d.mem.eligibleNode(node) }
+func (d *locked) shardList() []*lockedShard  { return []*lockedShard{d.shard} }
 
 func (d *locked) Inspect(f func(int, core.Strategy, core.LoadReader)) {
 	d.shard.inspect(0, f)

@@ -176,6 +176,43 @@ func (s *Session) Dispatch(now time.Duration, r Request) (node int, moved bool, 
 	return n, moved, s.requestDone(), nil
 }
 
+// Redispatch moves the session off a node the caller could not reach: it
+// releases the outstanding slot and claims one on the least-loaded
+// eligible node outside exclude, on the shard that owns r.Target. The
+// strategy is deliberately not consulted and not mutated — a transient
+// dial failure must not tear down the target's assignment the way a
+// Section 2.6 failure does; if the node is genuinely gone, the caller's
+// consecutive-failure accounting marks it down and every later Dispatch
+// avoids it through the ordinary path.
+//
+// Callers put the node that refused the connection (and any previously
+// tried alternates) in exclude and perform the returned move as a
+// re-handoff. Errors mirror Dispatch: ErrUnavailable when no node
+// outside exclude can take traffic, ErrOverloaded at a saturated
+// admission budget; in both cases the session keeps its affinity.
+func (s *Session) Redispatch(now time.Duration, r Request, exclude []int) (node int, done func(), err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return -1, nil, ErrSessionClosed
+	}
+	s.releaseLocked()
+	n, c, err := s.h.shardFor(r.Target).claimFallback(exclude)
+	if err != nil {
+		return -1, nil, err
+	}
+	if s.cur >= 0 && n != s.cur {
+		s.moves++
+		s.sinceMove = 0
+	} else {
+		s.sinceMove++
+	}
+	s.cur = n
+	s.claim = c
+	s.policy.Observe(now, n, r)
+	return n, s.requestDone(), nil
+}
+
 // requestDone builds the per-request done func. Callers hold s.mu.
 func (s *Session) requestDone() func() {
 	if s.hold {

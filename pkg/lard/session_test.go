@@ -397,3 +397,104 @@ func TestResolveConnPolicyName(t *testing.T) {
 		}
 	}
 }
+
+func TestSessionRedispatchSkipsExcludedNodes(t *testing.T) {
+	d := MustNew("lard", WithNodes(4))
+	s := d.NewSession(PerRequest())
+	defer s.Close()
+
+	r := Request{Target: "/doc.html"}
+	node, _, done, err := s.Dispatch(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The front end could not reach node: re-dispatch must land elsewhere
+	// and move the slot accounting with the session.
+	alt, done2, err := s.Redispatch(0, r, []int{node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt == node {
+		t.Fatalf("Redispatch returned the excluded node %d", node)
+	}
+	if got := d.Loads()[node]; got != 0 {
+		t.Fatalf("failed node still holds %d slots", got)
+	}
+	if got := d.Loads()[alt]; got != 1 {
+		t.Fatalf("replacement node holds %d slots, want 1", got)
+	}
+	if s.Node() != alt {
+		t.Fatalf("session affinity %d, want %d", s.Node(), alt)
+	}
+	if s.Moves() != 1 {
+		t.Fatalf("Moves = %d, want 1", s.Moves())
+	}
+	done2()
+	done() // the superseded done must stay harmless
+	if got := d.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d, want 0", got)
+	}
+
+	// The strategy's mapping must be untouched: a transient dial failure
+	// is not a Section 2.6 node failure.
+	if n2, _, done3, err := s.Dispatch(0, r); err != nil {
+		t.Fatal(err)
+	} else {
+		if n2 != node {
+			t.Fatalf("mapping moved to %d after Redispatch, want still %d", n2, node)
+		}
+		done3()
+	}
+}
+
+func TestSessionRedispatchPicksLeastLoaded(t *testing.T) {
+	d := MustNew("wrr", WithNodes(3))
+	// Load node 2 so the fallback must prefer the idle survivor.
+	var dones []func()
+	for i := 0; i < 5; i++ {
+		done, err := claimOn(d, 2, "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dones = append(dones, done)
+	}
+	s := d.NewSession(PerRequest())
+	defer s.Close()
+	node, done, err := s.Redispatch(0, Request{Target: "/x"}, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != 1 {
+		t.Fatalf("fallback chose node %d, want least-loaded survivor 1", node)
+	}
+	done()
+	for _, f := range dones {
+		f()
+	}
+}
+
+func TestSessionRedispatchNoAlternates(t *testing.T) {
+	d := MustNew("lard", WithNodes(2))
+	d.Drain(1)
+	s := d.NewSession(PerRequest())
+	defer s.Close()
+	r := Request{Target: "/only.html"}
+	node, _, done, err := s.Dispatch(0, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done()
+	if _, _, err := s.Redispatch(0, r, []int{node}); !errors.Is(err, ErrUnavailable) {
+		t.Fatalf("Redispatch with no alternates: %v, want ErrUnavailable", err)
+	}
+	// Affinity survives the failed re-dispatch, like an overloaded retry.
+	if s.Node() != node {
+		t.Fatalf("session lost affinity: %d, want %d", s.Node(), node)
+	}
+}
+
+// claimOn pins load onto a specific node for fallback tests.
+func claimOn(d Dispatcher, node int, target string) (func(), error) {
+	type hoster interface{ shardFor(string) *lockedShard }
+	return d.(hoster).shardFor(target).claimNode(node)
+}

@@ -75,11 +75,12 @@ func (d *sharded) SetNodeDown(node int, down bool) {
 	d.mem.setNodeDown(node, down, d.shards)
 }
 
-func (d *sharded) AddNode() int            { return d.mem.addNode(d.shards) }
-func (d *sharded) RemoveNode(node int)     { d.mem.removeNode(node, d.shards) }
-func (d *sharded) Drain(node int)          { d.mem.setDraining(node, true, d.shards) }
-func (d *sharded) Undrain(node int)        { d.mem.setDraining(node, false, d.shards) }
-func (d *sharded) NodeStates() []NodeState { return d.mem.snapshot() }
+func (d *sharded) AddNode() int               { return d.mem.addNode(d.shards) }
+func (d *sharded) RemoveNode(node int)        { d.mem.removeNode(node, d.shards) }
+func (d *sharded) Drain(node int)             { d.mem.setDraining(node, true, d.shards) }
+func (d *sharded) Undrain(node int)           { d.mem.setDraining(node, false, d.shards) }
+func (d *sharded) NodeStates() []NodeState    { return d.mem.snapshot() }
+func (d *sharded) NodeEligible(node int) bool { return d.mem.eligibleNode(node) }
 
 func (d *sharded) Inspect(f func(int, core.Strategy, core.LoadReader)) {
 	for i, sh := range d.shards {

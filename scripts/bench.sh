@@ -1,0 +1,33 @@
+#!/bin/sh
+# bench.sh — run the dispatch-path benchmarks and record the trajectory.
+#
+# Runs BenchmarkDispatch and BenchmarkSessionDispatch (module root) and
+# BenchmarkHandoffDial (internal/frontend, pooled vs fresh-dial handoff)
+# and writes the parsed results to BENCH_PR5.json next to the repo root,
+# so successive PRs can diff the hot-path numbers. Usage:
+#
+#	scripts/bench.sh [benchtime]     # default 1s
+#
+# Requires only the go toolchain and awk.
+set -eu
+
+cd "$(dirname "$0")/.."
+benchtime="${1:-1s}"
+out="BENCH_PR5.json"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -bench 'BenchmarkDispatch$|BenchmarkSessionDispatch$' -benchtime "$benchtime" -run '^$' . | tee "$raw"
+go test -bench 'BenchmarkHandoffDial' -benchtime "$benchtime" -run '^$' ./internal/frontend | tee -a "$raw"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+	/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+	/^Benchmark/ && NF >= 4 && $4 == "ns/op" {
+		if (n++) results = results ",\n"
+		results = results sprintf("    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s}", $1, $2, $3)
+	}
+	END {
+		printf "{\n  \"date\": \"%s\",\n  \"cpu\": \"%s\",\n  \"benchmarks\": [\n%s\n  ]\n}\n", date, cpu, results
+	}
+' "$raw" > "$out"
+echo "wrote $out"
