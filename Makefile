@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench
+.PHONY: all build test race bench lint fuzz
 
 all: build test
 
@@ -11,6 +11,28 @@ build:
 
 test:
 	$(GO) test ./...
+
+# lint mirrors CI's static-analysis gate: formatting, vet, staticcheck
+# (when installed — it is not vendored), and the project's own lardlint
+# suite (lockheld, donecall, wallclock, relayclass; see DESIGN.md
+# "Invariants").
+lint:
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
+	$(GO) run ./cmd/lardlint ./...
+
+# fuzz gives each fuzz target a short budget (CI runs the same smoke).
+# FUZZTIME=1m make fuzz for a longer local run; go test accepts one
+# -fuzz pattern per invocation, hence the loop.
+FUZZTIME ?= 10s
+fuzz:
+	for t in FuzzReadRequestHead FuzzChunkedRelay; do \
+		$(GO) test -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) ./internal/httprelay || exit 1; done
+	for t in FuzzHeaderDecode FuzzSessionFrames; do \
+		$(GO) test -run '^$$' -fuzz "^$$t\$$" -fuzztime $(FUZZTIME) ./internal/handoff || exit 1; done
 
 race:
 	$(GO) test -race -shuffle=on ./...

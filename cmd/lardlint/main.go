@@ -1,0 +1,173 @@
+// Command lardlint is the project's static-analysis suite: four
+// analyzers that machine-check the dispatcher's concurrency contract
+// (lockheld), the done-func slot accounting (donecall), the
+// virtual-clock discipline (wallclock), and the relay-path error
+// classification (relayclass).
+//
+// Standalone mode (what CI and `make lint` run):
+//
+//	lardlint ./...
+//
+// loads the matched packages of the enclosing module (dependencies come
+// from compiler export data, so nothing is re-type-checked), runs all
+// four analyzers, prints diagnostics as file:line:col: [analyzer]
+// message, and exits 3 if there were any.
+//
+// Vettool mode makes the same suite usable as
+//
+//	go vet -vettool=$(which lardlint) ./...
+//
+// by speaking go vet's unitchecker protocol: -V=full prints the version
+// fingerprint vet uses as a cache key, and a single *.cfg argument
+// processes one compilation unit described by vet's JSON config —
+// including _test.go files, which standalone mode does not load.
+//
+// Suppress a deliberate exception on (or one line above) the flagged
+// line with:
+//
+//	//lard:allow <analyzer>[,<analyzer>] — reason
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"lard/internal/analysis"
+	"lard/internal/analysis/donecall"
+	"lard/internal/analysis/lockheld"
+	"lard/internal/analysis/relayclass"
+	"lard/internal/analysis/wallclock"
+)
+
+var analyzers = []*analysis.Analyzer{
+	lockheld.Analyzer,
+	donecall.Analyzer,
+	wallclock.Analyzer,
+	relayclass.Analyzer,
+}
+
+func main() {
+	args := os.Args[1:]
+
+	// go vet probes the tool before use: -flags asks for the supported
+	// flags (lardlint has none), -V=full for the identity line vet
+	// folds into its cache key.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(args) == 1 && strings.HasPrefix(args[0], "-V") {
+		fmt.Printf("lardlint version lardlint-1-%s\n", suiteFingerprint())
+		return
+	}
+
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		os.Exit(runVetUnit(args[0]))
+	}
+
+	os.Exit(runStandalone(args))
+}
+
+// suiteFingerprint folds the analyzer names into the version string so
+// vet re-runs when the suite's composition changes.
+func suiteFingerprint() string {
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	return strings.Join(names, "-")
+}
+
+// runStandalone loads and checks the packages matching the patterns
+// (default ./...) in the current directory's module.
+func runStandalone(patterns []string) int {
+	pkgs, err := analysis.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lardlint: %v\n", err)
+		return 1
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lardlint: %s: %v\n", pkg.PkgPath, err)
+			return 1
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+		}
+	}
+	if bad {
+		return 3
+	}
+	return 0
+}
+
+// vetConfig is the subset of go vet's unitchecker JSON config that
+// lardlint needs to type-check one compilation unit.
+type vetConfig struct {
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	Standard                  map[string]bool // std-library import paths
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetUnit processes one go vet compilation unit. lardlint keeps no
+// cross-package facts, so the vetx output is a placeholder and
+// fact-only (VetxOnly) units are a no-op.
+func runVetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lardlint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "lardlint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("lardlint has no facts\n"), 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "lardlint: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || cfg.Standard[cfg.ImportPath] || len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	// ImportMap maps source import paths to canonical ones; PackageFile
+	// maps canonical paths to export data written by the build.
+	exports := make(map[string]string, len(cfg.ImportMap))
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+	pkg, err := analysis.CheckFiles(cfg.ImportPath, cfg.GoFiles, exports)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "lardlint: %v\n", err)
+		return 1
+	}
+	diags, err := analysis.RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lardlint: %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package donecall_test
+
+import (
+	"testing"
+
+	"lard/internal/analysis/atest"
+	"lard/internal/analysis/donecall"
+)
+
+func TestDonecall(t *testing.T) {
+	atest.Run(t, atest.TestData(), donecall.Analyzer, "donefix")
+}

@@ -1,0 +1,173 @@
+// Package donefix is the donecall fixture: a dispatcher shaped like
+// pkg/lard's, exercising the exactly-once done-func contract on every
+// path shape the analyzer understands.
+package donefix
+
+import "errors"
+
+type dispatcher struct{ load []int }
+
+// Dispatch mimics lard.Dispatcher: done is non-nil iff err is nil.
+func (d *dispatcher) Dispatch(now int64, key string) (int, func(), error) {
+	if len(d.load) == 0 {
+		return -1, nil, errors.New("no nodes")
+	}
+	d.load[0]++
+	return 0, func() { d.load[0]-- }, nil
+}
+
+// claimLocked mimics the error-free variant: done is always non-nil.
+func (d *dispatcher) claimLocked(node int) func() {
+	d.load[node]++
+	return func() { d.load[node]-- }
+}
+
+// good is the canonical shape: check err, call done exactly once.
+func good(d *dispatcher) error {
+	_, done, err := d.Dispatch(0, "a")
+	if err != nil {
+		return err
+	}
+	done()
+	return nil
+}
+
+// goodDefer releases via defer after the error check.
+func goodDefer(d *dispatcher) error {
+	_, done, err := d.Dispatch(0, "a")
+	if err != nil {
+		return err
+	}
+	defer done()
+	return nil
+}
+
+// goodPanic ends the error path with panic (the log.Fatal shape in the
+// examples): done() below is unreachable on the err arm.
+func goodPanic(d *dispatcher) {
+	_, done, err := d.Dispatch(0, "a")
+	if err != nil {
+		panic(err)
+	}
+	done()
+}
+
+// goodNilCheck gates the call on done itself rather than err.
+func goodNilCheck(d *dispatcher) {
+	_, done, _ := d.Dispatch(0, "a")
+	if done != nil {
+		done()
+	}
+}
+
+// discard throws the done func away.
+func discard(d *dispatcher) {
+	d.Dispatch(0, "a") // want `Dispatch returns a done func that is discarded`
+}
+
+// blank assigns the done func to _.
+func blank(d *dispatcher) {
+	_, _, err := d.Dispatch(0, "a") // want `Dispatch returns a done func that is discarded \(assigned to _\)`
+	_ = err
+}
+
+// leak forgets to call done on the success path.
+func leak(d *dispatcher) error {
+	_, done, err := d.Dispatch(0, "a")
+	if err != nil {
+		return err
+	}
+	_ = done
+	return nil // want `done func from Dispatch \(line \d+\) is not called on this path`
+}
+
+// leakBranch calls done on one arm only.
+func leakBranch(d *dispatcher, b bool) {
+	_, done, err := d.Dispatch(0, "a")
+	if err != nil {
+		return
+	}
+	if b {
+		done()
+	}
+	return // want `done func from Dispatch \(line \d+\) is not called on this path`
+}
+
+// double may call done twice on the b-path.
+func double(d *dispatcher, b bool) {
+	done := d.claimLocked(0)
+	if b {
+		done()
+	}
+	done() // want `done func from claimLocked \(line \d+\) may already have been called on this path`
+}
+
+// nilCall invokes done exactly where it is guaranteed nil.
+func nilCall(d *dispatcher) {
+	_, done, err := d.Dispatch(0, "a")
+	if err != nil {
+		done() // want `done func from Dispatch \(line \d+\) is called on a path where it is nil`
+		return
+	}
+	done()
+}
+
+// overwrite drops a live done by reassigning it.
+func overwrite(d *dispatcher) {
+	done := d.claimLocked(0)
+	done = d.claimLocked(1) // want `done func from claimLocked \(line \d+\) is overwritten before being called`
+	done()
+}
+
+// loopLeak claims again next iteration without releasing, and leaves
+// the last claim unreleased when the loop exits (hence the diagnostic
+// on the function's opening line, where fall-off-the-end reports land).
+func loopLeak(d *dispatcher, n int) { // want `done func from claimLocked \(line \d+\) is not called on this path`
+	for i := 0; i < n; i++ {
+		done := d.claimLocked(0) // want `done func from claimLocked \(line \d+\) is overwritten before being called`
+		_ = done
+	}
+}
+
+// loopGood releases every iteration.
+func loopGood(d *dispatcher, n int) {
+	for i := 0; i < n; i++ {
+		done := d.claimLocked(0)
+		done()
+	}
+}
+
+// escapeReturn hands the obligation to the caller.
+func escapeReturn(d *dispatcher) (func(), error) {
+	_, done, err := d.Dispatch(0, "a")
+	return done, err
+}
+
+// escapeArg hands the obligation to another function.
+func escapeArg(d *dispatcher, sink func(func())) {
+	done := d.claimLocked(0)
+	sink(done)
+}
+
+// escapeCapture hands the obligation to a closure.
+func escapeCapture(d *dispatcher) func() {
+	done := d.claimLocked(0)
+	return func() { done() }
+}
+
+// holder mimics Session parking the release func in a struct field.
+type holder struct{ release func() }
+
+// escapeStore parks the obligation in a struct the way Session does.
+func escapeStore(d *dispatcher, h *holder) {
+	h.release = d.claimLocked(0)
+}
+
+// allowDirective suppresses a deliberate leak; fall-off-the-end reports
+// land on the opening line, so the directive sits above the function.
+//
+//lard:allow donecall — fixture: leak is the point of this helper
+func allowDirective(d *dispatcher) {
+	done := d.claimLocked(0)
+	_ = done
+}

@@ -1,0 +1,12 @@
+package lockheld_test
+
+import (
+	"testing"
+
+	"lard/internal/analysis/atest"
+	"lard/internal/analysis/lockheld"
+)
+
+func TestLockheld(t *testing.T) {
+	atest.Run(t, atest.TestData(), lockheld.Analyzer, "lockfix")
+}

@@ -1,0 +1,174 @@
+// Package lockfix is the lockheld fixture: a shard shaped like
+// pkg/lard's lockedShard, exercising every rule — guarded-field access,
+// *Locked call sites, lock/unlock pairing, closures, fresh locals, and
+// the allow directive.
+package lockfix
+
+import "sync"
+
+// shard follows the "mu guards the fields below it" convention:
+// strategy (above mu) is immutable configuration; loads and inFlight
+// (below mu) are protected.
+type shard struct {
+	strategy string
+
+	mu       sync.Mutex
+	loads    map[string]int
+	inFlight int
+}
+
+// claimLocked runs inside the caller's critical section; the release
+// closure it returns runs outside it and must re-take the lock.
+func (sh *shard) claimLocked(n string) func() {
+	sh.loads[n]++
+	sh.inFlight++
+	return func() {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		sh.loads[n]--
+		sh.inFlight--
+	}
+}
+
+func (sh *shard) bumpLocked() {
+	sh.inFlight++
+}
+
+// sumLocked calling bumpLocked on its own receiver is fine: both run in
+// the same caller-owned critical section.
+func (sh *shard) sumLocked() int {
+	sh.bumpLocked()
+	total := 0
+	for _, v := range sh.loads {
+		total += v
+	}
+	return total
+}
+
+// goodClaim holds the lock across the *Locked call.
+func (sh *shard) goodClaim(n string) func() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.claimLocked(n)
+}
+
+// badClaim reaches a *Locked helper with no lock held.
+func (sh *shard) badClaim(n string) func() {
+	return sh.claimLocked(n) // want `sh\.claimLocked is called without holding sh\.mu`
+}
+
+// badAccess touches a guarded field with no lock held.
+func (sh *shard) badAccess() int {
+	return sh.inFlight // want `sh\.inFlight \(guarded field of shard\) is accessed without holding sh\.mu`
+}
+
+// goodAccess is the canonical pattern.
+func (sh *shard) goodAccess() int {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.inFlight
+}
+
+// unguarded reads a field declared above mu: configuration, not state.
+func (sh *shard) unguarded() string {
+	return sh.strategy
+}
+
+// leakyRelease builds a closure inside the critical section; the
+// closure body runs later, outside it.
+func (sh *shard) leakyRelease() func() {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.inFlight++
+	return func() {
+		sh.inFlight-- // want `sh\.inFlight \(guarded field of shard\) is accessed without holding sh\.mu`
+	}
+}
+
+// leak returns with the mutex held on the early-return path.
+func (sh *shard) leak(b bool) {
+	sh.mu.Lock()
+	if b {
+		return // want `returns with sh\.mu still locked`
+	}
+	sh.mu.Unlock()
+}
+
+// twice self-deadlocks.
+func (sh *shard) twice() {
+	sh.mu.Lock()
+	sh.mu.Lock() // want `sh\.mu\.Lock on a path where it may already be held`
+	sh.mu.Unlock()
+}
+
+// unlockFirst unlocks a mutex it has not locked yet.
+func (sh *shard) unlockFirst() {
+	sh.mu.Unlock() // want `sh\.mu\.Unlock without holding it on this path`
+	sh.mu.Lock()
+	sh.mu.Unlock()
+}
+
+// stealLocked runs under sh's lock (receiver accesses exempt) but
+// touches another shard's guarded state without that shard's lock.
+func (sh *shard) stealLocked(other *shard) {
+	sh.inFlight += other.inFlight // want `other\.inFlight \(guarded field of shard\) is accessed without holding other\.mu`
+}
+
+// mergeLocked does it right: it takes the other shard's lock.
+func (sh *shard) mergeLocked(other *shard) {
+	other.mu.Lock()
+	defer other.mu.Unlock()
+	sh.inFlight += other.inFlight
+}
+
+// newShard initializes a fresh local: no lock exists to hold yet.
+func newShard() *shard {
+	sh := &shard{strategy: "llf", loads: make(map[string]int)}
+	sh.inFlight = 0
+	return sh
+}
+
+// peek documents a deliberate racy read with the allow directive.
+func (sh *shard) peek() int {
+	return sh.inFlight //lard:allow lockheld — fixture: deliberately racy gauge read
+}
+
+func resetLocked() {}
+
+// reset calls a receiver-less *Locked helper with nothing held.
+func reset() {
+	resetLocked() // want `resetLocked is called without holding a mutex`
+}
+
+// resetUnder holds a lock — any lock — across the helper call.
+func resetUnder(sh *shard) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	resetLocked()
+}
+
+// table exercises the RWMutex states.
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int
+}
+
+func (t *table) lenLocked() int { return len(t.rows) }
+
+// get reads under the read lock.
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+// upgrade tries to upgrade a read lock to a write lock: deadlock.
+func (t *table) upgrade() {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	t.mu.Lock() // want `t\.mu\.Lock on a path where it may already be held`
+}
+
+var _ = newShard
+var _ = reset
+var _ = resetUnder

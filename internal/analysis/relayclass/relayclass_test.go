@@ -1,0 +1,12 @@
+package relayclass_test
+
+import (
+	"testing"
+
+	"lard/internal/analysis/atest"
+	"lard/internal/analysis/relayclass"
+)
+
+func TestRelayclass(t *testing.T) {
+	atest.Run(t, atest.TestData(), relayclass.Analyzer, "relayfix")
+}

@@ -1,0 +1,38 @@
+// Package sim is a wallclock fixture shaped like a virtual-clock
+// package: every wall-clock call must be flagged, type-only uses of
+// package time must not be, and the allow directive must suppress.
+package sim
+
+import "time"
+
+// Event is fine: time.Duration is a type, not a clock read.
+type Event struct {
+	At time.Duration
+}
+
+func step(now time.Duration) time.Duration {
+	start := time.Now() // want `time\.Now in virtual-clock package`
+	_ = start
+	elapsed := time.Since(start) // want `time\.Since in virtual-clock package`
+	_ = elapsed
+	time.Sleep(time.Millisecond)    // want `time\.Sleep in virtual-clock package`
+	t := time.NewTimer(time.Second) // want `time\.NewTimer in virtual-clock package`
+	t.Stop()
+	<-time.After(0) // want `time\.After in virtual-clock package`
+	go func() {
+		<-time.Tick(time.Second) // want `time\.Tick in virtual-clock package`
+	}()
+	return now + time.Millisecond
+}
+
+func allowed() time.Time {
+	//lard:allow wallclock — fixture: deliberate exception, directive on the line above
+	return time.Now()
+}
+
+func allowedSameLine() time.Time {
+	return time.Now() //lard:allow wallclock — fixture: same-line directive
+}
+
+// virtualOnly shows the clean pattern: durations in, durations out.
+func virtualOnly(now, dt time.Duration) time.Duration { return now + dt }

@@ -1,0 +1,10 @@
+// Package pkg is not a virtual-clock package: wall-clock reads are
+// legitimate here (the live front end really does live on wall time).
+package pkg
+
+import "time"
+
+func fine() time.Time {
+	time.Sleep(0)
+	return time.Now()
+}

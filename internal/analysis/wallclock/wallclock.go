@@ -1,0 +1,97 @@
+// Package wallclock bans wall-clock time sources inside the
+// virtual-clock packages.
+//
+// The simulator and the dispatcher layers run on an injected virtual
+// clock (a time.Duration threaded through every Dispatch call) so that
+// runs are reproducible: the same trace and seed must produce the same
+// dispatch sequence, the same figures, the same test outcome. One
+// stray time.Now() in internal/sim silently re-couples a "simulated"
+// run to the machine's scheduler. This analyzer flags every call to a
+// wall-clock function of package time — Now, Since, Until, Tick,
+// NewTicker, NewTimer, After, AfterFunc, Sleep — inside the
+// virtual-clock packages. Using time.Duration and time.Time as types
+// remains fine; only the clock-reading calls are banned.
+//
+// A rare deliberate exception (a benchmark helper, a debug guard) is
+// annotated at the call site:
+//
+//	//lard:allow wallclock — reason
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"lard/internal/analysis"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "forbid wall-clock time sources in the virtual-clock packages (internal/core, internal/sim, internal/cluster, pkg/lard)",
+	Run:  run,
+}
+
+// virtualClockPkgs are the import-path suffixes of the packages that
+// must stay on the injected clock.
+var virtualClockPkgs = []string{
+	"internal/core",
+	"internal/sim",
+	"internal/cluster",
+	"pkg/lard",
+}
+
+// banned are the package time functions that read or schedule off the
+// wall clock.
+var banned = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+	"After":     true,
+	"AfterFunc": true,
+	"Sleep":     true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !isVirtualClockPkg(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !banned[sel.Sel.Name] {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "time" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s in virtual-clock package %s: use the injected clock (annotate a deliberate exception with //lard:allow wallclock)",
+				sel.Sel.Name, pass.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}
+
+func isVirtualClockPkg(path string) bool {
+	for _, suffix := range virtualClockPkgs {
+		if path == suffix || strings.HasSuffix(path, "/"+suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,15 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"lard/internal/analysis/atest"
+	"lard/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	atest.Run(t, atest.TestData(), wallclock.Analyzer,
+		"lard/internal/sim", // virtual-clock package: wall-clock calls flagged
+		"other/pkg",         // anything else: silent
+	)
+}

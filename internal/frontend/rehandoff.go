@@ -315,6 +315,10 @@ func (s *Server) redispatchBackend(sess *lard.Session, client net.Conn, head htt
 			s.redispatches.Add(1)
 			return b, done, nil
 		}
+		// The alternate refused too: release its slot right away instead
+		// of leaving it to the next Redispatch, so the dead claim stops
+		// consuming admission budget (lardlint: donecall).
+		done()
 		tried = append(tried, alt)
 		dialErr = aerr
 	}

@@ -1,0 +1,223 @@
+package handoff
+
+// Fuzz targets for the handoff wire format: the handshake header parser
+// and the session-framed stream decoder. Both sit on a pooled transport
+// that carries many sessions back to back, so the invariants are about
+// exact consumption — a parser that reads one byte too many or too few
+// desyncs every later session on the connection — and about error
+// classes: truncation must surface as io.ErrUnexpectedEOF (the relay
+// tears the transport down), never as a clean io.EOF (the relay would
+// pool the connection and hand the desynced stream to the next session).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fuzzConn is a net.Conn stub whose write side collects bytes;
+// sessionConn only uses the raw conn for writes, deadlines, and
+// addresses, so nothing else needs to work.
+type fuzzConn struct{ bytes.Buffer }
+
+func (*fuzzConn) Close() error                       { return nil }
+func (*fuzzConn) LocalAddr() net.Addr                { return &net.TCPAddr{} }
+func (*fuzzConn) RemoteAddr() net.Addr               { return &net.TCPAddr{} }
+func (*fuzzConn) SetDeadline(t time.Time) error      { return nil }
+func (*fuzzConn) SetReadDeadline(t time.Time) error  { return nil }
+func (*fuzzConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// FuzzHeaderDecode checks ReadHeader's error contract and the
+// decode/encode identity that keeps a pooled transport in sync.
+func FuzzHeaderDecode(f *testing.F) {
+	for _, h := range []Header{
+		{},
+		{Flags: FlagRehandoff, ClientAddr: "192.0.2.7:4242"},
+		{Flags: FlagSessionFramed, ClientAddr: "[2001:db8::1]:80", InitialData: []byte("GET / HTTP/1.1\r\nHost: a\r\n\r\n")},
+	} {
+		var b bytes.Buffer
+		if err := WriteHeader(&b, h); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b.Bytes())
+	}
+	f.Add([]byte("DRAL\x01\x00\x00\x00\x00\x00\x00\x00")) // bad magic
+	f.Add([]byte("LARD\x09\x00\x00\x00\x00\x00\x00\x00")) // bad version
+	f.Add([]byte("LARD\x01\x00\xff\xff"))                 // oversized addr
+	f.Add([]byte("LARD\x01\x00\x00\x00\xff\xff\xff\xff")) // oversized data
+	f.Add([]byte("LARD\x01\x00\x00\x04ab"))               // truncated addr
+	f.Add([]byte{})                                       //
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		h, err := ReadHeader(r)
+		if err != nil {
+			if !errors.Is(err, ErrBadHandshake) {
+				t.Fatalf("ReadHeader error does not wrap ErrBadHandshake: %v", err)
+			}
+			return
+		}
+		if len(h.ClientAddr) > MaxAddrLen || len(h.InitialData) > MaxInitialData {
+			t.Fatalf("decoded header exceeds bounds: addr=%d data=%d", len(h.ClientAddr), len(h.InitialData))
+		}
+		// The encoding has no redundancy, so re-encoding the decoded
+		// header must reproduce the consumed prefix exactly: the reader
+		// is positioned on the first byte of the session stream.
+		consumed := len(data) - r.Len()
+		var reenc bytes.Buffer
+		if err := WriteHeader(&reenc, h); err != nil {
+			t.Fatalf("re-encoding decoded header: %v", err)
+		}
+		if !bytes.Equal(reenc.Bytes(), data[:consumed]) {
+			t.Fatalf("re-encode != consumed prefix:\nre-encoded: %q\nconsumed:   %q", reenc.Bytes(), data[:consumed])
+		}
+	})
+}
+
+// refDecodeFrames is an independent reference decoder for the framed
+// stream, used as a differential oracle against sessionConn's
+// incremental state machine. It returns the concatenated payload, how
+// many bytes of stream it consumed, and the terminal error class.
+func refDecodeFrames(stream []byte) (payload []byte, consumed int, err error) {
+	r := bytes.NewReader(stream)
+	for {
+		var lenBuf [4]byte
+		if _, e := io.ReadFull(r, lenBuf[:]); e != nil {
+			return payload, len(stream) - r.Len(), io.ErrUnexpectedEOF
+		}
+		size := int(binary.BigEndian.Uint32(lenBuf[:]))
+		if size == 0 {
+			return payload, len(stream) - r.Len(), io.EOF
+		}
+		if size > MaxFrameLen {
+			return payload, len(stream) - r.Len(), errors.New("frame length exceeds bound")
+		}
+		// sessionConn streams frame data as it arrives (the relay wants
+		// bytes moving before the frame completes), so a truncated frame
+		// still delivers its partial payload before the error.
+		buf := make([]byte, size)
+		n, e := io.ReadFull(r, buf)
+		payload = append(payload, buf[:n]...)
+		if e != nil {
+			return payload, len(stream) - r.Len(), io.ErrUnexpectedEOF
+		}
+	}
+}
+
+// FuzzSessionFrames drives sessionConn over arbitrary wire bytes and
+// checks it against the reference decoder, then round-trips the same
+// bytes as payload through SessionWriter.
+func FuzzSessionFrames(f *testing.F) {
+	f.Add([]byte(nil), []byte("\x00\x00\x00\x00"))
+	f.Add([]byte("GET / HTTP/1.1\r\n\r\n"), []byte("\x00\x00\x00\x05hello\x00\x00\x00\x00"))
+	f.Add([]byte("head"), []byte("\x00\x00\x00\x05hel"))
+	f.Add([]byte(nil), []byte("\xff\xff\xff\xff"))
+	f.Add([]byte(nil), []byte(nil))
+	f.Add([]byte("x"), []byte("\x00\x00"))
+	f.Fuzz(func(t *testing.T, initial, stream []byte) {
+		// Part 1: arbitrary bytes as the framed stream, read through a
+		// deliberately tiny buffer to stress the resumable frame state.
+		under := bytes.NewReader(stream)
+		br := bufio.NewReader(under)
+		sc := newSessionConn(&fuzzConn{}, br, Header{ClientAddr: "192.0.2.9:1", InitialData: initial})
+		var got bytes.Buffer
+		var ferr error
+		buf := make([]byte, 3)
+		for i := 0; i <= len(initial)+len(stream)+8; i++ {
+			n, err := sc.Read(buf)
+			got.Write(buf[:n])
+			if err != nil {
+				ferr = err
+				break
+			}
+		}
+		if ferr == nil {
+			t.Fatalf("sessionConn.Read never terminated over %d wire bytes", len(stream))
+		}
+		refPayload, refConsumed, refErr := refDecodeFrames(stream)
+		want := append(append([]byte{}, initial...), refPayload...)
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("payload disagrees with reference decoder:\ngot:  %q\nwant: %q", got.Bytes(), want)
+		}
+		switch {
+		case refErr == io.EOF:
+			if ferr != io.EOF {
+				t.Fatalf("reference saw clean end of session, sessionConn returned %v", ferr)
+			}
+			if !sc.drained() {
+				t.Fatal("io.EOF but drained() is false")
+			}
+			// The reader must stop exactly after the end record; the next
+			// session's header follows on the shared transport.
+			if consumed := len(stream) - br.Buffered() - under.Len(); consumed != refConsumed {
+				t.Fatalf("consumed %d bytes of stream, reference consumed %d", consumed, refConsumed)
+			}
+		case refErr == io.ErrUnexpectedEOF:
+			if ferr != io.ErrUnexpectedEOF {
+				t.Fatalf("truncated stream: want io.ErrUnexpectedEOF, got %v", ferr)
+			}
+			if sc.drained() {
+				t.Fatal("truncated stream but drained() is true")
+			}
+		default: // oversized frame
+			if ferr == io.EOF || ferr == io.ErrUnexpectedEOF {
+				t.Fatalf("oversized frame surfaced as %v", ferr)
+			}
+			if sc.drained() {
+				t.Fatal("oversized frame but drained() is true")
+			}
+		}
+		// The terminal condition is sticky: another read must fail the
+		// same way, never hand out data.
+		if n, err := sc.Read(buf); n != 0 || err == nil || (ferr == io.EOF) != (err == io.EOF) {
+			t.Fatalf("read after terminal error returned (%d, %v), first error was %v", n, err, ferr)
+		}
+
+		// Part 2: round-trip — frame the fuzz input as payload with
+		// SessionWriter, decode it with sessionConn, and confirm the
+		// transport is left positioned on the next session's bytes.
+		var wire fuzzConn
+		w := NewSessionWriter(&wire)
+		half := len(stream) / 2
+		if _, err := w.Write(stream[:half]); err != nil {
+			t.Fatalf("SessionWriter.Write: %v", err)
+		}
+		if _, err := w.Write(stream[half:]); err != nil {
+			t.Fatalf("SessionWriter.Write: %v", err)
+		}
+		if err := w.End(); err != nil {
+			t.Fatalf("SessionWriter.End: %v", err)
+		}
+		next := "LARDnext-session"
+		br2 := bufio.NewReader(io.MultiReader(bytes.NewReader(wire.Bytes()), strings.NewReader(next)))
+		sc2 := newSessionConn(&fuzzConn{}, br2, Header{InitialData: initial})
+		echoed, err := io.ReadAll(sc2)
+		if err != nil {
+			t.Fatalf("reading back framed payload: %v", err)
+		}
+		if !bytes.Equal(echoed, want2(initial, stream)) {
+			t.Fatalf("round-trip payload mismatch:\ngot:  %q\nwant: %q", echoed, want2(initial, stream))
+		}
+		if !sc2.drained() {
+			t.Fatal("round-trip stream not drained after io.EOF")
+		}
+		rest, err := io.ReadAll(br2)
+		if err != nil {
+			t.Fatalf("reading trailing bytes: %v", err)
+		}
+		if string(rest) != next {
+			t.Fatalf("transport desynced after session: trailing bytes %q, want %q", rest, next)
+		}
+	})
+}
+
+// want2 is the expected round-trip payload: initial data then the framed
+// stream bytes.
+func want2(initial, stream []byte) []byte {
+	return append(append([]byte{}, initial...), stream...)
+}

@@ -1,0 +1,147 @@
+package httprelay
+
+// Fuzz targets for the two parsers that stand between untrusted client
+// bytes and a back end: the request-head reader and the chunked-body
+// relay. Both are desync-sensitive — the relay forwards the very bytes
+// it parsed, so any disagreement between "what was consumed" and "what
+// was forwarded" is a request-smuggling primitive, which is why the
+// invariants below are byte-exact prefix equalities rather than mere
+// doesn't-crash checks.
+//
+// CI runs each target for a short smoke window (-fuzz -fuzztime=10s);
+// the committed corpus under testdata/fuzz seeds it with the smuggling
+// shapes from the table-driven tests.
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// FuzzReadRequestHead checks the head parser's error contract and
+// consumed-prefix identity on arbitrary input.
+func FuzzReadRequestHead(f *testing.F) {
+	seeds := []string{
+		"GET /index.html HTTP/1.1\r\nHost: a\r\n\r\n",
+		"POST /u HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello",
+		"POST /u HTTP/1.1\r\nContent-Length: -5\r\n\r\n",
+		"POST /u HTTP/1.1\r\nContent-Length: +5\r\n\r\n",
+		"POST /u HTTP/1.1\r\nContent-Length: 5 GET /evil HTTP/1.1\r\n\r\n",
+		"POST /u HTTP/1.1\r\nContent-Length: 0x10\r\n\r\n",
+		"POST /u HTTP/1.1\r\nContent-Length: 5\r\nContent-Length: 6\r\n\r\n",
+		"POST /u HTTP/1.1\r\nContent-Length: 5, 6\r\n\r\n",
+		"POST /u HTTP/1.1\r\nContent-Length: 5\r\nTransfer-Encoding: chunked\r\n\r\n",
+		"POST /u HTTP/1.1\r\nTransfer-Encoding: gzip\r\n\r\n",
+		"POST /u HTTP/1.1\r\nTransfer-Encoding: chunked, gzip\r\n\r\n",
+		"GET / HTTP/1.1\r\nX-Long: a\r\n b\r\n\r\n",
+		"GET / HTTP/1.1\r\nNONSENSE\r\n\r\n",
+		"GET / HTTP/1.1\r\nContent-Length : 5\r\n\r\n",
+		"GET / HTTP/1.1\r\nHost\t: a\r\n\r\n",
+		"GET\r\n\r\n",
+		"GET / HTTP/one.one\r\n\r\n",
+		"\r\n\r\nGET / HTTP/1.1\r\n\r\n",
+		"",
+		"GET / HTT",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		under := bytes.NewReader(data)
+		br := bufio.NewReader(under)
+		h, err := ReadRequestHead(br, 1<<14)
+		consumed := len(data) - br.Buffered() - under.Len()
+		if err != nil {
+			var malformed *MalformedError
+			if !errors.As(err, &malformed) {
+				// The only transport error a bytes.Reader produces is a
+				// clean EOF, and the contract passes that through only
+				// when nothing was received.
+				if err != io.EOF {
+					t.Fatalf("non-malformed, non-EOF error: %v", err)
+				}
+				if len(data) != 0 {
+					t.Fatalf("bare io.EOF after %d bytes of input", len(data))
+				}
+			}
+			return
+		}
+		// Desync check 1: Raw is exactly the bytes consumed from the
+		// stream — what gets forwarded is what was parsed.
+		if !bytes.Equal(h.Raw, data[:consumed]) {
+			t.Fatalf("Raw != consumed prefix:\nraw:      %q\nconsumed: %q", h.Raw, data[:consumed])
+		}
+		// Desync check 2: re-parsing the forwarded bytes yields the
+		// identical head, so the back end cannot disagree with the relay.
+		under2 := bytes.NewReader(h.Raw)
+		br2 := bufio.NewReader(under2)
+		h2, err2 := ReadRequestHead(br2, 1<<14)
+		if err2 != nil {
+			t.Fatalf("re-parsing forwarded head failed: %v\nraw: %q", err2, h.Raw)
+		}
+		if rest := br2.Buffered() + under2.Len(); rest != 0 {
+			t.Fatalf("re-parse left %d bytes unconsumed of %q", rest, h.Raw)
+		}
+		if h2.Method != h.Method || h2.Target != h.Target || h2.Proto != h.Proto ||
+			h2.ContentLength != h.ContentLength || h2.Chunked != h.Chunked ||
+			h2.KeepAlive != h.KeepAlive || h2.ExpectContinue != h.ExpectContinue ||
+			!bytes.Equal(h2.Raw, h.Raw) {
+			t.Fatalf("re-parse disagrees:\nfirst:  %+v\nsecond: %+v", h, h2)
+		}
+	})
+}
+
+// FuzzChunkedRelay checks that the chunked-body relay forwards exactly
+// the bytes it consumed and classifies every failure as malformed.
+func FuzzChunkedRelay(f *testing.F) {
+	seeds := []string{
+		"0\r\n\r\n",
+		"5\r\nhello\r\n0\r\n\r\n",
+		"5;ext=1\r\nhello\r\n0\r\n\r\n",
+		"5\r\nhello\r\n0\r\nTrailer: v\r\n\r\n",
+		"5\r\nhello\r\n0\r\n",
+		"5\r\nhell",
+		"-5\r\nhello\r\n0\r\n\r\n",
+		"0x5\r\nhello\r\n0\r\n\r\n",
+		"ffffffffffffffff\r\n",
+		"5\r\nhelloX\r\n0\r\n\r\n",
+		"",
+		"zz\r\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		under := bytes.NewReader(data)
+		br := bufio.NewReader(under)
+		var dst bytes.Buffer
+		total, err := relayChunked(&dst, br)
+		if total != int64(dst.Len()) {
+			t.Fatalf("reported %d forwarded bytes, wrote %d", total, dst.Len())
+		}
+		if err != nil {
+			var malformed *MalformedError
+			if !errors.As(err, &malformed) {
+				t.Fatalf("relayChunked error is not malformed: %v", err)
+			}
+			return
+		}
+		// Success: output is the exact consumed prefix, and relaying the
+		// forwarded bytes again reproduces them — the next hop sees the
+		// same body boundary.
+		consumed := len(data) - br.Buffered() - under.Len()
+		if !bytes.Equal(dst.Bytes(), data[:consumed]) {
+			t.Fatalf("forwarded bytes != consumed prefix:\nforwarded: %q\nconsumed:  %q", dst.Bytes(), data[:consumed])
+		}
+		var dst2 bytes.Buffer
+		if _, err := relayChunked(&dst2, bufio.NewReader(strings.NewReader(dst.String()))); err != nil {
+			t.Fatalf("re-relaying forwarded body failed: %v\nbody: %q", err, dst.Bytes())
+		}
+		if !bytes.Equal(dst2.Bytes(), dst.Bytes()) {
+			t.Fatalf("re-relay disagrees:\nfirst:  %q\nsecond: %q", dst.Bytes(), dst2.Bytes())
+		}
+	})
+}
