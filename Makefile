@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fuzz
+.PHONY: all build test race bench lint fuzz capacity capacity-smoke
 
 all: build test
 
@@ -37,9 +37,21 @@ fuzz:
 race:
 	$(GO) test -race -shuffle=on ./...
 
-# bench runs the dispatch-path benchmarks (BenchmarkDispatch,
-# BenchmarkSessionDispatch, BenchmarkHandoffDial) and writes the
-# BENCH_PR5.json trajectory file. BENCHTIME=5s make bench for stabler
-# numbers.
+# bench runs the hot-path benchmarks (dispatch -cpu 1,4 matrix, handoff,
+# relay, all with -benchmem) plus the saturation sweep and writes the
+# BENCH_PR7.json trajectory file. BENCHTIME=5s make bench for stabler
+# numbers; SKIP_CAPACITY=1 make bench to skip the minutes-long sweep.
 bench:
 	scripts/bench.sh $(BENCHTIME)
+
+# capacity runs only the saturation harness: ramp offered load per
+# configuration (locked vs sharded dispatcher x GOMAXPROCS x connection
+# policy), binary-search each SLO knee, merge the report into
+# BENCH_PR7.json under "capacity".
+capacity:
+	$(GO) run ./cmd/capacity
+
+# capacity-smoke is the seconds-long CI variant: one policy, current
+# GOMAXPROCS, short probes; exercises the whole harness end to end.
+capacity-smoke:
+	$(GO) run ./cmd/capacity -smoke -nodes 2 -clients 8 -o /tmp/capacity-smoke.json

@@ -1,0 +1,110 @@
+// Command capacity runs the saturation harness: it ramps offered load
+// against a live in-process cluster per configuration (locked vs
+// sharded dispatcher × GOMAXPROCS × connection policy), binary-searches
+// each configuration's SLO knee, and writes the report.
+//
+// Usage:
+//
+//	capacity                     # full sweep, writes BENCH_PR7.json
+//	capacity -smoke              # seconds-long smoke (CI)
+//	capacity -o report.json
+//
+// When the output file already exists and holds a JSON object, the
+// report is merged in under the "capacity" key (scripts/bench.sh writes
+// the microbenchmark sections of BENCH_PR7.json first and then invokes
+// this command to append the end-to-end numbers).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"time"
+
+	"lard/internal/capacity"
+)
+
+func main() {
+	var (
+		out      = flag.String("o", "BENCH_PR7.json", "output file (merged under \"capacity\" if it already holds a JSON object)")
+		smoke    = flag.Bool("smoke", false, "seconds-long smoke sweep (one policy, current GOMAXPROCS, short probes)")
+		nodes    = flag.Int("nodes", 4, "back-end nodes per fleet")
+		clients  = flag.Int("clients", 32, "load-generator clients")
+		probeDur = flag.Duration("probe", 2*time.Second, "measurement window per offered rate")
+		sloP99   = flag.Duration("slo-p99", capacity.DefaultSLO.P99, "SLO: max p99 latency")
+		sloErr   = flag.Float64("slo-err", capacity.DefaultSLO.ErrRate, "SLO: max error fraction")
+		maxRate  = flag.Float64("maxrate", 0, "ramp ceiling in req/s (0 = default)")
+		verbose  = flag.Bool("v", true, "log sweep progress to stderr")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	cfg := capacity.SweepConfig{
+		SLO:    capacity.SLO{P99: *sloP99, ErrRate: *sloErr},
+		Search: capacity.SearchConfig{MaxRate: *maxRate},
+		Fleet: capacity.FleetConfig{
+			Nodes:         *nodes,
+			Clients:       *clients,
+			ProbeDuration: *probeDur,
+		},
+		Smoke: *smoke,
+	}
+	if *smoke {
+		// The flag default (2s) is a full-sweep window; smoke picks its
+		// own short one unless the user set -probe explicitly.
+		if !flagWasSet("probe") {
+			cfg.Fleet.ProbeDuration = 0
+		}
+	}
+	if *verbose {
+		cfg.Log = os.Stderr
+	}
+
+	rep, err := capacity.RunSweep(ctx, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capacity:", err)
+		os.Exit(1)
+	}
+	if err := writeReport(*out, rep); err != nil {
+		fmt.Fprintln(os.Stderr, "capacity:", err)
+		os.Exit(1)
+	}
+	best, name := rep.MaxSustainable()
+	fmt.Printf("max sustainable: %.0f req/s (%s); wrote %s\n", best, name, *out)
+}
+
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// writeReport stores the report at path. An existing JSON object at path
+// is preserved: the report becomes (or replaces) its "capacity" member.
+func writeReport(path string, rep capacity.Report) error {
+	doc := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
+		}
+	}
+	enc, err := json.MarshalIndent(rep, "  ", "  ")
+	if err != nil {
+		return err
+	}
+	doc["capacity"] = enc
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

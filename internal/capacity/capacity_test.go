@@ -1,0 +1,215 @@
+package capacity
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"lard/internal/trace"
+)
+
+// modelProber simulates a cluster with a hard knee at capacity: below it
+// latency is flat and errors zero; above it p99 explodes. It lets the
+// search be tested deterministically and without wall time.
+func modelProber(capacity float64, calls *int) Prober {
+	return func(rate float64) (Measurement, error) {
+		*calls++
+		m := Measurement{
+			OfferedRate: rate,
+			Throughput:  math.Min(rate, capacity),
+			P99:         5 * time.Millisecond,
+			Requests:    uint64(rate),
+		}
+		if rate > capacity {
+			m.P99 = 2 * time.Second
+			m.ErrRate = 0.2
+		}
+		return m, nil
+	}
+}
+
+func TestFindKneeConverges(t *testing.T) {
+	for _, capacity := range []float64{120, 777, 5000, 48000} {
+		var calls int
+		res, err := FindKnee(SearchConfig{StartRate: 50, Tolerance: 0.05},
+			DefaultSLO, modelProber(capacity, &calls))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Saturated {
+			t.Fatalf("capacity %.0f: not saturated", capacity)
+		}
+		knee := res.Knee.OfferedRate
+		// The knee must be sustained (≤ capacity) and within tolerance
+		// of it from below.
+		if knee > capacity {
+			t.Fatalf("capacity %.0f: knee %.1f above capacity", capacity, knee)
+		}
+		if knee < capacity*0.9 {
+			t.Fatalf("capacity %.0f: knee %.1f too far below", capacity, knee)
+		}
+		// Geometric ramp + bisection: the search must stay cheap.
+		if calls > 30 {
+			t.Fatalf("capacity %.0f: %d probes", capacity, calls)
+		}
+		if len(res.Probes) != calls {
+			t.Fatalf("probes recorded %d, calls %d", len(res.Probes), calls)
+		}
+	}
+}
+
+func TestFindKneeBelowStartRate(t *testing.T) {
+	// A system that cannot sustain even the start rate: the knee bisects
+	// downward from StartRate instead of reporting garbage.
+	var calls int
+	res, err := FindKnee(SearchConfig{StartRate: 400, Tolerance: 0.05},
+		DefaultSLO, modelProber(100, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Saturated {
+		t.Fatal("not saturated")
+	}
+	if k := res.Knee.OfferedRate; k > 100 || k < 80 {
+		t.Fatalf("knee %.1f, want ~100 from below", k)
+	}
+}
+
+func TestFindKneeNeverSaturates(t *testing.T) {
+	var calls int
+	res, err := FindKnee(SearchConfig{StartRate: 100, MaxRate: 1000},
+		DefaultSLO, modelProber(1e9, &calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Saturated {
+		t.Fatal("reported saturated below capacity")
+	}
+	if res.Knee.OfferedRate != 1000 {
+		t.Fatalf("knee %.1f, want the MaxRate ceiling", res.Knee.OfferedRate)
+	}
+}
+
+func TestFindKneeSurvivesOneNoisyProbe(t *testing.T) {
+	// A single spurious SLO break far below capacity (the 2s-window GC
+	// pause in a live sweep) must not cap the ramp: the default Confirm
+	// re-measures a breaking probe, the retry passes, and the search
+	// continues to the true knee.
+	const capacity = 5000
+	var calls int
+	inner := modelProber(capacity, &calls)
+	spent := false
+	noisy := func(rate float64) (Measurement, error) {
+		m, err := inner(rate)
+		if !spent && rate >= 200 && rate <= capacity {
+			spent = true
+			m.P99 = 2 * time.Second // one-off hiccup, healthy rate
+		}
+		return m, err
+	}
+
+	res, err := FindKnee(SearchConfig{StartRate: 50, Tolerance: 0.05}, DefaultSLO, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := res.Knee.OfferedRate; k < capacity*0.9 || k > capacity {
+		t.Fatalf("knee %.1f poisoned by one noisy probe (capacity %d)", k, capacity)
+	}
+
+	// With confirmation disabled the same hiccup caps the search early —
+	// the knob does what it says.
+	spent, calls = false, 0
+	res, err = FindKnee(SearchConfig{StartRate: 50, Tolerance: 0.05, Confirm: -1},
+		DefaultSLO, noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k := res.Knee.OfferedRate; k >= capacity*0.9 {
+		t.Fatalf("Confirm: -1 still retried (knee %.1f)", k)
+	}
+}
+
+func TestMeasurementMeets(t *testing.T) {
+	slo := SLO{P99: 100 * time.Millisecond, ErrRate: 0.01}
+	ok := Measurement{P99: 50 * time.Millisecond, ErrRate: 0.001}
+	if !ok.Meets(slo) {
+		t.Fatal("healthy measurement rejected")
+	}
+	if (Measurement{P99: 200 * time.Millisecond}).Meets(slo) {
+		t.Fatal("latency violation accepted")
+	}
+	if (Measurement{P99: 50 * time.Millisecond, ErrRate: 0.5}).Meets(slo) {
+		t.Fatal("error-rate violation accepted")
+	}
+}
+
+func smokeTrace() *trace.Trace {
+	return trace.MustGenerate(trace.SyntheticConfig{
+		Name:         "smoke",
+		Targets:      32,
+		Requests:     256,
+		DataSetBytes: 32 * 4096,
+		ZipfAlpha:    0.9,
+		SizeSigma:    0.2,
+		MinFileBytes: 512,
+	}, 3)
+}
+
+func TestFleetProbeE2E(t *testing.T) {
+	// One live probe against a real in-process cluster: a modest offered
+	// rate on loopback must meet the default SLO and report sane numbers.
+	fleet, err := NewFleet(FleetConfig{
+		Nodes:         2,
+		Trace:         smokeTrace(),
+		Clients:       4,
+		ProbeDuration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	m, err := fleet.Prober(context.Background())(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Requests == 0 {
+		t.Fatal("probe issued no requests")
+	}
+	if !m.Meets(DefaultSLO) {
+		t.Fatalf("50 req/s on loopback broke the SLO: %+v", m)
+	}
+	if m.Throughput <= 0 || m.OfferedRate != 50 {
+		t.Fatalf("measurement %+v", m)
+	}
+}
+
+func TestRunSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep smoke needs a few wall seconds")
+	}
+	rep, err := RunSweep(context.Background(), SweepConfig{
+		Smoke: true,
+		Fleet: FleetConfig{
+			Nodes:   2,
+			Trace:   smokeTrace(),
+			Clients: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Smoke sweeps one policy across the two dispatcher variants.
+	if len(rep.Results) != 2 {
+		t.Fatalf("results: %d, want 2", len(rep.Results))
+	}
+	for _, cr := range rep.Results {
+		if cr.KneeRPS <= 0 {
+			t.Fatalf("config %s found no sustainable rate: %+v", cr.Name, cr.Result)
+		}
+	}
+	if best, name := rep.MaxSustainable(); best <= 0 || name == "" {
+		t.Fatalf("MaxSustainable: %v %q", best, name)
+	}
+}

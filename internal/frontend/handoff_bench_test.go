@@ -64,6 +64,7 @@ func BenchmarkHandoffDial(b *testing.B) {
 			b.Fatal(err)
 		}
 		defer s.Close()
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			bc, err := s.connectBackend(0, clientSide, head, true)

@@ -1,11 +1,11 @@
 package frontend
 
 import (
-	"bufio"
 	"fmt"
 	"net"
 	"time"
 
+	"lard/internal/httprelay"
 	"lard/pkg/lard"
 )
 
@@ -206,7 +206,7 @@ func (s *Server) probeOnce() {
 			// The eligibility re-check mirrors releaseBackend: an admin
 			// drain racing the recovery must not get a warm transport.
 			if s.pool != nil && s.nodePoolable(node) {
-				s.pool.put(node, conn, bufio.NewReaderSize(conn, 16<<10))
+				s.pool.put(node, conn, httprelay.GetReader(conn))
 			} else {
 				conn.Close()
 			}

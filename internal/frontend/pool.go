@@ -2,9 +2,12 @@ package frontend
 
 import (
 	"bufio"
+	"errors"
 	"net"
 	"sync"
 	"time"
+
+	"lard/internal/httprelay"
 )
 
 // This file is the front end's per-back-end connection pool. The paper's
@@ -62,15 +65,21 @@ func newBackendPool(size int, ttl time.Duration) *backendPool {
 // ones. The liveness probe is a zero-deadline peek: an idle transport
 // should have nothing to say, so readable data or EOF both mean the
 // connection is unusable (the back end hung up, or broke protocol).
+//
+// Counter contract: every checkout is exactly one hit or one miss. The
+// miss is recorded here, once per get that returns no conn — not in pop —
+// so a checkout that pops only expired/dead conns (each recorded as an
+// eviction) still counts as the miss it is, and hits+misses always equals
+// checkouts in Stats.
 func (p *backendPool) get(node int) (net.Conn, *bufio.Reader, bool) {
 	for {
 		pc, ok := p.pop(node)
 		if !ok {
+			p.countMiss()
 			return nil, nil, false
 		}
 		if p.ttl > 0 && time.Since(pc.since) > p.ttl {
-			pc.c.Close()
-			p.countEviction()
+			p.discard(pc)
 			continue
 		}
 		if pc.br.Buffered() == 0 {
@@ -79,14 +88,12 @@ func (p *backendPool) get(node int) (net.Conn, *bufio.Reader, bool) {
 			pc.c.SetReadDeadline(time.Time{})
 			if err == nil || !isDeadlineErr(err) {
 				// Data or EOF where silence was required: dead or dirty.
-				pc.c.Close()
-				p.countEviction()
+				p.discard(pc)
 				continue
 			}
 		} else {
 			// Buffered bytes between sessions are a protocol violation.
-			pc.c.Close()
-			p.countEviction()
+			p.discard(pc)
 			continue
 		}
 		p.mu.Lock()
@@ -101,17 +108,30 @@ func (p *backendPool) pop(node int) (pooledConn, bool) {
 	defer p.mu.Unlock()
 	conns := p.idle[node]
 	if len(conns) == 0 {
-		p.misses++
 		return pooledConn{}, false
 	}
 	pc := conns[len(conns)-1]
+	// Zero the vacated slot: the entry holds a conn and a 16 KiB reader,
+	// and a truncating reslice alone keeps both reachable through the
+	// underlying array.
+	conns[len(conns)-1] = pooledConn{}
 	p.idle[node] = conns[:len(conns)-1]
 	return pc, true
 }
 
-func (p *backendPool) countEviction() {
+// discard retires a dead or expired pooled entry: close the transport,
+// recycle its reader, count the eviction.
+func (p *backendPool) discard(pc pooledConn) {
+	pc.c.Close()
+	httprelay.PutReader(pc.br)
 	p.mu.Lock()
 	p.evictions++
+	p.mu.Unlock()
+}
+
+func (p *backendPool) countMiss() {
+	p.mu.Lock()
+	p.misses++
 	p.mu.Unlock()
 }
 
@@ -123,19 +143,25 @@ func (p *backendPool) put(node int, c net.Conn, br *bufio.Reader) {
 	if p.closed || p.size <= 0 {
 		p.mu.Unlock()
 		c.Close()
+		httprelay.PutReader(br)
 		return
 	}
 	conns := p.idle[node]
-	var evict net.Conn
+	var evict pooledConn
 	if len(conns) >= p.size {
-		evict = conns[0].c
-		conns = append(conns[:0], conns[1:]...)
+		evict = conns[0]
+		n := copy(conns, conns[1:])
+		// The shift leaves a duplicate of the newest entry in the tail
+		// slot; zero it so the reslice does not retain it.
+		conns[n] = pooledConn{}
+		conns = conns[:n]
 		p.evictions++
 	}
 	p.idle[node] = append(conns, pooledConn{c: c, br: br, since: time.Now()})
 	p.mu.Unlock()
-	if evict != nil {
-		evict.Close()
+	if evict.c != nil {
+		evict.c.Close()
+		httprelay.PutReader(evict.br)
 	}
 }
 
@@ -150,6 +176,7 @@ func (p *backendPool) evictNode(node int) {
 	p.mu.Unlock()
 	for _, pc := range conns {
 		pc.c.Close()
+		httprelay.PutReader(pc.br)
 	}
 }
 
@@ -160,23 +187,30 @@ func (p *backendPool) sweep() {
 		return
 	}
 	cutoff := time.Now().Add(-p.ttl)
-	var dead []net.Conn
+	var dead []pooledConn
 	p.mu.Lock()
 	for node, conns := range p.idle {
 		kept := conns[:0]
 		for _, pc := range conns {
 			if pc.since.Before(cutoff) {
-				dead = append(dead, pc.c)
+				dead = append(dead, pc)
 				p.evictions++
 			} else {
 				kept = append(kept, pc)
 			}
 		}
+		// The compaction dropped len(conns)-len(kept) entries but their
+		// conns and 16 KiB readers stay reachable through the shared
+		// array until the tail is zeroed.
+		for i := len(kept); i < len(conns); i++ {
+			conns[i] = pooledConn{}
+		}
 		p.idle[node] = kept
 	}
 	p.mu.Unlock()
-	for _, c := range dead {
-		c.Close()
+	for _, pc := range dead {
+		pc.c.Close()
+		httprelay.PutReader(pc.br)
 	}
 }
 
@@ -184,16 +218,15 @@ func (p *backendPool) sweep() {
 func (p *backendPool) closeAll() {
 	p.mu.Lock()
 	p.closed = true
-	var all []net.Conn
+	var all []pooledConn
 	for _, conns := range p.idle {
-		for _, pc := range conns {
-			all = append(all, pc.c)
-		}
+		all = append(all, conns...)
 	}
 	p.idle = make(map[int][]pooledConn)
 	p.mu.Unlock()
-	for _, c := range all {
-		c.Close()
+	for _, pc := range all {
+		pc.c.Close()
+		httprelay.PutReader(pc.br)
 	}
 }
 
@@ -240,8 +273,10 @@ func (p *backendPool) janitor(stop <-chan struct{}) {
 }
 
 // isDeadlineErr reports a read-deadline expiry — the healthy outcome of
-// the liveness peek.
+// the liveness peek. It unwraps: an instrumented or test conn that wraps
+// the deadline error must still read as "alive and silent", not as a
+// dead transport to evict.
 func isDeadlineErr(err error) bool {
-	ne, ok := err.(net.Error)
-	return ok && ne.Timeout()
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
 }

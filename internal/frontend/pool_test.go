@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"testing"
 	"time"
@@ -25,27 +26,45 @@ func pipeConn(t *testing.T) net.Conn {
 }
 
 // TestPoolProperty drives the pool through a seeded random schedule of
-// puts and checkouts and asserts its invariants: the idle population
-// never exceeds the per-node bound, expired connections are never handed
-// out, and the counters balance — every checkout is a hit or a miss, and
-// every put is eventually a hit, an eviction, or still idle.
+// puts, checkouts, and sabotage (aging entries past the TTL, killing idle
+// conns) and asserts its invariants: the idle population never exceeds
+// the per-node bound, expired connections are never handed out, and the
+// counters balance — every checkout is exactly one hit or one miss (even
+// when it pops only expired/dead conns before coming up empty), and every
+// put is eventually a hit, an eviction, or still idle.
 func TestPoolProperty(t *testing.T) {
 	const size = 3
-	p := newBackendPool(size, time.Hour) // TTL out of the way for the random phase
+	const ttl = time.Hour // out of reach except via deliberate aging
+	p := newBackendPool(size, ttl)
 	rng := rand.New(rand.NewSource(7))
 
 	var puts, checkouts, handedOut int
-	for i := 0; i < 500; i++ {
+	for i := 0; i < 800; i++ {
 		node := rng.Intn(4)
-		if rng.Intn(2) == 0 {
+		switch rng.Intn(5) {
+		case 0, 1:
 			c := pipeConn(t)
 			p.put(node, c, bufio.NewReaderSize(c, 1<<10))
 			puts++
-		} else {
+		case 2, 3:
 			if _, _, ok := p.get(node); ok {
 				handedOut++
 			}
 			checkouts++
+		case 4:
+			// Sabotage one idle entry so checkouts exercise the
+			// expired/dead fall-through: evictions, then a deeper hit
+			// or — the undercount regression — exactly one miss.
+			p.mu.Lock()
+			if conns := p.idle[node]; len(conns) > 0 {
+				j := rng.Intn(len(conns))
+				if rng.Intn(2) == 0 {
+					conns[j].since = conns[j].since.Add(-2 * ttl)
+				} else {
+					conns[j].c.Close() // the liveness peek will see a dead conn
+				}
+			}
+			p.mu.Unlock()
 		}
 		for n := 0; n < 4; n++ {
 			if _, forNode := p.idleCount(n); forNode > size {
@@ -63,6 +82,121 @@ func TestPoolProperty(t *testing.T) {
 	idle, _ := p.idleCount(-1)
 	if uint64(puts) != hits+evictions+uint64(idle) {
 		t.Fatalf("puts %d != hits %d + evictions %d + idle %d", puts, hits, evictions, idle)
+	}
+}
+
+// TestPoolMissCountsExpiredFallthrough is the undercount regression: a
+// checkout that pops only expired conns and comes up empty must record
+// the evictions AND one miss — the fresh dial it falls through to — so
+// PoolHits+PoolMisses equals checkouts and hit-rate stats stay honest.
+func TestPoolMissCountsExpiredFallthrough(t *testing.T) {
+	p := newBackendPool(4, time.Hour)
+	for i := 0; i < 2; i++ {
+		c := pipeConn(t)
+		p.put(0, c, bufio.NewReaderSize(c, 1<<10))
+	}
+	p.mu.Lock()
+	for i := range p.idle[0] {
+		p.idle[0][i].since = p.idle[0][i].since.Add(-2 * time.Hour)
+	}
+	p.mu.Unlock()
+	if _, _, ok := p.get(0); ok {
+		t.Fatal("expired conn handed out")
+	}
+	hits, misses, ev := p.counters()
+	if hits != 0 || misses != 1 || ev != 2 {
+		t.Fatalf("hits=%d misses=%d evictions=%d, want 0/1/2", hits, misses, ev)
+	}
+}
+
+// TestPoolZeroesVacatedSlots is the slice-tail-retention regression: the
+// capacity-eviction shift in put, the checkout pop, and the sweep
+// compaction all truncate the per-node slice, and each must zero the
+// vacated tail slots — a dropped pooledConn left in the underlying array
+// keeps its conn and 16 KiB reader reachable.
+func TestPoolZeroesVacatedSlots(t *testing.T) {
+	p := newBackendPool(2, time.Hour)
+	assertTailZeroed := func(context string) {
+		t.Helper()
+		p.mu.Lock()
+		defer p.mu.Unlock()
+		conns := p.idle[0]
+		full := conns[:cap(conns)]
+		for i := len(conns); i < cap(conns); i++ {
+			if full[i] != (pooledConn{}) {
+				t.Fatalf("%s: vacated slot %d retains %+v", context, i, full[i])
+			}
+		}
+	}
+
+	for i := 0; i < 2; i++ {
+		c := pipeConn(t)
+		p.put(0, c, bufio.NewReaderSize(c, 1<<10))
+	}
+	c := pipeConn(t)
+	p.put(0, c, bufio.NewReaderSize(c, 1<<10)) // over capacity: shift-evicts the oldest
+	assertTailZeroed("capacity eviction")
+
+	if _, _, ok := p.get(0); !ok {
+		t.Fatal("checkout failed")
+	}
+	assertTailZeroed("checkout pop")
+
+	p.mu.Lock()
+	for i := range p.idle[0] {
+		p.idle[0][i].since = p.idle[0][i].since.Add(-2 * time.Hour)
+	}
+	p.mu.Unlock()
+	p.sweep()
+	if idle, _ := p.idleCount(-1); idle != 0 {
+		t.Fatalf("sweep left %d idle conns", idle)
+	}
+	assertTailZeroed("sweep compaction")
+}
+
+// wrapErrConn wraps every error its Read returns, hiding the net.Error
+// behind fmt's wrapper — the shape instrumented and test conns produce.
+type wrapErrConn struct{ net.Conn }
+
+func (c wrapErrConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	if err != nil {
+		err = fmt.Errorf("instrumented: %w", err)
+	}
+	return n, err
+}
+
+// TestIsDeadlineErrUnwraps is the misclassification regression: a wrapped
+// deadline error is still a deadline expiry, and EOF never is.
+func TestIsDeadlineErrUnwraps(t *testing.T) {
+	if !isDeadlineErr(os.ErrDeadlineExceeded) {
+		t.Fatal("bare deadline error not recognized")
+	}
+	if !isDeadlineErr(fmt.Errorf("peek: %w", os.ErrDeadlineExceeded)) {
+		t.Fatal("wrapped deadline error not recognized")
+	}
+	if isDeadlineErr(io.EOF) || isDeadlineErr(fmt.Errorf("x: %w", io.EOF)) {
+		t.Fatal("EOF misread as deadline expiry")
+	}
+}
+
+// TestPoolKeepsConnWithWrappedDeadlineErr: the liveness peek on a healthy
+// idle conn whose Read wraps its errors must classify the deadline expiry
+// as "alive and silent" and hand the conn out, not evict it.
+func TestPoolKeepsConnWithWrappedDeadlineErr(t *testing.T) {
+	p := newBackendPool(2, time.Hour)
+	c := wrapErrConn{pipeConn(t)}
+	p.put(0, c, bufio.NewReaderSize(c, 1<<10))
+	cc, _, ok := p.get(0)
+	if !ok {
+		t.Fatal("healthy conn with wrapping Read evicted as dead")
+	}
+	if cc != net.Conn(c) {
+		t.Fatal("a different conn was handed out")
+	}
+	hits, misses, ev := p.counters()
+	if hits != 1 || misses != 0 || ev != 0 {
+		t.Fatalf("hits=%d misses=%d evictions=%d, want 1/0/0", hits, misses, ev)
 	}
 }
 

@@ -80,7 +80,7 @@ func (s *Server) handleConn(client net.Conn) {
 	s.activeSess.Add(1)
 	defer s.activeSess.Add(-1)
 
-	br := bufio.NewReaderSize(client, 16<<10)
+	br := httprelay.GetReader(client)
 	var (
 		backend     *backendConn
 		requestDone func()
@@ -90,6 +90,9 @@ func (s *Server) handleConn(client net.Conn) {
 			requestDone()
 		}
 		s.releaseBackend(backend)
+		// The loop is the reader's only user; once it returns the reader
+		// can serve the next client connection.
+		httprelay.PutReader(br)
 	}()
 
 	for {
@@ -164,7 +167,8 @@ func (s *Server) handleConn(client net.Conn) {
 				// itself is what died, instead of killing the session.
 				prev := backend.node
 				s.logf("frontend: stale back-end conn to %d (write: %v), retrying fresh", prev, err)
-				backend.c.Close()
+				s.discardBackend(backend)
+				backend = nil
 				s.staleRetries.Add(1)
 				nb, ndone, err2 := s.recoverBackend(sess, prev, client, head)
 				if err2 != nil {
@@ -218,7 +222,7 @@ func (s *Server) handleConn(client net.Conn) {
 		// end's head) from a client-side write failure — retrying the
 		// latter would re-execute a request the back end already served.
 		cw := &writeTracker{w: client}
-		n, reusable, err := httprelay.RelayResponse(cw, backend.br, head.Method, s.cfg.MaxHeaderBytes, on100)
+		n, reusable, err := httprelay.RelayResponseFrom(cw, backend.br, backend.c, head.Method, s.cfg.MaxHeaderBytes, on100)
 		s.forward.BackendToClient.Add(n)
 		if err != nil && !cw.wrote && backend.fromPool && backend.served == 0 &&
 			!bodyWritten && idempotentMethod(head.Method) {
@@ -231,7 +235,8 @@ func (s *Server) handleConn(client net.Conn) {
 			// before dying — net/http's transport draws the same line.
 			prev := backend.node
 			s.logf("frontend: stale back-end conn to %d (read: %v), retrying fresh", prev, err)
-			backend.c.Close()
+			s.discardBackend(backend)
+			backend = nil
 			s.staleRetries.Add(1)
 			if nb, ndone, err2 := s.recoverBackend(sess, prev, client, head); err2 == nil {
 				if ndone != nil {
@@ -242,7 +247,7 @@ func (s *Server) handleConn(client net.Conn) {
 				if nb.node != prev {
 					s.rehandoffs.Add(1)
 				}
-				n, reusable, err = httprelay.RelayResponse(cw, backend.br, head.Method, s.cfg.MaxHeaderBytes, on100)
+				n, reusable, err = httprelay.RelayResponseFrom(cw, backend.br, backend.c, head.Method, s.cfg.MaxHeaderBytes, on100)
 				s.forward.BackendToClient.Add(n)
 			}
 		}
@@ -341,7 +346,7 @@ func (s *Server) connectBackend(node int, client net.Conn, head httprelay.Reques
 			// Stale pooled transport: the write failed before anything
 			// reached the client. Fall through to a fresh dial.
 			s.logf("frontend: stale pooled conn to %d, dialing fresh", node)
-			c.Close()
+			s.discardBackend(b)
 			s.staleRetries.Add(1)
 		}
 	}
@@ -349,9 +354,9 @@ func (s *Server) connectBackend(node int, client net.Conn, head httprelay.Reques
 	if err != nil {
 		return nil, err
 	}
-	b := &backendConn{node: node, c: c, br: bufio.NewReaderSize(c, 16<<10)}
+	b := &backendConn{node: node, c: c, br: httprelay.GetReader(c)}
 	if err := s.sendHandoff(b, clientAddr, head.Raw); err != nil {
-		c.Close()
+		s.discardBackend(b)
 		return nil, err
 	}
 	return b, nil
@@ -381,18 +386,29 @@ func (s *Server) sendHandoff(b *backendConn, clientAddr string, initial []byte) 
 // releaseBackend retires the relay loop's hold on a back-end connection:
 // a clean session-framed transport gets its end-of-session record and
 // goes back to the idle pool (unless its node can no longer take
-// traffic), anything else is closed.
+// traffic), anything else is closed and its reader recycled.
 func (s *Server) releaseBackend(b *backendConn) {
 	if b == nil {
 		return
 	}
 	if b.clean && b.sw != nil && s.pool != nil && s.nodePoolable(b.node) {
 		if err := b.sw.End(); err == nil {
+			// The reader travels with the pooled conn: response bytes it
+			// may buffer belong to that transport.
 			s.pool.put(b.node, b.c, b.br)
 			return
 		}
 	}
+	s.discardBackend(b)
+}
+
+// discardBackend closes a back-end transport and recycles its reader.
+// The caller must drop every reference to b.br (callers in the relay
+// loop null out `backend` right after).
+func (s *Server) discardBackend(b *backendConn) {
 	b.c.Close()
+	httprelay.PutReader(b.br)
+	b.br = nil
 }
 
 // nodePoolable reports whether idle connections for node may enter the
@@ -425,4 +441,15 @@ type writeTracker struct {
 func (t *writeTracker) Write(p []byte) (int, error) {
 	t.wrote = true
 	return t.w.Write(p)
+}
+
+// ReadFrom keeps the tracker from hiding the client connection's
+// io.ReaderFrom: with it, io.Copy on the response body reaches
+// TCPConn.ReadFrom and the kernel splice path can engage.
+func (t *writeTracker) ReadFrom(r io.Reader) (int64, error) {
+	t.wrote = true
+	if rf, ok := t.w.(io.ReaderFrom); ok {
+		return rf.ReadFrom(r)
+	}
+	return io.Copy(t.w, r)
 }

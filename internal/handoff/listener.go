@@ -6,6 +6,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"lard/internal/httprelay"
 )
 
 // DefaultSessionIdleTimeout is how long a session-framed transport may
@@ -157,7 +159,7 @@ func (l *Listener) acceptLoop() {
 // v1 header yields the connection itself, a session-framed header starts
 // the transport loop that yields one virtual conn per session.
 func (l *Listener) handshake(raw net.Conn) {
-	br := bufio.NewReaderSize(raw, 16<<10)
+	br := httprelay.GetReader(raw)
 	if l.HandshakeTimeout > 0 {
 		raw.SetReadDeadline(time.Now().Add(l.HandshakeTimeout))
 	}
@@ -166,11 +168,13 @@ func (l *Listener) handshake(raw net.Conn) {
 		// transport the front end discarded before first use. A quiet
 		// close, not a handshake failure.
 		raw.Close()
+		httprelay.PutReader(br)
 		return
 	}
 	h, err := ReadHeader(br)
 	if err != nil {
 		raw.Close()
+		httprelay.PutReader(br)
 		l.rejected.Add(1)
 		return
 	}
@@ -181,8 +185,13 @@ func (l *Listener) handshake(raw net.Conn) {
 		return
 	}
 	l.sessions.Add(1)
-	if !l.deliver(newConn(raw, br, h)) {
+	c := newConn(raw, br, h)
+	if !l.deliver(c) {
+		// Never delivered: this goroutine is still the reader's only
+		// user, so it can be recycled (unlike a delivered v1 conn, whose
+		// reader lives as long as the server keeps the conn).
 		raw.Close()
+		httprelay.PutReader(br)
 	}
 }
 
@@ -209,17 +218,25 @@ func (l *Listener) serveTransport(raw net.Conn, br *bufio.Reader, h Header) {
 		l.sessions.Add(1)
 		sc := newSessionConn(raw, br, h)
 		if !l.deliver(sc) {
+			// Undelivered: the loop is still the reader's only user.
+			httprelay.PutReader(br)
 			return
 		}
 		select {
 		case <-sc.closed:
+			// The server closed the session; net/http quiesces its reads
+			// before Close returns, so from here the loop is again the
+			// reader's only user.
 		case <-l.done:
+			// Listener shutdown with the session possibly live: the server
+			// may still be reading through br, so it must NOT be recycled.
 			return
 		}
 		if !sc.drained() {
 			// The server abandoned the session mid-stream (error response,
 			// handler close): the transport's read position is inside the
 			// dead session's frames, so it cannot be reused.
+			httprelay.PutReader(br)
 			return
 		}
 		h2, err := l.readNextHeader(raw, br)
@@ -227,6 +244,7 @@ func (l *Listener) serveTransport(raw net.Conn, br *bufio.Reader, h Header) {
 			if err != errIdleClosed {
 				l.rejected.Add(1)
 			}
+			httprelay.PutReader(br)
 			return
 		}
 		h = h2

@@ -35,7 +35,7 @@ func relayChunked(dst io.Writer, br *bufio.Reader) (int64, error) {
 		if size == 0 {
 			break
 		}
-		n, err := io.CopyN(dst, br, size)
+		n, err := copyNBuffered(dst, br, size)
 		total += n
 		if err != nil {
 			return total, chunkErr(err, "copying chunk data")

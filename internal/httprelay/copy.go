@@ -1,0 +1,117 @@
+package httprelay
+
+import (
+	"bufio"
+	"io"
+	"sync"
+)
+
+// This file is the relay's copy machinery. Two costs matter on the hot
+// path:
+//
+//   - allocation: io.Copy/io.CopyN allocate a fresh 32 KiB buffer
+//     whenever neither end offers a kernel path, which on the relay
+//     means one buffer per response body (and per chunk run). The pools
+//     here make steady-state relaying allocation-free.
+//   - userspace copying: when both ends are TCP connections, Go's
+//     TCPConn.ReadFrom can splice bytes kernel-side — but only when the
+//     source it sees is the *raw* connection (or an io.LimitedReader
+//     around one), not a bufio.Reader. The ...Buffered helpers and the
+//     body-copy functions in response.go are arranged so that once the
+//     parse buffer is drained, the remaining body bytes are copied
+//     straight from the raw conn and the splice path can engage.
+
+// copyBufSize matches io.Copy's internal buffer size.
+const copyBufSize = 32 << 10
+
+// copyBufPool recycles the relay's copy buffers.
+var copyBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, copyBufSize)
+		return &b
+	},
+}
+
+// copyBuffered is io.Copy with a pooled buffer. Like io.Copy it defers
+// to src.WriteTo / dst.ReadFrom when available — the pooled buffer is
+// then unused and the kernel path (splice/sendfile) may engage.
+func copyBuffered(dst io.Writer, src io.Reader) (int64, error) {
+	bp := copyBufPool.Get().(*[]byte)
+	n, err := io.CopyBuffer(dst, src, *bp)
+	copyBufPool.Put(bp)
+	return n, err
+}
+
+// copyNBuffered is io.CopyN with a pooled buffer: exactly n bytes or an
+// error, io.EOF when src ends early (io.CopyN's contract). The
+// io.LimitedReader it hands to copyBuffered is the shape
+// TCPConn.ReadFrom recognizes for a bounded splice.
+func copyNBuffered(dst io.Writer, src io.Reader, n int64) (int64, error) {
+	written, err := copyBuffered(dst, io.LimitReader(src, n))
+	if written == n {
+		return written, nil
+	}
+	if written < n && err == nil {
+		// src stopped early with a clean EOF inside the declared length.
+		err = io.EOF
+	}
+	return written, err
+}
+
+// readerSize is the relay's standard bufio.Reader capacity, shared by
+// every connection-wrapping reader the relay stack pools.
+const readerSize = 16 << 10
+
+// readerPool recycles connection readers across connections and
+// sessions; see GetReader.
+var readerPool = sync.Pool{
+	New: func() any { return bufio.NewReaderSize(nil, readerSize) },
+}
+
+// GetReader returns a pooled 16 KiB bufio.Reader reset to r. The relay
+// stack (front-end client and back-end conns, handoff transports, the
+// P-HTTP load generator) churns through one such reader per connection;
+// pooling them keeps connection setup allocation-free in steady state.
+func GetReader(r io.Reader) *bufio.Reader {
+	br := readerPool.Get().(*bufio.Reader)
+	br.Reset(r)
+	return br
+}
+
+// PutReader recycles a reader obtained from GetReader. The caller must
+// be the reader's last user: recycle only once no other goroutine can
+// read through it. Readers of a different capacity (tests build small
+// ones) are dropped rather than pooled.
+func PutReader(br *bufio.Reader) {
+	if br == nil || br.Size() != readerSize {
+		return
+	}
+	br.Reset(nil)
+	readerPool.Put(br)
+}
+
+// drainBuffered writes up to limit bytes of br's buffered data to dst
+// (limit < 0 = all buffered bytes), consuming exactly what was written.
+// It is the first half of the splice arrangement: empty the parse
+// buffer, then let the caller copy the rest from the raw connection.
+func drainBuffered(dst io.Writer, br *bufio.Reader, limit int64) (int64, error) {
+	buffered := int64(br.Buffered())
+	if buffered == 0 {
+		return 0, nil
+	}
+	if limit >= 0 && buffered > limit {
+		buffered = limit
+	}
+	if buffered == 0 {
+		return 0, nil
+	}
+	peeked, err := br.Peek(int(buffered))
+	if err != nil {
+		return 0, err
+	}
+	n, err := dst.Write(peeked)
+	if _, derr := br.Discard(n); derr != nil && err == nil {
+		err = derr
+	}
+	return int64(n), err
+}

@@ -198,7 +198,7 @@ func RelayRequestBody(dst io.Writer, br *bufio.Reader, h RequestHead) (int64, er
 		return relayChunked(dst, br)
 	}
 	if h.ContentLength > 0 {
-		return io.CopyN(dst, br, h.ContentLength)
+		return copyNBuffered(dst, br, h.ContentLength)
 	}
 	return 0, nil
 }

@@ -180,6 +180,19 @@ func parseStatusLine(line string) (proto string, status int, ok bool) {
 // the bytes forwarded and whether the source connection remains usable
 // for another message.
 func CopyResponseBody(dst io.Writer, br *bufio.Reader, h ResponseHead, reqMethod string) (int64, bool, error) {
+	return CopyResponseBodyFrom(dst, br, nil, h, reqMethod)
+}
+
+// CopyResponseBodyFrom is CopyResponseBody told what lies beneath br: raw
+// is the connection the reader wraps (nil if unknown). For length- and
+// close-delimited bodies the copy drains br's buffered bytes and then
+// reads the remainder from raw directly, so a TCP-to-TCP relay hands
+// io.Copy a raw *net.TCPConn (or an io.LimitedReader around one) and the
+// kernel splice path in TCPConn.ReadFrom can engage instead of shuttling
+// body bytes through a userspace buffer. Chunked bodies must stay on br —
+// the relay parses their framing. br is left positioned exactly after the
+// body either way.
+func CopyResponseBodyFrom(dst io.Writer, br *bufio.Reader, raw io.Reader, h ResponseHead, reqMethod string) (int64, bool, error) {
 	if reqMethod == "HEAD" || h.BodilessStatus() {
 		return 0, h.KeepAlive, nil
 	}
@@ -188,13 +201,42 @@ func CopyResponseBody(dst io.Writer, br *bufio.Reader, h ResponseHead, reqMethod
 		return n, err == nil && h.KeepAlive, err
 	}
 	if h.ContentLength >= 0 {
-		n, err := io.CopyN(dst, br, h.ContentLength)
+		n, err := copyBodyN(dst, br, raw, h.ContentLength)
 		return n, err == nil && h.KeepAlive, err
 	}
 	// No framing: the body ends when the sender closes (HTTP/1.0 style);
 	// the connection is spent by construction.
-	n, err := io.Copy(dst, br)
+	n, err := copyBody(dst, br, raw)
 	return n, false, err
+}
+
+// copyBodyN copies exactly n body bytes: br's buffered prefix first, then
+// the remainder — from raw when the caller supplied it (splice-eligible),
+// else through br with a pooled buffer.
+func copyBodyN(dst io.Writer, br *bufio.Reader, raw io.Reader, n int64) (int64, error) {
+	if raw == nil {
+		return copyNBuffered(dst, br, n)
+	}
+	written, err := drainBuffered(dst, br, n)
+	if err != nil || written == n {
+		return written, err
+	}
+	m, err := copyNBuffered(dst, raw, n-written)
+	return written + m, err
+}
+
+// copyBody copies until the source closes: br's buffered prefix first,
+// then the remainder from raw when supplied.
+func copyBody(dst io.Writer, br *bufio.Reader, raw io.Reader) (int64, error) {
+	if raw == nil {
+		return copyBuffered(dst, br)
+	}
+	written, err := drainBuffered(dst, br, -1)
+	if err != nil {
+		return written, err
+	}
+	m, err := copyBuffered(dst, raw)
+	return written + m, err
 }
 
 // RelayResponse relays one complete response — interim 1xx heads
@@ -214,6 +256,14 @@ func CopyResponseBody(dst io.Writer, br *bufio.Reader, h ResponseHead, reqMethod
 // until the back end gives up, so callers that need real upgrades must
 // splice the raw connections themselves.
 func RelayResponse(client io.Writer, backendBR *bufio.Reader, reqMethod string, maxHeadBytes int, on100 func() error) (int64, bool, error) {
+	return RelayResponseFrom(client, backendBR, nil, reqMethod, maxHeadBytes, on100)
+}
+
+// RelayResponseFrom is RelayResponse told what lies beneath backendBR:
+// backendRaw is the back-end connection the reader wraps (nil if
+// unknown), which lets the body copy engage the kernel splice path — see
+// CopyResponseBodyFrom.
+func RelayResponseFrom(client io.Writer, backendBR *bufio.Reader, backendRaw io.Reader, reqMethod string, maxHeadBytes int, on100 func() error) (int64, bool, error) {
 	var written int64
 	for {
 		h, err := ReadResponseHead(backendBR, maxHeadBytes)
@@ -227,7 +277,7 @@ func RelayResponse(client io.Writer, backendBR *bufio.Reader, reqMethod string, 
 		}
 		if h.Informational() {
 			if h.Status == 101 {
-				nc, err := io.Copy(client, backendBR)
+				nc, err := copyBody(client, backendBR, backendRaw)
 				written += nc
 				return written, false, err
 			}
@@ -239,7 +289,7 @@ func RelayResponse(client io.Writer, backendBR *bufio.Reader, reqMethod string, 
 			}
 			continue
 		}
-		nb, reusable, err := CopyResponseBody(client, backendBR, h, reqMethod)
+		nb, reusable, err := CopyResponseBodyFrom(client, backendBR, backendRaw, h, reqMethod)
 		written += nb
 		return written, reusable, err
 	}

@@ -56,6 +56,22 @@ type Config struct {
 
 	// Timeout bounds each request (default 30s).
 	Timeout time.Duration
+
+	// Rate, when > 0, paces the offered load to this many requests per
+	// second across all clients (open-loop-style pacing on a shared
+	// schedule: request i is due at start + i/Rate, whichever client
+	// claims it). 0 keeps the paper's closed loop — every client requests
+	// as fast as the cluster answers. Note the generator still has only
+	// Clients requests in flight: when the cluster falls behind the
+	// schedule the backlog shows up as latency, which is exactly the
+	// signal the saturation harness ramps against.
+	Rate float64
+
+	// Duration, when > 0, ends the run after this much wall time (the
+	// request budget still applies if Requests is set; otherwise the run
+	// loops over the trace until the clock expires). Requests cut off by
+	// the deadline are not counted as errors.
+	Duration time.Duration
 }
 
 // Stats summarizes a run.
@@ -69,15 +85,16 @@ type Stats struct {
 	LatencyAvg time.Duration
 	LatencyP50 time.Duration
 	LatencyP95 time.Duration
+	LatencyP99 time.Duration
 	LatencyMax time.Duration
 }
 
 // String renders the stats in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d reqs (%d errors) in %v: %.1f req/s, p50=%v p95=%v max=%v",
+	return fmt.Sprintf("%d reqs (%d errors) in %v: %.1f req/s, p50=%v p95=%v p99=%v max=%v",
 		s.Requests, s.Errors, s.Elapsed.Round(time.Millisecond), s.Throughput,
 		s.LatencyP50.Round(time.Microsecond), s.LatencyP95.Round(time.Microsecond),
-		s.LatencyMax.Round(time.Microsecond))
+		s.LatencyP99.Round(time.Microsecond), s.LatencyMax.Round(time.Microsecond))
 }
 
 // Run drives the configured load until the request budget is exhausted or
@@ -104,8 +121,18 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	if _, err := connLenDraw(cfg.ConnDist, cfg.ReqsPerConn, nil); err != nil {
 		return Stats{}, err
 	}
+	if cfg.Duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
+		defer cancel()
+		if cfg.Requests <= 0 {
+			// Timed run: loop over the trace until the clock expires.
+			total = int(int64(1) << 52)
+		}
+	}
+	pace := newPacer(cfg.Rate)
 	if cfg.KeepAlive && cfg.ReqsPerConn > 0 {
-		return runPHTTP(ctx, cfg, clients, total, timeout)
+		return runPHTTP(ctx, cfg, clients, total, timeout, pace)
 	}
 
 	transport := &http.Transport{
@@ -138,10 +165,21 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 			if i >= int64(total) {
 				break
 			}
-			r := cfg.Trace.At(int(i) % cfg.Trace.Len())
+			pace.wait(ctx, i)
+			if ctx.Err() != nil {
+				break
+			}
+			r := cfg.Trace.At(int(i % int64(cfg.Trace.Len())))
 			t0 := time.Now()
+			if sched, ok := pace.due(i); ok && sched.Before(t0) {
+				t0 = sched
+			}
 			n, err := fetch(ctx, client, cfg.BaseURL+r.Target)
 			if err != nil {
+				if ctx.Err() != nil {
+					// Cut off by the run deadline, not failed.
+					break
+				}
 				nErr.Add(1)
 				continue
 			}
@@ -207,5 +245,52 @@ func summarizeLatencies(st *Stats, lats []time.Duration) {
 	st.LatencyAvg = sum / time.Duration(len(lats))
 	st.LatencyP50 = lats[len(lats)/2]
 	st.LatencyP95 = lats[len(lats)*95/100]
+	st.LatencyP99 = lats[len(lats)*99/100]
 	st.LatencyMax = lats[len(lats)-1]
+}
+
+// pacer spreads the run's requests over time: request i is due at
+// start + i*interval. A zero pacer (interval 0) never waits — the
+// closed loop.
+type pacer struct {
+	start    time.Time
+	interval time.Duration
+}
+
+func newPacer(rate float64) *pacer {
+	p := &pacer{start: time.Now()}
+	if rate > 0 {
+		p.interval = time.Duration(float64(time.Second) / rate)
+	}
+	return p
+}
+
+// due returns request i's scheduled send time, or false for the
+// closed loop (no schedule). Open-loop latency is measured from this
+// instant, not from the actual send: when the server falls behind the
+// schedule, the backlog a real client would experience as queueing
+// delay must show up in the percentiles, or saturation is invisible
+// (the coordinated-omission trap).
+func (p *pacer) due(i int64) (time.Time, bool) {
+	if p.interval <= 0 {
+		return time.Time{}, false
+	}
+	return p.start.Add(time.Duration(i) * p.interval), true
+}
+
+// wait blocks until request i is due (or the context ends).
+func (p *pacer) wait(ctx context.Context, i int64) {
+	if p.interval <= 0 {
+		return
+	}
+	d := time.Until(p.start.Add(time.Duration(i) * p.interval))
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }

@@ -175,3 +175,122 @@ func TestKeepAliveMode(t *testing.T) {
 		t.Fatalf("connections = %d, want 1", conns.Load())
 	}
 }
+
+func TestRatePacesOfferedLoad(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	// 20 requests at 200 req/s must take ~100ms; the closed loop against
+	// a local echo server would finish in a few milliseconds.
+	start := time.Now()
+	st, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Trace:    genTrace(),
+		Clients:  4,
+		Requests: 20,
+		Rate:     200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 20 || st.Errors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := time.Since(start); got < 80*time.Millisecond {
+		t.Fatalf("paced run finished in %v, want >= ~95ms (rate not applied)", got)
+	}
+}
+
+func TestDurationEndsTimedRun(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	st, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Trace:    genTrace(),
+		Clients:  2,
+		Rate:     100,
+		Duration: 150 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got > 2*time.Second {
+		t.Fatalf("timed run took %v", got)
+	}
+	// No request budget was set: the clock ended the run, having looped
+	// the 10-entry trace as needed, without counting the cutoff as errors.
+	if st.Requests == 0 {
+		t.Fatal("timed run issued no requests")
+	}
+	if st.Errors != 0 {
+		t.Fatalf("deadline cutoff counted as %d errors", st.Errors)
+	}
+	if st.LatencyP99 < st.LatencyP95 || st.LatencyMax < st.LatencyP99 {
+		t.Fatalf("latency ordering: %+v", st)
+	}
+}
+
+func TestBacklogSurfacesInLatency(t *testing.T) {
+	// The coordinated-omission regression: offer far more load than the
+	// server can absorb and the schedule backlog MUST appear in the
+	// latency percentiles — open-loop latency is measured from each
+	// request's scheduled send time, not from when a free client finally
+	// got around to it. Two clients against a 5ms server cap service at
+	// ~400 req/s; offering 4000 req/s for 40 requests puts the tail of
+	// the schedule ~90ms behind, dwarfing the 5ms service time.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(5 * time.Millisecond)
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	st, err := Run(context.Background(), Config{
+		BaseURL:  ts.URL,
+		Trace:    genTrace(),
+		Clients:  2,
+		Requests: 40,
+		Rate:     4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 40 || st.Errors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.LatencyP99 < 30*time.Millisecond {
+		t.Fatalf("p99 = %v under 10x overload; backlog hidden (coordinated omission)", st.LatencyP99)
+	}
+}
+
+func TestRatePacesPHTTPMode(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	st, err := Run(context.Background(), Config{
+		BaseURL:     ts.URL,
+		Trace:       genTrace(),
+		Clients:     2,
+		Requests:    20,
+		Rate:        200,
+		KeepAlive:   true,
+		ReqsPerConn: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Requests != 20 || st.Errors != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+	if got := time.Since(start); got < 80*time.Millisecond {
+		t.Fatalf("paced P-HTTP run finished in %v, want >= ~95ms", got)
+	}
+}

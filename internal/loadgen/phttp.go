@@ -43,7 +43,7 @@ func connLenDraw(dist string, mean int, rng *rand.Rand) (func() int, error) {
 }
 
 // runPHTTP drives the raw persistent-connection client mode.
-func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.Duration) (Stats, error) {
+func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.Duration, pace *pacer) (Stats, error) {
 	u, err := url.Parse(cfg.BaseURL)
 	if err != nil {
 		return Stats{}, fmt.Errorf("loadgen: bad BaseURL: %w", err)
@@ -86,7 +86,7 @@ func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.
 			if first+k > int64(total) {
 				k = int64(total) - first
 			}
-			n, nerr, connLats := runConn(ctx, cfg, host, prefix, first, int(k), timeout, &nBytes)
+			n, nerr, connLats := runConn(ctx, cfg, host, prefix, first, int(k), timeout, &nBytes, pace)
 			nOK.Add(n)
 			nErr.Add(nerr)
 			lats = append(lats, connLats...)
@@ -118,7 +118,7 @@ func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.
 // runConn issues requests [first, first+k) of the trace on one persistent
 // connection, reconnecting if the server closes early. It returns the
 // success and error counts plus per-request latencies.
-func runConn(ctx context.Context, cfg Config, host, prefix string, first int64, k int, timeout time.Duration, nBytes *atomic.Int64) (uint64, uint64, []time.Duration) {
+func runConn(ctx context.Context, cfg Config, host, prefix string, first int64, k int, timeout time.Duration, nBytes *atomic.Int64, pace *pacer) (uint64, uint64, []time.Duration) {
 	var ok, nerr uint64
 	lats := make([]time.Duration, 0, k)
 
@@ -130,27 +130,42 @@ func runConn(ctx context.Context, cfg Config, host, prefix string, first int64, 
 		if err != nil {
 			return err
 		}
-		br = bufio.NewReaderSize(conn, 16<<10)
+		br = httprelay.GetReader(conn)
 		return nil
+	}
+	// drop ends the current connection; its reader goes back to the pool
+	// (this goroutine is its only user).
+	drop := func() {
+		conn.Close()
+		conn = nil
+		httprelay.PutReader(br)
+		br = nil
 	}
 	defer func() {
 		if conn != nil {
-			conn.Close()
+			drop()
 		}
 	}()
 
 	for j := 0; j < k; j++ {
+		pace.wait(ctx, first+int64(j))
 		if ctx.Err() != nil {
 			break
 		}
 		if conn == nil {
 			if err := dial(); err != nil {
+				if ctx.Err() != nil {
+					break // cut off by the run deadline, not failed
+				}
 				nerr += uint64(k - j) // the rest of this connection is lost
 				return ok, nerr, lats
 			}
 		}
-		r := cfg.Trace.At(int((first + int64(j))) % cfg.Trace.Len())
+		r := cfg.Trace.At(int((first + int64(j)) % int64(cfg.Trace.Len())))
 		t0 := time.Now()
+		if sched, paced := pace.due(first + int64(j)); paced && sched.Before(t0) {
+			t0 = sched
+		}
 		conn.SetDeadline(time.Now().Add(timeout))
 		// The final request announces the close, as a polite client does.
 		connHdr := ""
@@ -158,31 +173,36 @@ func runConn(ctx context.Context, cfg Config, host, prefix string, first int64, 
 			connHdr = "Connection: close\r\n"
 		}
 		if _, err := fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: %s\r\n%s\r\n", prefix+r.Target, host, connHdr); err != nil {
+			if ctx.Err() != nil {
+				break
+			}
 			nerr++
-			conn.Close()
-			conn = nil
+			drop()
 			continue
 		}
 		h, err := httprelay.ReadResponseHead(br, 64<<10)
 		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
 			nerr++
-			conn.Close()
-			conn = nil
+			drop()
 			continue
 		}
 		n, reusable, err := httprelay.CopyResponseBody(io.Discard, br, h, "GET")
 		nBytes.Add(n)
 		if err != nil || h.Status != 200 {
+			if err != nil && ctx.Err() != nil {
+				break // copy cut off by the run deadline, not failed
+			}
 			nerr++
-			conn.Close()
-			conn = nil
+			drop()
 			continue
 		}
 		ok++
 		lats = append(lats, time.Since(t0))
 		if !reusable {
-			conn.Close()
-			conn = nil
+			drop()
 		}
 	}
 	return ok, nerr, lats
