@@ -13,9 +13,10 @@ test:
 	$(GO) test ./...
 
 # lint mirrors CI's static-analysis gate: formatting, vet, staticcheck
-# (when installed — it is not vendored), and the project's own lardlint
-# suite (lockheld, donecall, wallclock, relayclass; see DESIGN.md
-# "Invariants").
+# (when installed — it is not vendored), the project's own lardlint
+# suite (lockheld, donecall, wallclock, relayclass, poolpair, noalloc;
+# see DESIGN.md "Invariants"), and the rule that every //lard:allow
+# waiver outside fixtures carries a written reason.
 lint:
 	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:" >&2; echo "$$unformatted" >&2; exit 1; fi
@@ -23,6 +24,10 @@ lint:
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
 		else echo "staticcheck not installed; skipping"; fi
 	$(GO) run ./cmd/lardlint ./...
+	@bad=$$(grep -rnE --include='*.go' '^[[:space:]]*//lard:allow' . \
+		| grep -v '/testdata/' | grep -v '— ' || true); \
+	if [ -n "$$bad" ]; then \
+		echo "//lard:allow without a '— reason':" >&2; echo "$$bad" >&2; exit 1; fi
 
 # fuzz gives each fuzz target a short budget (CI runs the same smoke).
 # FUZZTIME=1m make fuzz for a longer local run; go test accepts one
@@ -39,15 +44,17 @@ race:
 
 # bench runs the hot-path benchmarks (dispatch -cpu 1,4 matrix, handoff,
 # relay, all with -benchmem) plus the saturation sweep and writes the
-# BENCH_PR7.json trajectory file. BENCHTIME=5s make bench for stabler
-# numbers; SKIP_CAPACITY=1 make bench to skip the minutes-long sweep.
+# BENCH_PR8.json trajectory file, gating handoff/relay B/op against the
+# committed BENCH_PR7.json baseline (scripts/benchgate.go, ±15%).
+# BENCHTIME=5s make bench for stabler numbers; SKIP_CAPACITY=1 make
+# bench to skip the minutes-long sweep.
 bench:
 	scripts/bench.sh $(BENCHTIME)
 
 # capacity runs only the saturation harness: ramp offered load per
 # configuration (locked vs sharded dispatcher x GOMAXPROCS x connection
 # policy), binary-search each SLO knee, merge the report into
-# BENCH_PR7.json under "capacity".
+# BENCH_PR8.json under "capacity".
 capacity:
 	$(GO) run ./cmd/capacity
 

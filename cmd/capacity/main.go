@@ -5,13 +5,13 @@
 //
 // Usage:
 //
-//	capacity                     # full sweep, writes BENCH_PR7.json
+//	capacity                     # full sweep, writes BENCH_PR8.json
 //	capacity -smoke              # seconds-long smoke (CI)
 //	capacity -o report.json
 //
 // When the output file already exists and holds a JSON object, the
 // report is merged in under the "capacity" key (scripts/bench.sh writes
-// the microbenchmark sections of BENCH_PR7.json first and then invokes
+// the microbenchmark sections of BENCH_PR8.json first and then invokes
 // this command to append the end-to-end numbers).
 package main
 
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_PR7.json", "output file (merged under \"capacity\" if it already holds a JSON object)")
+		out      = flag.String("o", "BENCH_PR8.json", "output file (merged under \"capacity\" if it already holds a JSON object)")
 		smoke    = flag.Bool("smoke", false, "seconds-long smoke sweep (one policy, current GOMAXPROCS, short probes)")
 		nodes    = flag.Int("nodes", 4, "back-end nodes per fleet")
 		clients  = flag.Int("clients", 32, "load-generator clients")

@@ -1,26 +1,38 @@
-// Command lardlint is the project's static-analysis suite: four
+// Command lardlint is the project's static-analysis suite: six
 // analyzers that machine-check the dispatcher's concurrency contract
 // (lockheld), the done-func slot accounting (donecall), the
-// virtual-clock discipline (wallclock), and the relay-path error
-// classification (relayclass).
+// virtual-clock discipline (wallclock), the relay-path error
+// classification (relayclass), the paired acquire/release obligations
+// on pooled readers, pooled transports, and dialed conns (poolpair),
+// and the zero-allocation guarantee on //lard:noalloc hot paths
+// (noalloc).
 //
 // Standalone mode (what CI and `make lint` run):
 //
-//	lardlint ./...
+//	lardlint [-json] ./...
 //
 // loads the matched packages of the enclosing module (dependencies come
 // from compiler export data, so nothing is re-type-checked), runs all
-// four analyzers, prints diagnostics as file:line:col: [analyzer]
-// message, and exits 3 if there were any.
+// six analyzers, prints diagnostics as file:line:col: [analyzer]
+// message — or, with -json, as a JSON array of
+// {file,line,col,analyzer,message} objects on stdout — and exits with:
 //
-// Vettool mode makes the same suite usable as
+//	0  no findings
+//	1  operational error (load, type-check, or analyzer failure)
+//	3  findings reported
+//
+// Vettool mode makes the suite usable as
 //
 //	go vet -vettool=$(which lardlint) ./...
 //
 // by speaking go vet's unitchecker protocol: -V=full prints the version
 // fingerprint vet uses as a cache key, and a single *.cfg argument
 // processes one compilation unit described by vet's JSON config —
-// including _test.go files, which standalone mode does not load.
+// including _test.go files, which standalone mode does not load. The
+// unit exits 1 on findings (vet's convention folds it into go vet's own
+// exit status). noalloc is standalone-only: it shells out to the
+// compiler over the package directory, which vet's file-list units do
+// not reliably carry, so the vettool suite runs the other five.
 //
 // Suppress a deliberate exception on (or one line above) the flagged
 // line with:
@@ -37,23 +49,34 @@ import (
 	"lard/internal/analysis"
 	"lard/internal/analysis/donecall"
 	"lard/internal/analysis/lockheld"
+	"lard/internal/analysis/noalloc"
+	"lard/internal/analysis/poolpair"
 	"lard/internal/analysis/relayclass"
 	"lard/internal/analysis/wallclock"
 )
 
+// analyzers is the full standalone suite. noalloc must stay last-listed
+// here and excluded from vetAnalyzers: it drives `go build` over
+// pass.Dir, which only standalone mode populates.
 var analyzers = []*analysis.Analyzer{
 	lockheld.Analyzer,
 	donecall.Analyzer,
 	wallclock.Analyzer,
 	relayclass.Analyzer,
+	poolpair.Analyzer,
+	noalloc.Analyzer,
 }
+
+// vetAnalyzers is the suite for go vet compilation units: everything
+// except noalloc (no package directory in a unit's file list).
+var vetAnalyzers = analyzers[:len(analyzers)-1]
 
 func main() {
 	args := os.Args[1:]
 
 	// go vet probes the tool before use: -flags asks for the supported
-	// flags (lardlint has none), -V=full for the identity line vet
-	// folds into its cache key.
+	// flags (lardlint has none vet needs to know about), -V=full for the
+	// identity line vet folds into its cache key.
 	if len(args) == 1 && args[0] == "-flags" {
 		fmt.Println("[]")
 		return
@@ -67,7 +90,13 @@ func main() {
 		os.Exit(runVetUnit(args[0]))
 	}
 
-	os.Exit(runStandalone(args))
+	jsonOut := false
+	if len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
+
+	os.Exit(runStandalone(args, jsonOut))
 }
 
 // suiteFingerprint folds the analyzer names into the version string so
@@ -80,15 +109,25 @@ func suiteFingerprint() string {
 	return strings.Join(names, "-")
 }
 
+// jsonDiagnostic is the -json wire shape for one finding.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // runStandalone loads and checks the packages matching the patterns
 // (default ./...) in the current directory's module.
-func runStandalone(patterns []string) int {
+func runStandalone(patterns []string, jsonOut bool) int {
 	pkgs, err := analysis.Load(".", patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lardlint: %v\n", err)
 		return 1
 	}
-	bad := false
+	found := 0
+	all := []jsonDiagnostic{}
 	for _, pkg := range pkgs {
 		diags, err := analysis.RunAnalyzers(pkg, analyzers)
 		if err != nil {
@@ -96,11 +135,31 @@ func runStandalone(patterns []string) int {
 			return 1
 		}
 		for _, d := range diags {
-			bad = true
-			fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+			found++
+			if jsonOut {
+				all = append(all, jsonDiagnostic{
+					File:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Col:      d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				})
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", d.Pos, d.Analyzer, d.Message)
+			}
 		}
 	}
-	if bad {
+	if jsonOut {
+		// Always emit the array — [] on a clean run — so consumers can
+		// parse unconditionally.
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(all); err != nil {
+			fmt.Fprintf(os.Stderr, "lardlint: %v\n", err)
+			return 1
+		}
+	}
+	if found > 0 {
 		return 3
 	}
 	return 0
@@ -158,7 +217,7 @@ func runVetUnit(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "lardlint: %v\n", err)
 		return 1
 	}
-	diags, err := analysis.RunAnalyzers(pkg, analyzers)
+	diags, err := analysis.RunAnalyzers(pkg, vetAnalyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lardlint: %s: %v\n", cfg.ImportPath, err)
 		return 1

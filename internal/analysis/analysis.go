@@ -55,6 +55,13 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// PkgPath and Dir identify the package on disk, for analyzers that
+	// shell out to the go tool over it (noalloc drives the compiler's
+	// escape analysis). Dir may be empty under go vet's unitchecker,
+	// whose units are file lists.
+	PkgPath string
+	Dir     string
+
 	// report receives every non-suppressed diagnostic.
 	report func(Diagnostic)
 
@@ -157,6 +164,8 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Files:     pkg.Syntax,
 			Pkg:       pkg.Types,
 			TypesInfo: pkg.TypesInfo,
+			PkgPath:   pkg.PkgPath,
+			Dir:       pkg.Dir,
 			allow:     allow,
 			report:    func(d Diagnostic) { diags = append(diags, d) },
 		}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"lard/internal/analysis/atest"
+	"lard/internal/analysis/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	atest.Run(t, atest.TestData(), noalloc.Analyzer, "noallocfix")
+}

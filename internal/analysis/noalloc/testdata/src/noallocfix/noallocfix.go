@@ -1,0 +1,51 @@
+// Package noallocfix is the noalloc fixture: annotated functions that
+// allocate (escaping make, address-taken local moved to heap), a clean
+// annotated function, an unannotated allocator that must not be
+// flagged, and a deliberate allocation waived with //lard:allow.
+package noallocfix
+
+var sink []byte
+
+var sunk *int
+
+// escapingMake allocates a slice that escapes through the return.
+//
+//lard:noalloc
+func escapingMake(n int) []byte {
+	return make([]byte, n) // want `heap allocation in //lard:noalloc function escapingMake: make\(\[\]byte, n\) escapes to heap`
+}
+
+// movedLocal takes the address of a local and leaks it.
+//
+//lard:noalloc
+func movedLocal() *int {
+	x := 7 // want `heap allocation in //lard:noalloc function movedLocal: x escapes to heap`
+	return &x
+}
+
+// clean stays on the stack: arithmetic and a write through a
+// caller-owned slice.
+//
+//lard:noalloc
+func clean(buf []byte, v byte) int {
+	n := 0
+	for i := range buf {
+		buf[i] = v
+		n++
+	}
+	return n
+}
+
+// unannotated allocates freely; without the directive nothing is
+// checked.
+func unannotated(n int) []byte {
+	return make([]byte, n)
+}
+
+// waived carries a written-down exception.
+//
+//lard:noalloc
+func waived(n int) {
+	//lard:allow noalloc — fixture: demonstrates the escape hatch
+	sink = make([]byte, n)
+}

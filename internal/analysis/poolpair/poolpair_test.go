@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"lard/internal/analysis/atest"
+	"lard/internal/analysis/poolpair"
+)
+
+func TestPoolpair(t *testing.T) {
+	atest.Run(t, atest.TestData(), poolpair.Analyzer, "poolfix")
+}

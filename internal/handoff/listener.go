@@ -353,6 +353,8 @@ func newConn(raw net.Conn, br *bufio.Reader, h Header) *Conn {
 }
 
 // Read implements net.Conn, serving the handed-off initial data first.
+//
+//lard:noalloc
 func (c *Conn) Read(p []byte) (int, error) {
 	if len(c.initial) > 0 {
 		n := copy(p, c.initial)

@@ -3,7 +3,7 @@ package handoff
 import (
 	"bufio"
 	"encoding/binary"
-	"fmt"
+	"errors"
 	"io"
 	"net"
 	"sync"
@@ -30,6 +30,13 @@ import (
 // bound on the request head a handoff message can carry.
 const MaxFrameLen = 1 << 20
 
+// Static frame-path errors: both sit on //lard:noalloc paths, where a
+// fmt.Errorf would be a per-call heap allocation.
+var (
+	errWriteAfterEnd = errors.New("handoff: write after end of session")
+	errFrameTooLong  = errors.New("handoff: frame length exceeds MaxFrameLen")
+)
+
 // SessionWriter wraps the front-end→back-end direction of a session-
 // framed handoff connection: each Write becomes one or more data frames,
 // and End emits the end-of-session record that returns the transport to
@@ -38,7 +45,13 @@ const MaxFrameLen = 1 << 20
 type SessionWriter struct {
 	c      net.Conn
 	prefix [4]byte
-	ended  bool
+	// iov is the backing array for the per-frame writev vector; vec is
+	// rebuilt from it each frame because net.Buffers.WriteTo consumes the
+	// slice it is called on. Keeping both in the writer makes Write
+	// allocation-free.
+	iov   [2][]byte
+	vec   net.Buffers
+	ended bool
 }
 
 // NewSessionWriter builds the framing writer for a connection on which a
@@ -47,9 +60,11 @@ func NewSessionWriter(c net.Conn) *SessionWriter { return &SessionWriter{c: c} }
 
 // Write frames p and sends it. It reports len(p) on success, as io.Writer
 // requires, even though the wire carries 4 extra bytes per frame.
+//
+//lard:noalloc
 func (w *SessionWriter) Write(p []byte) (int, error) {
 	if w.ended {
-		return 0, fmt.Errorf("handoff: write after end of session")
+		return 0, errWriteAfterEnd
 	}
 	var written int
 	for len(p) > 0 {
@@ -60,8 +75,9 @@ func (w *SessionWriter) Write(p []byte) (int, error) {
 		binary.BigEndian.PutUint32(w.prefix[:], uint32(len(chunk)))
 		// One writev keeps the frame a single segment on the wire without
 		// copying the payload next to its prefix.
-		bufs := net.Buffers{w.prefix[:], chunk}
-		if _, err := bufs.WriteTo(w.c); err != nil {
+		w.iov[0], w.iov[1] = w.prefix[:], chunk
+		w.vec = w.iov[:]
+		if _, err := w.vec.WriteTo(w.c); err != nil {
 			return written, err
 		}
 		written += len(chunk)
@@ -128,6 +144,8 @@ func newSessionConn(raw net.Conn, br *bufio.Reader, h Header) *sessionConn {
 
 // Read implements net.Conn: initial data first, then frame payloads,
 // io.EOF at the end-of-session record.
+//
+//lard:noalloc
 func (c *sessionConn) Read(p []byte) (int, error) {
 	if len(c.initial) > 0 {
 		n := copy(p, c.initial)
@@ -177,7 +195,7 @@ func (c *sessionConn) Read(p []byte) (int, error) {
 			return 0, io.EOF
 		}
 		if size > MaxFrameLen {
-			c.sticky = fmt.Errorf("handoff: frame length %d exceeds %d", size, MaxFrameLen)
+			c.sticky = errFrameTooLong
 			return 0, c.sticky
 		}
 		c.frameLeft = int(size)

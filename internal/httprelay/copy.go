@@ -35,6 +35,8 @@ var copyBufPool = sync.Pool{
 // copyBuffered is io.Copy with a pooled buffer. Like io.Copy it defers
 // to src.WriteTo / dst.ReadFrom when available — the pooled buffer is
 // then unused and the kernel path (splice/sendfile) may engage.
+//
+//lard:noalloc
 func copyBuffered(dst io.Writer, src io.Reader) (int64, error) {
 	bp := copyBufPool.Get().(*[]byte)
 	n, err := io.CopyBuffer(dst, src, *bp)
@@ -42,12 +44,25 @@ func copyBuffered(dst io.Writer, src io.Reader) (int64, error) {
 	return n, err
 }
 
+// limitedReaderPool recycles the io.LimitedReader wrappers copyNBuffered
+// builds per body copy; io.LimitReader would heap-allocate one each call.
+var limitedReaderPool = sync.Pool{
+	New: func() any { return new(io.LimitedReader) },
+}
+
 // copyNBuffered is io.CopyN with a pooled buffer: exactly n bytes or an
 // error, io.EOF when src ends early (io.CopyN's contract). The
-// io.LimitedReader it hands to copyBuffered is the shape
-// TCPConn.ReadFrom recognizes for a bounded splice.
+// *io.LimitedReader it hands to copyBuffered is the shape
+// TCPConn.ReadFrom recognizes for a bounded splice — and it comes from a
+// pool, so a content-length body copy allocates nothing here.
+//
+//lard:noalloc
 func copyNBuffered(dst io.Writer, src io.Reader, n int64) (int64, error) {
-	written, err := copyBuffered(dst, io.LimitReader(src, n))
+	lr := limitedReaderPool.Get().(*io.LimitedReader)
+	lr.R, lr.N = src, n
+	written, err := copyBuffered(dst, lr)
+	lr.R = nil
+	limitedReaderPool.Put(lr)
 	if written == n {
 		return written, nil
 	}
@@ -72,8 +87,11 @@ var readerPool = sync.Pool{
 // stack (front-end client and back-end conns, handoff transports, the
 // P-HTTP load generator) churns through one such reader per connection;
 // pooling them keeps connection setup allocation-free in steady state.
+//
+//lard:noalloc
 func GetReader(r io.Reader) *bufio.Reader {
 	br := readerPool.Get().(*bufio.Reader)
+	//lard:allow noalloc — inlined bufio.Reset cold arm (nil-buf make) never runs: pooled readers always carry their 16 KiB buffer
 	br.Reset(r)
 	return br
 }
@@ -82,10 +100,13 @@ func GetReader(r io.Reader) *bufio.Reader {
 // be the reader's last user: recycle only once no other goroutine can
 // read through it. Readers of a different capacity (tests build small
 // ones) are dropped rather than pooled.
+//
+//lard:noalloc
 func PutReader(br *bufio.Reader) {
 	if br == nil || br.Size() != readerSize {
 		return
 	}
+	//lard:allow noalloc — inlined bufio.Reset cold arm (nil-buf make) never runs: the size guard above admits only full-size readers
 	br.Reset(nil)
 	readerPool.Put(br)
 }
@@ -94,6 +115,8 @@ func PutReader(br *bufio.Reader) {
 // (limit < 0 = all buffered bytes), consuming exactly what was written.
 // It is the first half of the splice arrangement: empty the parse
 // buffer, then let the caller copy the rest from the raw connection.
+//
+//lard:noalloc
 func drainBuffered(dst io.Writer, br *bufio.Reader, limit int64) (int64, error) {
 	buffered := int64(br.Buffered())
 	if buffered == 0 {

@@ -97,6 +97,8 @@ func (s *Session) Moves() int {
 // Errors mirror the one-shot path: ErrOverloaded when the admission
 // budget is exhausted (the session keeps its affinity and the caller may
 // retry), ErrUnavailable on total outage, ErrSessionClosed after Close.
+//
+//lard:noalloc
 func (s *Session) Dispatch(now time.Duration, r Request) (node int, moved bool, done func(), err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -213,13 +215,19 @@ func (s *Session) Redispatch(now time.Duration, r Request, exclude []int) (node 
 	return n, s.requestDoneLocked(), nil
 }
 
+// nopDone is the shared no-op done func holding policies hand out; a
+// literal built inside requestDoneLocked would look like (and under
+// escape analysis, count as) a per-request allocation on the Dispatch
+// fast path.
+var nopDone = func() {}
+
 // requestDoneLocked builds the per-request done func. Callers hold s.mu
 // (the Locked suffix is what lets lardlint's lockheld pass verify that;
 // the old requestDone name was its first real finding).
 func (s *Session) requestDoneLocked() func() {
 	if s.hold {
 		// The connection claim spans requests; Close releases it.
-		return func() {}
+		return nopDone
 	}
 	return s.claim
 }

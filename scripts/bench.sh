@@ -6,10 +6,13 @@
 # plus BenchmarkHandoffDial (internal/frontend, pooled vs fresh-dial
 # handoff) and BenchmarkRelayResponse / BenchmarkRelayRequestBody
 # (internal/httprelay, the pooled-buffer relay path) with -benchmem, and
-# writes the parsed results to BENCH_PR7.json next to the repo root, so
-# successive PRs can diff the hot-path numbers. It then invokes the
-# saturation harness (cmd/capacity), which merges the end-to-end knee
-# report into the same file under the "capacity" key. Usage:
+# writes the parsed results to BENCH_PR8.json next to the repo root, so
+# successive PRs can diff the hot-path numbers. When the previous PR's
+# report (BENCH_PR7.json) is present, benchgate.go compares the handoff
+# and relay B/op columns against it and fails the run on a >15%
+# allocation regression. It then invokes the saturation harness
+# (cmd/capacity), which merges the end-to-end knee report into the same
+# file under the "capacity" key. Usage:
 #
 #	scripts/bench.sh [benchtime]     # default 1s
 #
@@ -21,7 +24,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
-out="BENCH_PR7.json"
+out="BENCH_PR8.json"
+baseline="BENCH_PR7.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -49,6 +53,10 @@ awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
 	}
 ' "$raw" > "$out"
 echo "wrote $out"
+
+if [ -f "$baseline" ]; then
+	go run scripts/benchgate.go "$baseline" "$out"
+fi
 
 if [ "${SKIP_CAPACITY:-}" != "1" ]; then
 	# CAPACITY_FLAGS is intentionally word-split (e.g. "-smoke -nodes 2").

@@ -1,0 +1,108 @@
+//go:build ignore
+
+// Benchgate is the allocation-regression gate: it compares B/op for the
+// handoff and relay hot-path benchmarks between two bench.sh JSON
+// reports and fails when the new numbers regress past tolerance.
+//
+//	go run scripts/benchgate.go BENCH_PR7.json BENCH_PR8.json
+//
+// A benchmark regresses when its bytes/op exceed the baseline by more
+// than 15% and by more than 16 bytes absolute — the absolute floor
+// keeps near-zero baselines (0 or a few words) from turning measurement
+// noise into failures. Dispatcher benchmarks (ns/op-dominated, already
+// tracked by eye across PRs) are out of scope; the gate watches exactly
+// the paths the //lard:noalloc annotations guard. Exit status: 0 within
+// tolerance, 1 regression or missing benchmark, 2 operational error.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type report struct {
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+type benchmark struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+// gated reports whether the benchmark belongs to the allocation-gated
+// set: the handoff dial path and the relay copy paths.
+func gated(name string) bool {
+	return strings.HasPrefix(name, "BenchmarkHandoff") || strings.HasPrefix(name, "BenchmarkRelay")
+}
+
+func load(path string) (map[string]benchmark, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	m := make(map[string]benchmark)
+	for _, b := range r.Benchmarks {
+		if gated(b.Name) {
+			m[b.Name] = b
+		}
+	}
+	return m, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: go run scripts/benchgate.go BASELINE.json NEW.json")
+		os.Exit(2)
+	}
+	base, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgate: %v\n", err)
+		os.Exit(2)
+	}
+	if len(base) == 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: no gated benchmarks in %s\n", os.Args[1])
+		os.Exit(2)
+	}
+
+	bad := false
+	for name, old := range base {
+		now, ok := cur[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline, missing from %s\n", name, os.Args[2])
+			bad = true
+			continue
+		}
+		limit := old.BytesPerOp * 1.15
+		if limit < old.BytesPerOp+16 {
+			limit = old.BytesPerOp + 16
+		}
+		switch {
+		case now.BytesPerOp > limit:
+			fmt.Printf("FAIL %s: %.0f B/op, baseline %.0f B/op (limit %.0f)\n",
+				name, now.BytesPerOp, old.BytesPerOp, limit)
+			bad = true
+		case now.BytesPerOp < old.BytesPerOp:
+			fmt.Printf("ok   %s: %.0f B/op, down from %.0f B/op\n",
+				name, now.BytesPerOp, old.BytesPerOp)
+		default:
+			fmt.Printf("ok   %s: %.0f B/op (baseline %.0f)\n",
+				name, now.BytesPerOp, old.BytesPerOp)
+		}
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
