@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fuzz capacity capacity-smoke
+.PHONY: all build test race bench lint fuzz capacity capacity-smoke herd
 
 all: build test
 
@@ -44,8 +44,8 @@ race:
 
 # bench runs the hot-path benchmarks (dispatch -cpu 1,4 matrix, handoff,
 # relay, all with -benchmem) plus the saturation sweep and writes the
-# BENCH_PR8.json trajectory file, gating handoff/relay B/op against the
-# committed BENCH_PR7.json baseline (scripts/benchgate.go, ±15%).
+# BENCH_PR9.json trajectory file, gating handoff/relay B/op against the
+# committed BENCH_PR8.json baseline (scripts/benchgate.go, ±15%).
 # BENCHTIME=5s make bench for stabler numbers; SKIP_CAPACITY=1 make
 # bench to skip the minutes-long sweep.
 bench:
@@ -54,11 +54,20 @@ bench:
 # capacity runs only the saturation harness: ramp offered load per
 # configuration (locked vs sharded dispatcher x GOMAXPROCS x connection
 # policy), binary-search each SLO knee, merge the report into
-# BENCH_PR8.json under "capacity".
+# BENCH_PR9.json under "capacity".
 capacity:
 	$(GO) run ./cmd/capacity
 
 # capacity-smoke is the seconds-long CI variant: one policy, current
-# GOMAXPROCS, short probes; exercises the whole harness end to end.
+# GOMAXPROCS, short probes; exercises the whole harness end to end,
+# herd experiment included.
 capacity-smoke:
-	$(GO) run ./cmd/capacity -smoke -nodes 2 -clients 8 -o /tmp/capacity-smoke.json
+	$(GO) run ./cmd/capacity -smoke -herd -nodes 2 -clients 8 -o /tmp/capacity-smoke.json
+
+# herd runs the full thundering-herd overload experiment: measure the
+# saturation knee, then offer 10x it with one abusive client identity;
+# exits nonzero unless the well-behaved cohort keeps >=90% goodput and
+# every abuser shed carries Retry-After. The result merges into
+# BENCH_PR9.json under "herd".
+herd:
+	$(GO) run ./cmd/capacity -herd

@@ -5,9 +5,18 @@
 //
 // Usage:
 //
-//	capacity                     # full sweep, writes BENCH_PR8.json
+//	capacity                     # full sweep, writes BENCH_PR9.json
 //	capacity -smoke              # seconds-long smoke (CI)
+//	capacity -herd               # sweep, then the thundering-herd run
+//	                             # at 10x the measured knee
 //	capacity -o report.json
+//
+// -herd follows the sweep with the overload-protection experiment: the
+// fleet is offered -herdmult times the sweep's best knee, with one
+// abusive client identity supplying nearly all of it, and the report
+// gains a "herd" section recording each cohort's goodput and sheds. The
+// run exits nonzero if the well-behaved cohort's goodput falls under the
+// 90% bar or the abuser's sheds lack Retry-After.
 //
 // When the output file already exists and holds a JSON object, the
 // report is merged in under the "capacity" key (scripts/bench.sh writes
@@ -29,8 +38,10 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_PR8.json", "output file (merged under \"capacity\" if it already holds a JSON object)")
+		out      = flag.String("o", "BENCH_PR9.json", "output file (merged under \"capacity\" if it already holds a JSON object)")
 		smoke    = flag.Bool("smoke", false, "seconds-long smoke sweep (one policy, current GOMAXPROCS, short probes)")
+		herd     = flag.Bool("herd", false, "after the sweep, run the thundering-herd overload experiment at the measured knee")
+		herdMult = flag.Float64("herdmult", 10, "herd offered load as a multiple of the measured knee")
 		nodes    = flag.Int("nodes", 4, "back-end nodes per fleet")
 		clients  = flag.Int("clients", 32, "load-generator clients")
 		probeDur = flag.Duration("probe", 2*time.Second, "measurement window per offered rate")
@@ -70,12 +81,43 @@ func main() {
 		fmt.Fprintln(os.Stderr, "capacity:", err)
 		os.Exit(1)
 	}
-	if err := writeReport(*out, rep); err != nil {
+	if err := writeSection(*out, "capacity", rep); err != nil {
 		fmt.Fprintln(os.Stderr, "capacity:", err)
 		os.Exit(1)
 	}
 	best, name := rep.MaxSustainable()
 	fmt.Printf("max sustainable: %.0f req/s (%s); wrote %s\n", best, name, *out)
+
+	if !*herd {
+		return
+	}
+	hc := capacity.HerdConfig{
+		Fleet:      cfg.Fleet,
+		KneeRPS:    best,
+		Multiplier: *herdMult,
+	}
+	if *smoke {
+		hc.Duration = 1500 * time.Millisecond
+		hc.WellClients = 4
+	}
+	if *verbose {
+		hc.Log = os.Stderr
+	}
+	hres, err := capacity.RunHerd(ctx, hc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "capacity: herd:", err)
+		os.Exit(1)
+	}
+	if err := writeSection(*out, "herd", hres); err != nil {
+		fmt.Fprintln(os.Stderr, "capacity:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("herd at %.0f req/s: well goodput %.1f%%, abuser shed %.1f%% (protected=%v); wrote %s\n",
+		hres.HerdRPS, 100*hres.Well.GoodputFraction, 100*hres.Abuser.ShedFraction, hres.Protected, *out)
+	if !hres.Protected {
+		fmt.Fprintln(os.Stderr, "capacity: herd verdict NOT protected")
+		os.Exit(1)
+	}
 }
 
 func flagWasSet(name string) bool {
@@ -88,20 +130,21 @@ func flagWasSet(name string) bool {
 	return set
 }
 
-// writeReport stores the report at path. An existing JSON object at path
-// is preserved: the report becomes (or replaces) its "capacity" member.
-func writeReport(path string, rep capacity.Report) error {
+// writeSection stores v under the named key of the JSON object at path,
+// preserving any other members already there (scripts/bench.sh writes
+// the microbenchmark sections first; the sweep and herd append theirs).
+func writeSection(path, key string, v any) error {
 	doc := map[string]json.RawMessage{}
 	if prev, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(prev, &doc); err != nil {
 			return fmt.Errorf("existing %s is not a JSON object: %w", path, err)
 		}
 	}
-	enc, err := json.MarshalIndent(rep, "  ", "  ")
+	enc, err := json.MarshalIndent(v, "  ", "  ")
 	if err != nil {
 		return err
 	}
-	doc["capacity"] = enc
+	doc[key] = enc
 	out, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err

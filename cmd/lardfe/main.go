@@ -19,13 +19,29 @@
 // the per-handoff cost is protocol processing, not TCP establishment.
 // -poolsize 0 disables pooling and reverts to one dial per handoff.
 //
+// Overload protection (see DESIGN.md "Overload protection"):
+//
+//   - -quota RATE (requests/second per client IP, 0 = off), -quotaburst,
+//     and -quotaclients bound each client's request rate with a token
+//     bucket; over-quota clients get closing 429s with Retry-After.
+//   - -breaker layers per-back-end circuit breakers under the mark-down
+//     prober: a node that keeps failing dials is gated out with
+//     exponential backoff between probe rounds and a graduated admission
+//     ramp on recovery. -breakerfails and -breakeropen tune the trip
+//     threshold and base open interval.
+//
 // The optional admin server exposes cluster membership and counters:
 //
 //	GET  /admin/nodes            per-node state (addr, health, drain, load)
 //	GET  /admin/stats            JSON snapshot: dispatches, rejects,
 //	                             rehandoffs (+ failed moves, re-dispatches),
 //	                             pool hits/misses/evictions/idle, stale
-//	                             retries, per-policy session counts, ...
+//	                             retries, per-policy session counts, sheds,
+//	                             breaker trips/states, ...
+//	GET  /admin/metrics          Prometheus text exposition: request and
+//	                             goodput counters, sheds by reason, breaker
+//	                             transitions, latency histograms per
+//	                             conn-policy and per node
 //	POST /admin/drain?node=N     stop new assignments to node N
 //	POST /admin/undrain?node=N   restore a draining node
 //	POST /admin/remove?node=N    permanently remove node N
@@ -44,6 +60,7 @@ import (
 	"strings"
 	"time"
 
+	"lard/internal/breaker"
 	"lard/internal/core"
 	"lard/internal/frontend"
 	"lard/pkg/lard"
@@ -67,6 +84,13 @@ type options struct {
 	poolSize   int
 	poolIdle   time.Duration
 	admin      string
+
+	quotaRate    float64
+	quotaBurst   float64
+	quotaClients int
+	breakerOn    bool
+	breakerFails int
+	breakerOpen  time.Duration
 }
 
 func main() {
@@ -91,6 +115,12 @@ func main() {
 	flag.IntVar(&o.poolSize, "poolsize", frontend.DefaultPoolSize, "idle back-end connections pooled per node for handoff reuse (0 = no pooling)")
 	flag.DurationVar(&o.poolIdle, "poolidle", frontend.DefaultPoolIdle, "idle TTL for pooled back-end connections")
 	flag.StringVar(&o.admin, "admin", "", "admin listen address for /admin/nodes and /admin/drain (empty = off)")
+	flag.Float64Var(&o.quotaRate, "quota", 0, "per-client request quota in requests/second (0 = no quota)")
+	flag.Float64Var(&o.quotaBurst, "quotaburst", 0, "per-client quota burst (0 = max(rate, 1))")
+	flag.IntVar(&o.quotaClients, "quotaclients", 0, "LRU bound on tracked quota clients (0 = default)")
+	flag.BoolVar(&o.breakerOn, "breaker", false, "enable per-back-end circuit breakers")
+	flag.IntVar(&o.breakerFails, "breakerfails", 0, "breaker consecutive-failure trip threshold (0 = default)")
+	flag.DurationVar(&o.breakerOpen, "breakeropen", 0, "breaker base open interval before the first probe round (0 = default)")
 	flag.Parse()
 
 	o.params = core.Params{TLow: *tlow, THigh: *thigh, K: *k, MappingCapacity: *mapCap}
@@ -113,6 +143,13 @@ func run(o options) error {
 	if poolSize == 0 {
 		poolSize = -1 // flag 0 = off; Config 0 = default
 	}
+	var bcfg *breaker.Config
+	if o.breakerOn {
+		bcfg = &breaker.Config{
+			FailureThreshold: o.breakerFails,
+			OpenBase:         o.breakerOpen,
+		}
+	}
 	fe, err := frontend.New(frontend.Config{
 		Backends:               addrs,
 		Dispatcher:             d,
@@ -124,6 +161,10 @@ func run(o options) error {
 		DialFailuresBeforeDown: o.dialFails,
 		PoolSize:               poolSize,
 		PoolIdle:               o.poolIdle,
+		QuotaRate:              o.quotaRate,
+		QuotaBurst:             o.quotaBurst,
+		QuotaMaxClients:        o.quotaClients,
+		Breaker:                bcfg,
 		ErrorLog:               log.New(os.Stderr, "", log.LstdFlags),
 	})
 	if err != nil {
@@ -168,6 +209,10 @@ func adminMux(fe *frontend.Server) http.Handler {
 	mux.HandleFunc("/admin/stats", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(fe.Stats())
+	})
+	mux.HandleFunc("/admin/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		fe.Metrics().WritePrometheus(w)
 	})
 	nodeOp := func(name string, op func(int)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {

@@ -2,8 +2,10 @@ package main
 
 import (
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"lard/internal/core"
@@ -117,6 +119,25 @@ func TestAdminMux(t *testing.T) {
 	}
 	if _, ok := st.SessionsByPolicy["pin"]; !ok {
 		t.Fatalf("stats missing per-policy session counts: %+v", st.SessionsByPolicy)
+	}
+
+	resp, err = http.Get(srv.URL + "/admin/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("metrics Content-Type = %q", ct)
+	}
+	for _, want := range []string{
+		"# TYPE lard_fe_requests_total counter",
+		`lard_fe_sheds_total{reason="quota"} 0`,
+		`lard_fe_request_seconds_bucket{policy="pin",le="+Inf"} 0`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, body)
+		}
 	}
 }
 

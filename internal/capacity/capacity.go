@@ -43,6 +43,11 @@ type Measurement struct {
 	ErrRate     float64       `json:"err_rate"`
 	Requests    uint64        `json:"requests"`
 	Errors      uint64        `json:"errors"`
+
+	// Sheds counts quota-shed requests (429s): offered but deliberately
+	// rejected by the overload-protection layer. Sheds are excluded from
+	// ErrRate — shedding is the SLO being defended, not broken.
+	Sheds uint64 `json:"sheds,omitempty"`
 }
 
 // Meets reports whether the measurement satisfies the SLO.

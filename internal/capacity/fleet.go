@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lard/internal/backend"
+	"lard/internal/breaker"
 	"lard/internal/frontend"
 	"lard/internal/handoff"
 	"lard/internal/loadgen"
@@ -56,6 +57,17 @@ type FleetConfig struct {
 	// ReqsPerConn, when > 0, uses loadgen's P-HTTP mode with this mean
 	// requests-per-connection; 0 uses net/http keep-alive clients.
 	ReqsPerConn int
+
+	// QuotaRate/QuotaBurst/QuotaMaxClients configure the front end's
+	// per-client-IP quota (0 rate = off), for overload experiments like
+	// RunHerd.
+	QuotaRate       float64
+	QuotaBurst      float64
+	QuotaMaxClients int
+
+	// Breaker, when non-nil, enables the front end's per-back-end
+	// circuit breakers with this configuration.
+	Breaker *breaker.Config
 }
 
 func (c *FleetConfig) fill() error {
@@ -124,10 +136,14 @@ func NewFleet(cfg FleetConfig) (*Fleet, error) {
 		addrs = append(addrs, ln.Addr().String())
 	}
 	fe, err := frontend.New(frontend.Config{
-		Backends:   addrs,
-		Strategy:   cfg.Strategy,
-		Shards:     cfg.Shards,
-		ConnPolicy: cfg.ConnPolicy,
+		Backends:        addrs,
+		Strategy:        cfg.Strategy,
+		Shards:          cfg.Shards,
+		ConnPolicy:      cfg.ConnPolicy,
+		QuotaRate:       cfg.QuotaRate,
+		QuotaBurst:      cfg.QuotaBurst,
+		QuotaMaxClients: cfg.QuotaMaxClients,
+		Breaker:         cfg.Breaker,
 	})
 	if err != nil {
 		f.Close()
@@ -192,8 +208,12 @@ func (f *Fleet) Prober(ctx context.Context) Prober {
 			P99:         st.LatencyP99,
 			Requests:    st.Requests,
 			Errors:      st.Errors,
+			Sheds:       st.Sheds,
 		}
-		if total := st.Requests + st.Errors; total > 0 {
+		// Sheds are deliberate load rejection, not failure: they join the
+		// denominator (the request was offered) but not the error count,
+		// so a quota doing its job does not break the SLO by itself.
+		if total := st.Requests + st.Errors + st.Sheds; total > 0 {
 			m.ErrRate = float64(st.Errors) / float64(total)
 		} else {
 			// A window that produced nothing at a nonzero offered rate is

@@ -1,0 +1,260 @@
+package capacity
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"lard/internal/loadgen"
+)
+
+// This file is the thundering-herd experiment: the end-to-end proof that
+// the overload-protection subsystem protects well-behaved clients from
+// an abusive one. The cluster is offered a multiple of its measured
+// saturation knee (BENCH_PR8's headline number), but almost all of the
+// excess comes from a single client identity; the front end's
+// per-client-IP quota must shed the abuser (429 + Retry-After) while the
+// well-behaved cohort — each client comfortably inside its quota — keeps
+// at least WellGoodputBar of its requests succeeding.
+//
+// Client identities are loopback source IPs: the well-behaved cohort
+// binds 127.0.1.1..127.0.1.N and the abuser 127.0.2.1, all unprivileged
+// binds on Linux, so the front end's quota (keyed by remote IP) sees
+// real distinct clients on one machine.
+
+// WellGoodputBar is the acceptance bar: the fraction of the well-behaved
+// cohort's offered requests that must succeed under the herd.
+const WellGoodputBar = 0.90
+
+// HerdConfig drives RunHerd.
+type HerdConfig struct {
+	// Fleet is the cluster template. QuotaRate 0 lets RunHerd derive a
+	// quota from the cohort geometry (2× each well-behaved client's
+	// offered rate).
+	Fleet FleetConfig
+
+	// KneeRPS is the cluster's measured saturation knee (required): the
+	// herd offers Multiplier times this.
+	KneeRPS float64
+
+	// Multiplier scales the knee into the herd's total offered rate
+	// (default 10).
+	Multiplier float64
+
+	// WellClients is the number of well-behaved client identities
+	// (default 8). Together they offer WellFraction of the knee; the
+	// abuser offers everything else.
+	WellClients int
+
+	// WellFraction is the share of the knee offered by the well-behaved
+	// cohort (default 0.5 — a comfortably sustainable load).
+	WellFraction float64
+
+	// Duration is the herd window (default 4s).
+	Duration time.Duration
+
+	// Log, when non-nil, receives progress lines.
+	Log io.Writer
+}
+
+func (c *HerdConfig) fill() error {
+	if c.KneeRPS <= 0 {
+		return fmt.Errorf("capacity: HerdConfig.KneeRPS required (the measured knee)")
+	}
+	if c.Multiplier <= 0 {
+		c.Multiplier = 10
+	}
+	if c.WellClients <= 0 {
+		c.WellClients = 8
+	}
+	if c.WellFraction <= 0 || c.WellFraction >= 1 {
+		c.WellFraction = 0.5
+	}
+	if c.Duration <= 0 {
+		c.Duration = 4 * time.Second
+	}
+	return nil
+}
+
+// Cohort summarizes one client population's view of the herd window.
+type Cohort struct {
+	OfferedRPS      float64 `json:"offered_rps"`
+	Requests        uint64  `json:"requests"` // succeeded (goodput)
+	Errors          uint64  `json:"errors"`
+	Sheds           uint64  `json:"sheds"`
+	RetryAfterSheds uint64  `json:"retry_after_sheds"`
+	ThroughputRPS   float64 `json:"throughput_rps"`
+	GoodputFraction float64 `json:"goodput_fraction"` // Requests / (Requests+Errors+Sheds)
+	ShedFraction    float64 `json:"shed_fraction"`
+	P99             int64   `json:"p99_ns"`
+}
+
+func cohort(rate float64, st loadgen.Stats) Cohort {
+	c := Cohort{
+		OfferedRPS:      rate,
+		Requests:        st.Requests,
+		Errors:          st.Errors,
+		Sheds:           st.Sheds,
+		RetryAfterSheds: st.RetryAfterSheds,
+		ThroughputRPS:   st.Throughput,
+		P99:             int64(st.LatencyP99),
+	}
+	if total := st.Requests + st.Errors + st.Sheds; total > 0 {
+		c.GoodputFraction = float64(st.Requests) / float64(total)
+		c.ShedFraction = float64(st.Sheds) / float64(total)
+	}
+	return c
+}
+
+// HerdResult is the experiment's machine-readable outcome, stored by
+// scripts/bench.sh as the "herd" section of BENCH_PR9.json.
+type HerdResult struct {
+	KneeRPS   float64 `json:"knee_rps"`
+	HerdRPS   float64 `json:"herd_rps"` // total offered: knee × multiplier
+	QuotaRate float64 `json:"quota_rate"`
+
+	Well   Cohort `json:"well"`
+	Abuser Cohort `json:"abuser"`
+
+	// FEQuotaSheds/FEServed are the front end's own counters for the
+	// window, cross-checking the client-side view.
+	FEQuotaSheds uint64 `json:"fe_quota_sheds"`
+	FEServed     uint64 `json:"fe_served"`
+
+	// MetricsProof holds the /admin/metrics shed and goodput series
+	// after the window — the metrics surface proving the protection.
+	MetricsProof []string `json:"metrics_proof"`
+
+	// Protected is the verdict: the well-behaved cohort kept at least
+	// WellGoodputBar goodput, the abuser was shed, and every shed
+	// carried Retry-After.
+	Protected bool `json:"protected"`
+}
+
+// RunHerd offers Multiplier× the measured knee to a quota-protected
+// fleet, with all the excess on one abusive client identity, and reports
+// whether the well-behaved cohort was protected.
+func RunHerd(ctx context.Context, cfg HerdConfig) (HerdResult, error) {
+	if err := cfg.fill(); err != nil {
+		return HerdResult{}, err
+	}
+	logf := func(format string, args ...any) {
+		if cfg.Log != nil {
+			fmt.Fprintf(cfg.Log, format+"\n", args...)
+		}
+	}
+
+	wellRate := cfg.WellFraction * cfg.KneeRPS
+	herdRate := cfg.Multiplier * cfg.KneeRPS
+	abuserRate := herdRate - wellRate
+	perClient := wellRate / float64(cfg.WellClients)
+
+	fc := cfg.Fleet
+	if fc.Trace == nil {
+		fc.Trace = defaultSweepTrace()
+	}
+	if fc.QuotaRate <= 0 {
+		// Each well-behaved client offers perClient req/s; give 2×
+		// headroom so pacing jitter never sheds a good citizen, while the
+		// abuser (offering ~abuserRate) is capped to a sliver of it.
+		fc.QuotaRate = 2 * perClient
+	}
+	fleet, err := NewFleet(fc)
+	if err != nil {
+		return HerdResult{}, err
+	}
+	defer fleet.Close()
+
+	res := HerdResult{
+		KneeRPS:   cfg.KneeRPS,
+		HerdRPS:   herdRate,
+		QuotaRate: fc.QuotaRate,
+	}
+
+	wellIDs := make([]string, cfg.WellClients)
+	for i := range wellIDs {
+		wellIDs[i] = fmt.Sprintf("127.0.1.%d", i+1)
+	}
+	logf("herd: knee %.0f req/s, offering %.0f (well %.0f over %d clients, abuser %.0f on one), quota %.1f req/s/client",
+		cfg.KneeRPS, herdRate, wellRate, cfg.WellClients, abuserRate, fc.QuotaRate)
+
+	run := func(rate float64, clients, reqsPerConn int, sources []string) (loadgen.Stats, error) {
+		return loadgen.Run(ctx, loadgen.Config{
+			BaseURL:     "http://" + fleet.Addr(),
+			Trace:       fc.Trace,
+			Clients:     clients,
+			Rate:        rate,
+			Duration:    cfg.Duration,
+			Requests:    int(rate*cfg.Duration.Seconds()) + clients,
+			KeepAlive:   true,
+			ReqsPerConn: reqsPerConn,
+			Timeout:     cfg.Duration + 5*time.Second,
+			SourceAddrs: sources,
+		})
+	}
+
+	var (
+		wellStats, abuserStats loadgen.Stats
+		wellErr, abuserErr     error
+		wg                     sync.WaitGroup
+	)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		wellStats, wellErr = run(wellRate, cfg.WellClients, 0, wellIDs)
+	}()
+	go func() {
+		defer wg.Done()
+		// The abuser hammers over many connections (a real abusive client
+		// is not polite enough to serialize), all from one identity. The
+		// raw P-HTTP client mode reads accept-time sheds as ordinary
+		// responses, where net/http would treat a 429 racing its first
+		// request as a dead connection.
+		abuserStats, abuserErr = run(abuserRate, 16, 8, []string{"127.0.2.1"})
+	}()
+	wg.Wait()
+	if wellErr != nil {
+		return res, fmt.Errorf("capacity: herd well cohort: %w", wellErr)
+	}
+	if abuserErr != nil {
+		return res, fmt.Errorf("capacity: herd abuser: %w", abuserErr)
+	}
+
+	res.Well = cohort(wellRate, wellStats)
+	res.Abuser = cohort(abuserRate, abuserStats)
+	fest := fleet.Frontend().Stats()
+	res.FEQuotaSheds = fest.QuotaSheds
+	res.FEServed = fest.Served
+	res.MetricsProof = metricsProof(fleet)
+	res.Protected = res.Well.GoodputFraction >= WellGoodputBar &&
+		res.Abuser.Sheds > 0 &&
+		res.Abuser.RetryAfterSheds == res.Abuser.Sheds
+	logf("herd: well goodput %.1f%% (bar %.0f%%), abuser shed %.1f%% (%d sheds, %d with Retry-After), protected=%v",
+		100*res.Well.GoodputFraction, 100*WellGoodputBar,
+		100*res.Abuser.ShedFraction, res.Abuser.Sheds, res.Abuser.RetryAfterSheds, res.Protected)
+	return res, nil
+}
+
+// metricsProof extracts the shed/goodput series from the front end's
+// Prometheus exposition.
+func metricsProof(fleet *Fleet) []string {
+	var buf strings.Builder
+	if err := fleet.Frontend().Metrics().WritePrometheus(&buf); err != nil {
+		return nil
+	}
+	var proof []string
+	sc := bufio.NewScanner(strings.NewReader(buf.String()))
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "lard_fe_sheds_total") ||
+			strings.HasPrefix(line, "lard_fe_responses_total") ||
+			strings.HasPrefix(line, "lard_fe_requests_total") {
+			proof = append(proof, line)
+		}
+	}
+	return proof
+}

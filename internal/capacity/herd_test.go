@@ -1,0 +1,79 @@
+package capacity
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestHerdConfigFill(t *testing.T) {
+	c := HerdConfig{}
+	if err := c.fill(); err == nil {
+		t.Fatal("missing KneeRPS accepted")
+	}
+	c = HerdConfig{KneeRPS: 1000}
+	if err := c.fill(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Multiplier != 10 || c.WellClients != 8 || c.WellFraction != 0.5 || c.Duration != 4*time.Second {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+// TestHerdE2E is the scaled-down thundering-herd run: a small cluster
+// offered 10× a modest "knee", one abusive identity supplying the
+// excess. The well-behaved cohort must keep >= WellGoodputBar goodput
+// and the abuser must be shed with Retry-After on every shed — the same
+// assertions the full-scale `make herd` run makes, sized for CI.
+func TestHerdE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("herd e2e needs a few wall seconds")
+	}
+	res, err := RunHerd(context.Background(), HerdConfig{
+		Fleet: FleetConfig{
+			Nodes:   2,
+			Trace:   smokeTrace(),
+			Clients: 4,
+		},
+		KneeRPS:     400, // far below loopback capacity: the quota, not saturation, is under test
+		WellClients: 4,
+		Duration:    1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Well.Requests == 0 || res.Abuser.Requests+res.Abuser.Sheds == 0 {
+		t.Fatalf("cohorts issued nothing: %+v", res)
+	}
+	if res.Well.GoodputFraction < WellGoodputBar {
+		t.Fatalf("well-behaved goodput %.3f under the %.2f bar: %+v",
+			res.Well.GoodputFraction, WellGoodputBar, res.Well)
+	}
+	if res.Abuser.Sheds == 0 {
+		t.Fatalf("abuser never shed: %+v", res.Abuser)
+	}
+	if res.Abuser.RetryAfterSheds != res.Abuser.Sheds {
+		t.Fatalf("sheds without Retry-After: %d of %d", res.Abuser.Sheds-res.Abuser.RetryAfterSheds, res.Abuser.Sheds)
+	}
+	// The abuser must end up mostly shed: its offered rate is many times
+	// its quota.
+	if res.Abuser.ShedFraction < 0.5 {
+		t.Fatalf("abuser shed fraction %.3f, want most of its traffic shed", res.Abuser.ShedFraction)
+	}
+	if !res.Protected {
+		t.Fatalf("verdict not protected: %+v", res)
+	}
+	if res.FEQuotaSheds == 0 {
+		t.Fatal("front end counted no quota sheds")
+	}
+	found := false
+	for _, line := range res.MetricsProof {
+		if strings.HasPrefix(line, `lard_fe_sheds_total{reason="quota"}`) && !strings.HasSuffix(line, " 0") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("metrics proof missing nonzero quota shed series: %v", res.MetricsProof)
+	}
+}

@@ -24,9 +24,11 @@ import (
 	"sync/atomic"
 	"time"
 
+	"lard/internal/breaker"
 	"lard/internal/core"
 	"lard/internal/handoff"
 	"lard/internal/httprelay"
+	"lard/internal/metrics"
 	"lard/pkg/lard"
 )
 
@@ -105,6 +107,33 @@ type Config struct {
 	// does not take the node out of rotation.
 	DialFailuresBeforeDown int
 
+	// Breaker, when non-nil, layers a per-back-end circuit breaker under
+	// the mark-down/prober machinery (see overload.go): dial and probe
+	// outcomes feed it, an Open breaker gates its node out of dispatch
+	// eligibility, and recovery ramps handoffs back gradually. Zero
+	// fields in the config take internal/breaker defaults. Nil disables
+	// the breaker layer.
+	Breaker *breaker.Config
+
+	// QuotaRate enables per-client token-bucket rate limiting when
+	// positive: each client IP may issue this many requests per second
+	// sustained (QuotaBurst at once), enforced at connection accept and
+	// per request; excess is shed with 429 + Retry-After. 0 disables.
+	QuotaRate float64
+
+	// QuotaBurst is the per-client bucket capacity (0 = one second of
+	// QuotaRate, minimum 1).
+	QuotaBurst float64
+
+	// QuotaMaxClients bounds the quota bucket table; least recently used
+	// clients are evicted first (0 = 4096).
+	QuotaMaxClients int
+
+	// Metrics, when non-nil, is the registry the front end records into;
+	// nil gets a private registry. Either way Server.Metrics returns it
+	// (cmd/lardfe serves it as GET /admin/metrics).
+	Metrics *metrics.Registry
+
 	// HeaderTimeout bounds how long a client may take to deliver a
 	// request head (default 30s).
 	HeaderTimeout time.Duration
@@ -147,6 +176,20 @@ type Stats struct {
 	// how many are currently open.
 	SessionsByPolicy map[string]uint64
 	ActiveSessions   int64
+
+	// Overload-protection counters (overload.go). Served is goodput:
+	// complete responses relayed. QuotaSheds counts 429s; BreakerSheds
+	// counts 503s where breakers denied every candidate node;
+	// BreakerDenials counts individual breaker refusals (most are
+	// detoured to another node); BreakerTrips counts transitions to
+	// Open. QuotaClients is the bucket-table population.
+	Served         uint64
+	QuotaSheds     uint64
+	QuotaClients   int
+	BreakerTrips   uint64
+	BreakerDenials uint64
+	BreakerSheds   uint64
+	BreakerStates  []string
 }
 
 // Server is a running front end. Create with New; start with Serve or
@@ -197,6 +240,10 @@ type Server struct {
 	probes         atomic.Uint64
 	recoveries     atomic.Uint64
 	forward        handoff.ForwardStats
+
+	// ov is the overload-protection state: breakers, quota, metrics
+	// (overload.go).
+	ov overload
 
 	lnMu     sync.Mutex
 	ln       net.Listener
@@ -271,7 +318,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PoolSize > 0 {
 		pool = newBackendPool(cfg.PoolSize, cfg.PoolIdle)
 	}
-	return &Server{
+	srv := &Server{
 		cfg:      cfg,
 		start:    time.Now(),
 		d:        d,
@@ -285,7 +332,9 @@ func New(cfg Config) (*Server, error) {
 		dialEpochs: make([]uint64, len(cfg.Backends)),
 		probing:    make([]bool, len(cfg.Backends)),
 		stop:       make(chan struct{}),
-	}, nil
+	}
+	srv.initOverload(policyName)
+	return srv, nil
 }
 
 // Dispatcher returns the dispatch layer the front end routes through, for
@@ -321,6 +370,19 @@ func (s *Server) Stats() Stats {
 	if s.pool != nil {
 		st.PoolHits, st.PoolMisses, st.PoolEvictions = s.pool.counters()
 		st.PoolIdle, _ = s.pool.idleCount(-1)
+	}
+	st.Served = s.ov.m.served.Value()
+	st.QuotaSheds = s.ov.m.shedQuota.Value()
+	if s.ov.quota.Enabled() {
+		st.QuotaClients = s.ov.quota.Len()
+	}
+	st.BreakerTrips = s.ov.breakerTrips.Load()
+	st.BreakerDenials = s.ov.m.breakerDenials.Value()
+	st.BreakerSheds = s.ov.m.shedBreaker.Value()
+	if s.ov.breakers != nil {
+		for _, b := range s.ov.breakers.Snapshot(s.now()) {
+			st.BreakerStates = append(st.BreakerStates, b.State.String())
+		}
 	}
 	return st
 }
@@ -422,9 +484,15 @@ func (s *Server) headReadFailed(client net.Conn, err error, doing string) {
 	}
 }
 
+// overloadRetryAfter is the Retry-After hint on overload 503s. The
+// admission bound recovers as fast as in-flight requests complete —
+// milliseconds on a healthy cluster — so one second is the smallest
+// honest whole-second hint.
+const overloadRetryAfter = 1
+
 func writeServiceUnavailable(c net.Conn) {
 	const body = "no back-end node available\n"
-	fmt.Fprintf(c, "HTTP/1.1 503 Service Unavailable\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s", len(body), body)
+	fmt.Fprintf(c, "HTTP/1.1 503 Service Unavailable\r\nContent-Length: %d\r\nRetry-After: %d\r\nConnection: close\r\n\r\n%s", len(body), overloadRetryAfter, body)
 }
 
 func writeBadGateway(c net.Conn) {

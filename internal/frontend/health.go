@@ -73,6 +73,7 @@ func (s *Server) dialBackend(node int) (net.Conn, error) {
 		conn, err = net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
 	}
 	if err != nil {
+		s.breakerFailure(node)
 		if s.noteDialFailure(node, epoch) && !s.backendDown(node) {
 			// The Down check keeps in-flight dials racing the mark-down
 			// from re-counting and re-logging the same outage.
@@ -85,6 +86,7 @@ func (s *Server) dialBackend(node int) (net.Conn, error) {
 		return nil, err
 	}
 	s.resetDialFailures(node)
+	s.breakerSuccess(node)
 	return conn, nil
 }
 
@@ -192,9 +194,14 @@ func (s *Server) probeOnce() {
 			defer s.endProbe(node)
 			conn, err := net.DialTimeout("tcp", addr, s.cfg.DialTimeout)
 			if err != nil {
+				s.breakerFailure(node)
 				return
 			}
 			s.resetDialFailures(node)
+			// A probe restore is breaker evidence too: Success while the
+			// breaker is Open starts its half-open probe round, so the
+			// graduated ramp can begin even before live traffic returns.
+			s.breakerSuccess(node)
 			s.recoveries.Add(1)
 			s.d.SetNodeDown(node, false)
 			s.logf("frontend: probe restored backend %d (%s)", node, addr)
@@ -251,6 +258,7 @@ func (s *Server) AddBackend(addr string) int {
 	s.healthMu.Lock()
 	s.growHealthLocked(node)
 	s.healthMu.Unlock()
+	s.growNodeHists(node + 1)
 	return node
 }
 

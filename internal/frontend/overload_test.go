@@ -1,0 +1,228 @@
+package frontend
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"lard/internal/backend"
+	"lard/internal/breaker"
+	"lard/internal/handoff"
+)
+
+// rawGet issues one GET on a fresh raw connection and returns the parsed
+// response. The accept-time quota shed answers before reading the
+// request — legal HTTP/1.1 (a server may respond early), but net/http's
+// transport races its background read against the request write and
+// reports "unsolicited response" instead of returning the 429; a plain
+// connection just reads whatever comes back.
+func rawGet(t *testing.T, addr, target string) *http.Response {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	fmt.Fprintf(conn, "GET %s HTTP/1.1\r\nHost: lard\r\nConnection: close\r\n\r\n", target)
+	resp, err := http.ReadResponse(bufio.NewReader(conn), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp
+}
+
+func TestQuotaSheds429WithRetryAfter(t *testing.T) {
+	tr := smallTrace(t, 10, 10)
+	mc := startCluster(t, 2, "wrr", tr, 1<<20, func(c *Config) {
+		c.QuotaRate = 1
+		c.QuotaBurst = 2
+	})
+	// Fresh connections: every loopback request shares one quota bucket
+	// (keyed by client IP), and the burst of 2 runs out on the third.
+	var shed *http.Response
+	ok := 0
+	for i := 0; i < 6; i++ {
+		resp := rawGet(t, mc.feAddr, tr.At(0).Target)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			ok++
+		case http.StatusTooManyRequests:
+			if shed == nil {
+				shed = resp
+			}
+		default:
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	if ok == 0 || shed == nil {
+		t.Fatalf("ok=%d shed=%v: want some served within burst and some shed", ok, shed)
+	}
+	if ra := shed.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 missing Retry-After")
+	}
+	st := mc.fe.Stats()
+	if st.QuotaSheds == 0 {
+		t.Fatalf("stats: QuotaSheds = 0 after shedding, %+v", st)
+	}
+	if st.QuotaClients == 0 {
+		t.Fatal("stats: no quota clients tracked")
+	}
+	var buf bytes.Buffer
+	if err := mc.fe.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `lard_fe_sheds_total{reason="quota"}`) {
+		t.Fatalf("metrics missing quota shed series:\n%s", buf.String())
+	}
+}
+
+func TestOverload503CarriesRetryAfter(t *testing.T) {
+	tr := smallTrace(t, 5, 5)
+	mc := startCluster(t, 1, "wrr", tr, 1<<20,
+		func(c *Config) { c.ProbeInterval = -1 })
+	mc.fe.SetBackendDown(0, true)
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	resp, err := client.Get("http://" + mc.feAddr + tr.At(0).Target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("503 missing Retry-After")
+	}
+}
+
+// TestBreakerTripsOnDeadBackend exercises the breaker layer end to end:
+// a dead back end's dial failures trip its breaker well before the
+// (deliberately high) mark-down threshold, the node gate detours traffic
+// to the live back end, and the trip is visible in Stats and metrics.
+func TestBreakerTripsOnDeadBackend(t *testing.T) {
+	tr := smallTrace(t, 5, 5)
+	store := backend.NewDocStore(tr.Targets)
+	be := backend.New(backend.Config{Store: store, CacheBytes: 1 << 20})
+	ln, err := handoff.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &http.Server{Handler: be.Handler()}
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	fe, err := New(Config{
+		Backends:               []string{deadAddr, ln.Addr().String()},
+		Strategy:               "wrr",
+		DialTimeout:            500 * time.Millisecond,
+		DialFailuresBeforeDown: 100, // mark-down effectively off: the breaker acts first
+		ProbeInterval:          -1,
+		Breaker: &breaker.Config{
+			FailureThreshold: 2,
+			OpenBase:         time.Minute, // stays open for the whole test
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go fe.Serve(feLn)
+	t.Cleanup(func() { fe.Close() })
+
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	for i := 0; i < 8; i++ {
+		resp, err := client.Get("http://" + feLn.Addr().String() + tr.At(0).Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		// Every request must succeed: failed dials redispatch to the live
+		// node inside the same request.
+		if resp.StatusCode != 200 {
+			t.Fatalf("request %d: status %d", i, resp.StatusCode)
+		}
+	}
+	st := fe.Stats()
+	if st.BreakerTrips == 0 {
+		t.Fatalf("breaker never tripped: %+v", st)
+	}
+	if len(st.BreakerStates) < 1 || st.BreakerStates[0] != "open" {
+		t.Fatalf("breaker states = %v, want node 0 open", st.BreakerStates)
+	}
+	// The gate keeps further traffic off the dead node: dial failures must
+	// stop accumulating once open.
+	fails := fe.dialFailures(0)
+	for i := 0; i < 4; i++ {
+		resp, err := client.Get("http://" + feLn.Addr().String() + tr.At(0).Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if got := fe.dialFailures(0); got != fails {
+		t.Fatalf("gated node still being dialed: failures %d -> %d", fails, got)
+	}
+	var buf bytes.Buffer
+	if err := fe.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `lard_fe_breaker_transitions_total{node="0",to="open"}`) {
+		t.Fatalf("metrics missing breaker transition series:\n%s", buf.String())
+	}
+}
+
+func TestMetricsSurfaceAfterTraffic(t *testing.T) {
+	tr := smallTrace(t, 10, 20)
+	mc := startCluster(t, 2, "lard", tr, 1<<20)
+	client := &http.Client{Transport: &http.Transport{DisableKeepAlives: true}}
+	for i := 0; i < 5; i++ {
+		resp, err := client.Get("http://" + mc.feAddr + tr.At(i).Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	st := mc.fe.Stats()
+	if st.Served != 5 {
+		t.Fatalf("Served = %d, want 5", st.Served)
+	}
+	var buf bytes.Buffer
+	if err := mc.fe.Metrics().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"lard_fe_requests_total 5",
+		"lard_fe_responses_total 5",
+		`lard_fe_request_seconds_bucket{policy="pin",le="+Inf"} 5`,
+		`lard_fe_node_request_seconds_bucket{node="0",le="+Inf"}`,
+		`lard_fe_request_seconds_count{policy="pin"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package frontend
 
 import (
 	"bufio"
+	"errors"
 	"io"
 	"net"
 	"time"
@@ -74,6 +75,15 @@ type backendConn struct {
 func (s *Server) handleConn(client net.Conn) {
 	defer client.Close()
 
+	// Connection-accept quota gate: a client already over its rate is
+	// shed before the front end reads a byte or opens a session. The
+	// check is non-consuming — the per-request Allow below pays.
+	quotaKey := clientQuotaKey(client)
+	if ok, retry := s.ov.quota.Check(quotaKey, s.now()); !ok {
+		s.shedQuota(client, retry)
+		return
+	}
+
 	sess := s.d.NewSession(s.policy)
 	defer sess.Close()
 	s.sessions.Add(1)
@@ -103,15 +113,26 @@ func (s *Server) handleConn(client net.Conn) {
 			return
 		}
 		client.SetReadDeadline(time.Time{})
+		reqStart := s.now()
+
+		// Per-request quota: each parsed head costs one token; an empty
+		// bucket sheds the request (and, via Connection: close, the
+		// connection) with a Retry-After computed from the deficit.
+		if ok, retry := s.ov.quota.Allow(quotaKey, reqStart); !ok {
+			s.shedQuota(client, retry)
+			return
+		}
+		s.ov.m.requests.Inc()
 
 		// The session owns the pin/re-handoff decision and the
 		// connection-slot accounting across moves; both a saturated
 		// cluster (lard.ErrOverloaded) and a total outage
 		// (lard.ErrUnavailable) surface to the client as 503.
-		node, moved, done, err := sess.Dispatch(time.Since(s.start),
+		node, moved, done, err := sess.Dispatch(reqStart,
 			lard.Request{Target: head.Target, Size: head.Size()})
 		if err != nil {
 			s.rejected.Add(1)
+			s.ov.m.shedOverload.Inc()
 			writeServiceUnavailable(client)
 			return
 		}
@@ -132,6 +153,14 @@ func (s *Server) handleConn(client net.Conn) {
 			if err != nil {
 				if prev != nil {
 					s.rehandoffFails.Add(1)
+				}
+				if errors.Is(err, errBreakerDenied) {
+					// No candidate node's breaker would admit the handoff:
+					// the cluster is recovering, not broken — shed with a
+					// retry hint rather than a 502.
+					s.ov.m.shedBreaker.Inc()
+					writeServiceUnavailable(client)
+					return
 				}
 				s.errors.Add(1)
 				s.logf("frontend: handoff dial backend %d: %v", node, err)
@@ -264,6 +293,7 @@ func (s *Server) handleConn(client net.Conn) {
 		requestDone()
 		requestDone = nil
 		backend.served++
+		s.observeRequest(backend.node, s.now()-reqStart)
 		// The transport is at a message boundary iff the response was
 		// fully framed and keep-alive, and no Expect dance left request
 		// body bytes undelivered.
@@ -284,6 +314,13 @@ func (s *Server) handleConn(client net.Conn) {
 // while healthy back ends exist. When the session was re-dispatched, the
 // returned done func supersedes the one from the original Dispatch.
 func (s *Server) establishBackend(sess *lard.Session, node int, client net.Conn, head httprelay.RequestHead) (*backendConn, func(), error) {
+	// The breaker admission runs before any connection work: a HalfOpen
+	// node's probe budget and a Recovering node's admission fraction
+	// meter new handoffs here. A denial is handled exactly like a dial
+	// failure — try the alternates.
+	if !s.breakerAllow(node) {
+		return s.redispatchBackend(sess, client, head, []int{node}, errBreakerDenied)
+	}
 	b, err := s.connectBackend(node, client, head, true)
 	if err == nil {
 		return b, nil, nil
@@ -296,6 +333,9 @@ func (s *Server) establishBackend(sess *lard.Session, node int, client net.Conn,
 // request: a fresh dial to the same node first, the re-dispatch loop if
 // that node refuses too — its process may be what killed the connection.
 func (s *Server) recoverBackend(sess *lard.Session, node int, client net.Conn, head httprelay.RequestHead) (*backendConn, func(), error) {
+	if !s.breakerAllow(node) {
+		return s.redispatchBackend(sess, client, head, []int{node}, errBreakerDenied)
+	}
 	b, err := s.connectBackend(node, client, head, false)
 	if err == nil {
 		return b, nil, nil
@@ -314,6 +354,15 @@ func (s *Server) redispatchBackend(sess *lard.Session, client net.Conn, head htt
 		if rerr != nil {
 			// No alternate can take the request; surface the dial error.
 			return nil, nil, dialErr
+		}
+		if !s.breakerAllow(alt) {
+			// The alternate's breaker refused (e.g. it is Recovering and
+			// this request fell outside its admission fraction): release
+			// the claim and keep looking.
+			done()
+			tried = append(tried, alt)
+			dialErr = errBreakerDenied
+			continue
 		}
 		b, aerr := s.connectBackend(alt, client, head, true)
 		if aerr == nil {

@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"sort"
 	"sync"
@@ -72,6 +73,14 @@ type Config struct {
 	// loops over the trace until the clock expires). Requests cut off by
 	// the deadline are not counted as errors.
 	Duration time.Duration
+
+	// SourceAddrs, when non-empty, assigns each simulated client a local
+	// source IP from this list (round-robin by client index) and binds
+	// its connections to it. On loopback this gives the front end's
+	// per-client-IP quota distinct identities to meter: 127.0.0.2,
+	// 127.0.0.3, ... are bindable without privileges on Linux. Applies
+	// to both the net/http and the raw P-HTTP client modes.
+	SourceAddrs []string
 }
 
 // Stats summarizes a run.
@@ -82,6 +91,16 @@ type Stats struct {
 	Elapsed    time.Duration
 	Throughput float64 // successful requests per second
 
+	// Sheds counts 429 responses from the front end's per-client quota.
+	// A shed is the overload-protection layer working as designed, so it
+	// is not an error; it is not goodput either, so it joins neither
+	// Requests nor the latency percentiles.
+	Sheds uint64
+
+	// RetryAfterSheds counts the sheds that carried a Retry-After header
+	// (all of them, if the front end behaves).
+	RetryAfterSheds uint64
+
 	LatencyAvg time.Duration
 	LatencyP50 time.Duration
 	LatencyP95 time.Duration
@@ -91,8 +110,8 @@ type Stats struct {
 
 // String renders the stats in one line.
 func (s Stats) String() string {
-	return fmt.Sprintf("%d reqs (%d errors) in %v: %.1f req/s, p50=%v p95=%v p99=%v max=%v",
-		s.Requests, s.Errors, s.Elapsed.Round(time.Millisecond), s.Throughput,
+	return fmt.Sprintf("%d reqs (%d errors, %d shed) in %v: %.1f req/s, p50=%v p95=%v p99=%v max=%v",
+		s.Requests, s.Errors, s.Sheds, s.Elapsed.Round(time.Millisecond), s.Throughput,
 		s.LatencyP50.Round(time.Microsecond), s.LatencyP95.Round(time.Microsecond),
 		s.LatencyP99.Round(time.Microsecond), s.LatencyMax.Round(time.Microsecond))
 }
@@ -121,6 +140,9 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	if _, err := connLenDraw(cfg.ConnDist, cfg.ReqsPerConn, nil); err != nil {
 		return Stats{}, err
 	}
+	if _, err := sourceIPs(cfg.SourceAddrs); err != nil {
+		return Stats{}, err
+	}
 	if cfg.Duration > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.Duration)
@@ -135,18 +157,16 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		return runPHTTP(ctx, cfg, clients, total, timeout, pace)
 	}
 
-	transport := &http.Transport{
-		DisableKeepAlives:   !cfg.KeepAlive,
-		MaxIdleConnsPerHost: clients,
-		MaxConnsPerHost:     0,
-	}
-	defer transport.CloseIdleConnections()
-	client := &http.Client{Transport: transport, Timeout: timeout}
+	sources, _ := sourceIPs(cfg.SourceAddrs)
+	sharedTransport := newTransport(cfg, clients, nil)
+	defer sharedTransport.CloseIdleConnections()
 
 	var (
 		cursor  atomic.Int64
 		nOK     atomic.Uint64
 		nErr    atomic.Uint64
+		nShed   atomic.Uint64
+		nShedRA atomic.Uint64
 		nBytes  atomic.Int64
 		latMu   sync.Mutex
 		latAll  []time.Duration
@@ -154,8 +174,16 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 		started = time.Now()
 	)
 
-	worker := func() {
+	worker := func(id int) {
 		defer wg.Done()
+		transport := sharedTransport
+		if len(sources) > 0 {
+			// Per-worker transport so this client's connections all carry
+			// its own source identity.
+			transport = newTransport(cfg, clients, sources[id%len(sources)])
+			defer transport.CloseIdleConnections()
+		}
+		client := &http.Client{Transport: transport, Timeout: timeout}
 		lats := make([]time.Duration, 0, 1024)
 		for {
 			if ctx.Err() != nil {
@@ -174,13 +202,20 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 			if sched, ok := pace.due(i); ok && sched.Before(t0) {
 				t0 = sched
 			}
-			n, err := fetch(ctx, client, cfg.BaseURL+r.Target)
+			n, shed, retryAfter, err := fetch(ctx, client, cfg.BaseURL+r.Target)
 			if err != nil {
 				if ctx.Err() != nil {
 					// Cut off by the run deadline, not failed.
 					break
 				}
 				nErr.Add(1)
+				continue
+			}
+			if shed {
+				nShed.Add(1)
+				if retryAfter {
+					nShedRA.Add(1)
+				}
 				continue
 			}
 			lats = append(lats, time.Since(t0))
@@ -194,15 +229,17 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
-		go worker()
+		go worker(c)
 	}
 	wg.Wait()
 
 	st := Stats{
-		Requests:  nOK.Load(),
-		Errors:    nErr.Load(),
-		BytesRead: nBytes.Load(),
-		Elapsed:   time.Since(started),
+		Requests:        nOK.Load(),
+		Errors:          nErr.Load(),
+		Sheds:           nShed.Load(),
+		RetryAfterSheds: nShedRA.Load(),
+		BytesRead:       nBytes.Load(),
+		Elapsed:         time.Since(started),
 	}
 	if st.Elapsed > 0 {
 		st.Throughput = float64(st.Requests) / st.Elapsed.Seconds()
@@ -211,25 +248,61 @@ func Run(ctx context.Context, cfg Config) (Stats, error) {
 	return st, nil
 }
 
-// fetch issues one GET and fully drains the body, returning its length.
-func fetch(ctx context.Context, client *http.Client, url string) (int64, error) {
+// fetch issues one GET and fully drains the body. It returns the body
+// length, whether the request was quota-shed (429), and whether the shed
+// carried a Retry-After header.
+func fetch(ctx context.Context, client *http.Client, url string) (int64, bool, bool, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return 0, err
+		return 0, false, false, err
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, err
+		return 0, false, false, err
 	}
 	defer resp.Body.Close()
 	n, err := io.Copy(io.Discard, resp.Body)
 	if err != nil {
-		return n, err
+		return n, false, false, err
+	}
+	if resp.StatusCode == http.StatusTooManyRequests {
+		return n, true, resp.Header.Get("Retry-After") != "", nil
 	}
 	if resp.StatusCode != http.StatusOK {
-		return n, fmt.Errorf("status %d", resp.StatusCode)
+		return n, false, false, fmt.Errorf("status %d", resp.StatusCode)
 	}
-	return n, nil
+	return n, false, false, nil
+}
+
+// sourceIPs parses Config.SourceAddrs; every entry must be a bare IP.
+func sourceIPs(addrs []string) ([]net.IP, error) {
+	if len(addrs) == 0 {
+		return nil, nil
+	}
+	ips := make([]net.IP, len(addrs))
+	for i, a := range addrs {
+		ip := net.ParseIP(a)
+		if ip == nil {
+			return nil, fmt.Errorf("loadgen: SourceAddrs[%d] = %q is not an IP address", i, a)
+		}
+		ips[i] = ip
+	}
+	return ips, nil
+}
+
+// newTransport builds the net/http transport for one client identity;
+// src nil keeps the OS-chosen source address.
+func newTransport(cfg Config, clients int, src net.IP) *http.Transport {
+	t := &http.Transport{
+		DisableKeepAlives:   !cfg.KeepAlive,
+		MaxIdleConnsPerHost: clients,
+		MaxConnsPerHost:     0,
+	}
+	if src != nil {
+		d := &net.Dialer{LocalAddr: &net.TCPAddr{IP: src}}
+		t.DialContext = d.DialContext
+	}
+	return t
 }
 
 // summarizeLatencies fills the latency fields from raw samples.

@@ -2,10 +2,12 @@ package loadgen
 
 import (
 	"context"
+	"fmt"
 	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -292,5 +294,102 @@ func TestRatePacesPHTTPMode(t *testing.T) {
 	}
 	if got := time.Since(start); got < 80*time.Millisecond {
 		t.Fatalf("paced P-HTTP run finished in %v, want >= ~95ms", got)
+	}
+}
+
+func TestSourceAddrsBindClientIdentities(t *testing.T) {
+	// Each simulated client must present its assigned loopback source IP,
+	// in both the net/http and raw P-HTTP modes.
+	seen := make(map[string]bool)
+	var mu sync.Mutex
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		host, _, _ := net.SplitHostPort(r.RemoteAddr)
+		mu.Lock()
+		seen[host] = true
+		mu.Unlock()
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	for _, phttp := range []bool{false, true} {
+		mu.Lock()
+		for k := range seen {
+			delete(seen, k)
+		}
+		mu.Unlock()
+		cfg := Config{
+			BaseURL:     ts.URL,
+			Trace:       genTrace(),
+			Clients:     2,
+			Requests:    10,
+			SourceAddrs: []string{"127.0.0.2", "127.0.0.3"},
+		}
+		if phttp {
+			cfg.KeepAlive = true
+			cfg.ReqsPerConn = 3
+		}
+		st, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Requests != 10 || st.Errors != 0 {
+			t.Fatalf("phttp=%v stats %+v", phttp, st)
+		}
+		mu.Lock()
+		ok := seen["127.0.0.2"] && seen["127.0.0.3"] && !seen["127.0.0.1"]
+		got := fmt.Sprint(seen)
+		mu.Unlock()
+		if !ok {
+			t.Fatalf("phttp=%v source identities seen: %v", phttp, got)
+		}
+	}
+}
+
+func TestSourceAddrsValidated(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		BaseURL:     "http://127.0.0.1:1",
+		Trace:       genTrace(),
+		SourceAddrs: []string{"not-an-ip"},
+	})
+	if err == nil {
+		t.Fatal("bad SourceAddrs accepted")
+	}
+}
+
+func TestShedsCountedSeparately(t *testing.T) {
+	// A server that sheds every other request with 429 + Retry-After:
+	// sheds must land in Sheds/RetryAfterSheds, not Errors or Requests.
+	var n atomic.Uint64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 0 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "shed", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+
+	for _, phttp := range []bool{false, true} {
+		cfg := Config{
+			BaseURL:  ts.URL,
+			Trace:    genTrace(),
+			Clients:  1,
+			Requests: 10,
+		}
+		if phttp {
+			cfg.KeepAlive = true
+			cfg.ReqsPerConn = 5
+		}
+		st, err := Run(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Requests != 5 || st.Sheds != 5 || st.Errors != 0 {
+			t.Fatalf("phttp=%v stats %+v, want 5 served / 5 shed / 0 errors", phttp, st)
+		}
+		if st.RetryAfterSheds != 5 {
+			t.Fatalf("phttp=%v RetryAfterSheds = %d, want 5", phttp, st.RetryAfterSheds)
+		}
 	}
 }

@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"fmt"
 	"io"
@@ -60,21 +61,30 @@ func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.
 		seed = 1
 	}
 
+	sources, _ := sourceIPs(cfg.SourceAddrs)
+
 	var (
 		cursor  atomic.Int64
 		nOK     atomic.Uint64
 		nErr    atomic.Uint64
+		nShed   atomic.Uint64
+		nShedRA atomic.Uint64
 		nBytes  atomic.Int64
 		latMu   sync.Mutex
 		latAll  []time.Duration
 		wg      sync.WaitGroup
 		started = time.Now()
 	)
+	counts := &phttpCounts{nBytes: &nBytes, nShed: &nShed, nShedRA: &nShedRA}
 
 	worker := func(id int) {
 		defer wg.Done()
 		rng := rand.New(rand.NewSource(seed + int64(id)))
 		draw, _ := connLenDraw(cfg.ConnDist, cfg.ReqsPerConn, rng)
+		var local *net.TCPAddr
+		if len(sources) > 0 {
+			local = &net.TCPAddr{IP: sources[id%len(sources)]}
+		}
 		lats := make([]time.Duration, 0, 1024)
 		for ctx.Err() == nil {
 			// Claim up to one connection's worth of requests.
@@ -86,7 +96,7 @@ func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.
 			if first+k > int64(total) {
 				k = int64(total) - first
 			}
-			n, nerr, connLats := runConn(ctx, cfg, host, prefix, first, int(k), timeout, &nBytes, pace)
+			n, nerr, connLats := runConn(ctx, cfg, host, prefix, first, int(k), timeout, local, counts, pace)
 			nOK.Add(n)
 			nErr.Add(nerr)
 			lats = append(lats, connLats...)
@@ -103,10 +113,12 @@ func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.
 	wg.Wait()
 
 	st := Stats{
-		Requests:  nOK.Load(),
-		Errors:    nErr.Load(),
-		BytesRead: nBytes.Load(),
-		Elapsed:   time.Since(started),
+		Requests:        nOK.Load(),
+		Errors:          nErr.Load(),
+		Sheds:           nShed.Load(),
+		RetryAfterSheds: nShedRA.Load(),
+		BytesRead:       nBytes.Load(),
+		Elapsed:         time.Since(started),
 	}
 	if st.Elapsed > 0 {
 		st.Throughput = float64(st.Requests) / st.Elapsed.Seconds()
@@ -115,18 +127,28 @@ func runPHTTP(ctx context.Context, cfg Config, clients, total int, timeout time.
 	return st, nil
 }
 
+// phttpCounts bundles the run-wide atomic tallies runConn feeds.
+type phttpCounts struct {
+	nBytes  *atomic.Int64
+	nShed   *atomic.Uint64
+	nShedRA *atomic.Uint64
+}
+
 // runConn issues requests [first, first+k) of the trace on one persistent
 // connection, reconnecting if the server closes early. It returns the
-// success and error counts plus per-request latencies.
-func runConn(ctx context.Context, cfg Config, host, prefix string, first int64, k int, timeout time.Duration, nBytes *atomic.Int64, pace *pacer) (uint64, uint64, []time.Duration) {
+// success and error counts plus per-request latencies. local, when
+// non-nil, binds the connection's source address (client identity).
+func runConn(ctx context.Context, cfg Config, host, prefix string, first int64, k int, timeout time.Duration, local *net.TCPAddr, counts *phttpCounts, pace *pacer) (uint64, uint64, []time.Duration) {
 	var ok, nerr uint64
 	lats := make([]time.Duration, 0, k)
+	nBytes := counts.nBytes
 
 	var conn net.Conn
 	var br *bufio.Reader
 	dial := func() error {
+		d := net.Dialer{Timeout: timeout, LocalAddr: local}
 		var err error
-		conn, err = net.DialTimeout("tcp", host, timeout)
+		conn, err = d.Dial("tcp", host)
 		if err != nil {
 			return err
 		}
@@ -191,6 +213,17 @@ func runConn(ctx context.Context, cfg Config, host, prefix string, first int64, 
 		}
 		n, reusable, err := httprelay.CopyResponseBody(io.Discard, br, h, "GET")
 		nBytes.Add(n)
+		if err == nil && h.Status == 429 {
+			// Quota shed: counted separately, neither goodput nor error.
+			counts.nShed.Add(1)
+			if bytes.Contains(bytes.ToLower(h.Raw), []byte("retry-after:")) {
+				counts.nShedRA.Add(1)
+			}
+			if !reusable {
+				drop()
+			}
+			continue
+		}
 		if err != nil || h.Status != 200 {
 			if err != nil && ctx.Err() != nil {
 				break // copy cut off by the run deadline, not failed

@@ -1,0 +1,347 @@
+// Package metrics is a dependency-free counters/gauges/histograms
+// registry for the front end's observability surface.
+//
+// Collectors are created once (start-up, AddBackend) and then updated
+// from the relay hot path, so the update operations — Counter.Inc/Add,
+// Gauge.Set/Add, Histogram.Observe — are single atomic instructions on
+// pre-allocated storage, verified allocation-free by the lardlint
+// noalloc analyzer. All rendering cost (label formatting, sorting) is
+// paid at creation or exposition time.
+//
+// Histograms are log-bucketed: an observation of d nanoseconds lands in
+// bucket ⌈log2 d⌉, giving ~64 fixed buckets that cover nanoseconds to
+// centuries with constant-time, allocation-free recording — precise
+// enough for the p50/p99 read-outs the admin surface wants.
+//
+// WritePrometheus renders the whole registry in the Prometheus text
+// exposition format (version 0.0.4), served as GET /admin/metrics by
+// cmd/lardfe. The package never reads a clock (observations arrive as
+// time.Durations measured by the caller), so it sits on the lardlint
+// wallclock virtual-clock package list with the rest of the core.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math/bits"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// kind is a family's collector type; mixing kinds under one family name
+// is a programming error and panics at creation.
+type kind uint8
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// series is the common part of every collector: its rendered label set.
+type series struct {
+	labels string // rendered `{k="v",...}` or ""
+}
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	series
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+//
+//lard:noalloc
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//lard:noalloc
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an instantaneous integer value.
+type Gauge struct {
+	series
+	v atomic.Int64
+}
+
+// Set replaces the value.
+//
+//lard:noalloc
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adjusts the value by n (negative to decrease).
+//
+//lard:noalloc
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets covers every possible bits.Len64 result (0..64).
+const histBuckets = 65
+
+// Histogram records durations in log2 buckets.
+type Histogram struct {
+	series
+	count   atomic.Uint64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// bucketOf maps a duration to its log2 bucket index.
+func bucketOf(d time.Duration) int {
+	if d <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(d) - 1) // ⌈log2 d⌉: bucket i holds d ≤ 2^i
+}
+
+// Observe records one duration.
+//
+//lard:noalloc
+func (h *Histogram) Observe(d time.Duration) {
+	h.buckets[bucketOf(d)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the total observed duration.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNs.Load()) }
+
+// Quantile returns an upper bound for the q-quantile (0 < q ≤ 1): the
+// upper edge of the bucket the q·count-th observation fell into. Zero
+// observations yield zero.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper is bucket i's inclusive upper bound.
+func bucketUpper(i int) time.Duration {
+	if i >= 63 {
+		return time.Duration(1<<63 - 1)
+	}
+	return time.Duration(uint64(1) << uint(i))
+}
+
+// family is all series sharing one metric name.
+type family struct {
+	name string
+	help string
+	kind kind
+	// ordered series; each entry is *Counter, *Gauge or *Histogram.
+	order []any
+	byKey map[string]any
+}
+
+// Registry holds metric families and renders them.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// renderLabels formats label pairs ("k1", "v1", "k2", "v2", ...) into
+// the exposition form `{k1="v1",k2="v2"}`. Values are escaped per the
+// text format (backslash, quote, newline).
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic("metrics: odd label list")
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i < len(labels); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(labels[i])
+		b.WriteString(`="`)
+		v := labels[i+1]
+		v = strings.ReplaceAll(v, `\`, `\\`)
+		v = strings.ReplaceAll(v, "\n", `\n`)
+		v = strings.ReplaceAll(v, `"`, `\"`)
+		b.WriteString(v)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns (creating as needed) the series for name+labels,
+// checking the family's kind. mk builds a new collector.
+func (r *Registry) lookup(name, help string, k kind, labels []string, mk func(s series) any) any {
+	key := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: k, byKey: map[string]any{}}
+		r.families[name] = f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("metrics: %s registered as both %v and %v", name, f.kind, k))
+	}
+	if f.help == "" {
+		f.help = help
+	}
+	if c, ok := f.byKey[key]; ok {
+		return c
+	}
+	c := mk(series{labels: key})
+	f.byKey[key] = c
+	f.order = append(f.order, c)
+	return c
+}
+
+// Counter returns the counter for name+labels, creating it on first
+// use. Labels are ("key", "value") pairs; repeated calls with the same
+// identity return the same collector.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	return r.lookup(name, help, kindCounter, labels, func(s series) any {
+		return &Counter{series: s}
+	}).(*Counter)
+}
+
+// Gauge returns the gauge for name+labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	return r.lookup(name, help, kindGauge, labels, func(s series) any {
+		return &Gauge{series: s}
+	}).(*Gauge)
+}
+
+// Histogram returns the histogram for name+labels, creating it on
+// first use.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.lookup(name, help, kindHistogram, labels, func(s series) any {
+		return &Histogram{series: s}
+	}).(*Histogram)
+}
+
+// WritePrometheus renders every family in the text exposition format,
+// families sorted by name, series in creation order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, n := range names {
+		fams = append(fams, r.families[n])
+	}
+	// Collectors are atomic; rendering outside the registry lock only
+	// risks missing a series created mid-render, which the next scrape
+	// picks up.
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range f.order {
+			if err := writeSeries(w, f.name, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeSeries(w io.Writer, name string, c any) error {
+	switch m := c.(type) {
+	case *Counter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, m.labels, m.Value())
+		return err
+	case *Gauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", name, m.labels, m.Value())
+		return err
+	case *Histogram:
+		return writeHistogram(w, name, m)
+	}
+	return fmt.Errorf("metrics: unknown collector %T", c)
+}
+
+// writeHistogram renders the cumulative _bucket/_sum/_count triplet.
+// Bucket bounds are the log2 upper edges converted to seconds; empty
+// high buckets above the last occupied one are folded into +Inf.
+func writeHistogram(w io.Writer, name string, h *Histogram) error {
+	// Prometheus wants every label set to include the le label, so the
+	// rendered labels must be spliced.
+	open := func(le string) string {
+		if h.labels == "" {
+			return `{le="` + le + `"}`
+		}
+		return h.labels[:len(h.labels)-1] + `,le="` + le + `"}`
+	}
+	last := -1
+	for i := 0; i < histBuckets; i++ {
+		if h.buckets[i].Load() > 0 {
+			last = i
+		}
+	}
+	var cum uint64
+	for i := 0; i <= last; i++ {
+		cum += h.buckets[i].Load()
+		le := fmt.Sprintf("%g", float64(bucketUpper(i))/float64(time.Second))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, open(le), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, open("+Inf"), h.Count()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", name, h.labels, float64(h.Sum())/float64(time.Second)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, h.labels, h.Count())
+	return err
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("lard_sheds_total", "sheds", "reason", "quota")
+	b := r.Counter("lard_sheds_total", "", "reason", "quota")
+	if a != b {
+		t.Fatal("same name+labels must return the same collector")
+	}
+	c := r.Counter("lard_sheds_total", "", "reason", "overload")
+	if a == c {
+		t.Fatal("different labels must return distinct collectors")
+	}
+	a.Inc()
+	a.Add(4)
+	if a.Value() != 5 || c.Value() != 0 {
+		t.Fatalf("values = %d, %d; want 5, 0", a.Value(), c.Value())
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter must panic")
+		}
+	}()
+	r.Gauge("m", "")
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("lard_inflight", "")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lard_request_seconds", "")
+	// 90 fast observations, 10 slow: p50 must bound the fast cluster,
+	// p99 the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(80 * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	wantSum := 90*100*time.Microsecond + 10*80*time.Millisecond
+	if h.Sum() != wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 100*time.Microsecond || p50 > 200*time.Microsecond {
+		t.Fatalf("p50 = %v, want a ~100µs bucket bound", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 80*time.Millisecond || p99 > 160*time.Millisecond {
+		t.Fatalf("p99 = %v, want a ~80ms bucket bound", p99)
+	}
+}
+
+func TestBucketOf(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-5, 0}, {0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := bucketOf(c.d); got != c.want {
+			t.Errorf("bucketOf(%d) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every bucket's upper bound must contain its own observations.
+	for _, d := range []time.Duration{1, 7, 1000, time.Millisecond, time.Hour} {
+		if up := bucketUpper(bucketOf(d)); up < d {
+			t.Errorf("bucketUpper(bucketOf(%v)) = %v < %v", d, up, d)
+		}
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("lard_sheds_total", "requests shed", "reason", "quota").Add(3)
+	r.Counter("lard_sheds_total", "", "reason", "overload").Inc()
+	r.Gauge("lard_nodes", "cluster size").Set(4)
+	h := r.Histogram("lard_request_seconds", "request latency", "policy", "pin")
+	h.Observe(100 * time.Microsecond)
+	h.Observe(3 * time.Millisecond)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP lard_sheds_total requests shed\n",
+		"# TYPE lard_sheds_total counter\n",
+		`lard_sheds_total{reason="quota"} 3` + "\n",
+		`lard_sheds_total{reason="overload"} 1` + "\n",
+		"# TYPE lard_nodes gauge\nlard_nodes 4\n",
+		"# TYPE lard_request_seconds histogram\n",
+		`lard_request_seconds_bucket{policy="pin",le="+Inf"} 2` + "\n",
+		`lard_request_seconds_count{policy="pin"} 2` + "\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// Families must be sorted by name for deterministic scrapes.
+	if strings.Index(out, "lard_nodes") > strings.Index(out, "lard_request_seconds") {
+		t.Fatal("families not sorted by name")
+	}
+	// Histogram sum: 0.0031s.
+	if !strings.Contains(out, `lard_request_seconds_sum{policy="pin"} 0.0031`) {
+		t.Fatalf("histogram sum missing:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "", "k", `va"l\ue`+"\n").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `m{k="va\"l\\ue\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped series %q missing in:\n%s", want, b.String())
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	h := r.Histogram("h", "")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Fatalf("counter = %d, hist count = %d; want 8000, 8000", c.Value(), h.Count())
+	}
+}

@@ -1,0 +1,202 @@
+// Package quota implements per-client token-bucket rate limiting for
+// the front end's load-shedding layer.
+//
+// Each client (keyed by IP in the live front end; any string works) has
+// one bucket holding at most Burst tokens that refills at Rate tokens
+// per second. A request consumes one token; an empty bucket means the
+// request is shed with a Retry-After hint computed from the token
+// deficit. The bucket table is bounded: at most MaxClients buckets are
+// kept, evicting the least-recently-used. Eviction forgets a client's
+// spent tokens, which only ever errs in the client's favor — an abuser
+// busy enough to matter is never the LRU entry.
+//
+// Like the rest of the tree, time is an explicit time.Duration on the
+// caller's clock (virtual in the simulator, time.Since(start) in the
+// live front end), so the package is simulable and wallclock-clean.
+// Token arithmetic is float64 seconds; buckets never go negative.
+package quota
+
+import (
+	"sync"
+	"time"
+)
+
+// Config tunes a Limiter. The zero value of Burst and MaxClients gets
+// defaults; Rate must be positive (a Limiter with Rate <= 0 admits
+// everything, letting callers leave quotas off by default).
+type Config struct {
+	// Rate is the sustained per-client request rate (tokens/second).
+	// Rate <= 0 disables limiting: Allow always admits.
+	Rate float64
+
+	// Burst is the bucket capacity (default max(Rate, 1) rounded up, so
+	// one second of traffic can arrive at once).
+	Burst float64
+
+	// MaxClients bounds the bucket table (default 4096). The least
+	// recently used bucket is evicted when a new client would exceed it.
+	MaxClients int
+}
+
+func (c *Config) fill() {
+	if c.Burst <= 0 {
+		c.Burst = c.Rate
+		if c.Burst < 1 {
+			c.Burst = 1
+		}
+	}
+	if c.MaxClients <= 0 {
+		c.MaxClients = 4096
+	}
+}
+
+// bucket is one client's token bucket, an intrusive doubly linked LRU
+// list element. Tokens are stored as of `last`; refill happens lazily.
+type bucket struct {
+	key        string
+	tokens     float64
+	last       time.Duration
+	prev, next *bucket
+}
+
+// Limiter is a bounded table of per-client token buckets. All methods
+// are safe for concurrent use; the mutex is a leaf lock.
+type Limiter struct {
+	mu      sync.Mutex
+	cfg     Config
+	buckets map[string]*bucket
+	// LRU list: head.next is most recent, head.prev least recent.
+	head      bucket
+	evictions uint64
+}
+
+// New returns a Limiter for cfg (zero fields filled with defaults).
+func New(cfg Config) *Limiter {
+	cfg.fill()
+	l := &Limiter{cfg: cfg, buckets: make(map[string]*bucket)}
+	l.head.prev, l.head.next = &l.head, &l.head
+	return l
+}
+
+// Config returns the effective (default-filled) configuration.
+func (l *Limiter) Config() Config { return l.cfg }
+
+// Enabled reports whether the limiter actually limits (Rate > 0).
+func (l *Limiter) Enabled() bool { return l.cfg.Rate > 0 }
+
+func (l *Limiter) unlink(b *bucket) {
+	b.prev.next, b.next.prev = b.next, b.prev
+}
+
+func (l *Limiter) pushFront(b *bucket) {
+	b.prev, b.next = &l.head, l.head.next
+	b.prev.next, b.next.prev = b, b
+}
+
+// lookup returns the refreshed bucket for key, creating (and evicting)
+// as needed. Caller holds l.mu.
+func (l *Limiter) lookup(key string, now time.Duration) *bucket {
+	b := l.buckets[key]
+	if b == nil {
+		if len(l.buckets) >= l.cfg.MaxClients {
+			lru := l.head.prev
+			l.unlink(lru)
+			delete(l.buckets, lru.key)
+			l.evictions++
+		}
+		b = &bucket{key: key, tokens: l.cfg.Burst, last: now}
+		l.buckets[key] = b
+		l.pushFront(b)
+		return b
+	}
+	l.unlink(b)
+	l.pushFront(b)
+	// Lazy refill. A clock that jumps backwards (never happens on the
+	// monotonic clocks we are given, but cheap to be safe about) leaves
+	// the bucket as it was.
+	if now > b.last {
+		b.tokens += float64(now-b.last) / float64(time.Second) * l.cfg.Rate
+		if b.tokens > l.cfg.Burst {
+			b.tokens = l.cfg.Burst
+		}
+		b.last = now
+	}
+	return b
+}
+
+// retryAfter converts a token deficit into a client-facing wait hint:
+// the time until one whole token will be available.
+func (l *Limiter) retryAfter(b *bucket) time.Duration {
+	deficit := 1 - b.tokens
+	if deficit <= 0 {
+		return 0
+	}
+	return time.Duration(deficit / l.cfg.Rate * float64(time.Second))
+}
+
+// Allow consumes one token from key's bucket. It returns ok = true when
+// the request may proceed; otherwise retry is the suggested wait before
+// trying again (always > 0 when ok is false).
+func (l *Limiter) Allow(key string, now time.Duration) (ok bool, retry time.Duration) {
+	if !l.Enabled() {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.lookup(key, now)
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	retry = l.retryAfter(b)
+	if retry <= 0 {
+		retry = time.Second
+	}
+	return false, retry
+}
+
+// Check reports whether key's bucket could admit a request at now
+// without consuming a token. The front end uses it at connection accept
+// to shed clients that are already over quota before reading anything.
+func (l *Limiter) Check(key string, now time.Duration) (ok bool, retry time.Duration) {
+	if !l.Enabled() {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.lookup(key, now)
+	if b.tokens >= 1 {
+		return true, 0
+	}
+	retry = l.retryAfter(b)
+	if retry <= 0 {
+		retry = time.Second
+	}
+	return false, retry
+}
+
+// Len returns the number of tracked clients.
+func (l *Limiter) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}
+
+// Evictions returns how many buckets the LRU bound has evicted.
+func (l *Limiter) Evictions() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.evictions
+}
+
+// Tokens returns key's current token count (refreshed to now) without
+// consuming anything; it reports false if the client is untracked.
+// Exposed for tests and the admin stats surface.
+func (l *Limiter) Tokens(key string, now time.Duration) (float64, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.buckets[key] == nil {
+		return 0, false
+	}
+	return l.lookup(key, now).tokens, true
+}

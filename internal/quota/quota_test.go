@@ -1,0 +1,161 @@
+package quota
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDisabledAdmitsEverything(t *testing.T) {
+	l := New(Config{}) // Rate 0 = off
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("k", 0); !ok {
+			t.Fatal("disabled limiter must admit")
+		}
+	}
+	if l.Len() != 0 {
+		t.Fatalf("disabled limiter tracked %d clients, want 0", l.Len())
+	}
+}
+
+func TestBurstHonored(t *testing.T) {
+	l := New(Config{Rate: 10, Burst: 5})
+	now := time.Duration(0)
+	// A fresh client gets exactly Burst requests at once...
+	for i := 0; i < 5; i++ {
+		if ok, _ := l.Allow("c", now); !ok {
+			t.Fatalf("request %d within burst shed", i)
+		}
+	}
+	// ...and not one more.
+	ok, retry := l.Allow("c", now)
+	if ok {
+		t.Fatal("request beyond burst admitted")
+	}
+	if retry <= 0 {
+		t.Fatalf("retry = %v, want > 0", retry)
+	}
+	// At 10 tokens/s one whole token takes 100ms.
+	if want := 100 * time.Millisecond; retry != want {
+		t.Fatalf("retry = %v, want %v", retry, want)
+	}
+}
+
+func TestRefillAtRate(t *testing.T) {
+	l := New(Config{Rate: 10, Burst: 5})
+	now := time.Duration(0)
+	for i := 0; i < 5; i++ {
+		l.Allow("c", now)
+	}
+	// 250ms refills 2.5 tokens: exactly 2 requests pass.
+	now += 250 * time.Millisecond
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if ok, _ := l.Allow("c", now); ok {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after 250ms refill, want 2", admitted)
+	}
+	// A long idle period refills to Burst, never beyond.
+	now += time.Hour
+	admitted = 0
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.Allow("c", now); ok {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("admitted %d after long idle, want Burst=5", admitted)
+	}
+}
+
+func TestCheckDoesNotConsume(t *testing.T) {
+	l := New(Config{Rate: 1, Burst: 2})
+	now := time.Duration(0)
+	for i := 0; i < 50; i++ {
+		if ok, _ := l.Check("c", now); !ok {
+			t.Fatalf("Check consumed tokens (call %d)", i)
+		}
+	}
+	if tok, _ := l.Tokens("c", now); tok != 2 {
+		t.Fatalf("tokens = %v after Checks, want 2", tok)
+	}
+	l.Allow("c", now)
+	l.Allow("c", now)
+	if ok, retry := l.Check("c", now); ok || retry <= 0 {
+		t.Fatalf("Check = %v/%v on empty bucket, want shed with retry hint", ok, retry)
+	}
+}
+
+func TestTokensNeverNegative(t *testing.T) {
+	// Property: under arbitrary interleavings of clients, times and
+	// calls, no bucket ever goes below zero.
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		l := New(Config{Rate: 5, Burst: 3, MaxClients: 8})
+		now := time.Duration(0)
+		for i := 0; i < 2000; i++ {
+			key := fmt.Sprintf("c%d", rng.Intn(12))
+			if rng.Intn(2) == 0 {
+				l.Allow(key, now)
+			} else {
+				l.Check(key, now)
+			}
+			if tok, ok := l.Tokens(key, now); ok && tok < 0 {
+				t.Fatalf("seed %d: bucket %s went negative: %v", seed, key, tok)
+			}
+			now += time.Duration(rng.Intn(int(50 * time.Millisecond)))
+		}
+	}
+}
+
+func TestLRUTableBounded(t *testing.T) {
+	l := New(Config{Rate: 1, MaxClients: 16})
+	now := time.Duration(0)
+	for i := 0; i < 1000; i++ {
+		l.Allow(fmt.Sprintf("c%d", i), now)
+		if l.Len() > 16 {
+			t.Fatalf("table grew to %d, bound is 16", l.Len())
+		}
+	}
+	if l.Len() != 16 {
+		t.Fatalf("table length = %d, want 16", l.Len())
+	}
+	if l.Evictions() != 1000-16 {
+		t.Fatalf("evictions = %d, want %d", l.Evictions(), 1000-16)
+	}
+}
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	l := New(Config{Rate: 1, Burst: 4, MaxClients: 2})
+	now := time.Duration(0)
+	l.Allow("old", now)
+	l.Allow("kept", now)
+	l.Allow("kept", now) // "old" is now the LRU entry
+	l.Allow("new", now)  // evicts "old"
+	if _, ok := l.Tokens("old", now); ok {
+		t.Fatal("LRU entry not evicted")
+	}
+	if tok, ok := l.Tokens("kept", now); !ok || tok != 2 {
+		t.Fatalf("kept client state lost: %v %v", tok, ok)
+	}
+	// Re-arrival after eviction starts a fresh (full) bucket: eviction
+	// only ever errs in the client's favor.
+	if tok, _ := l.Tokens("old", now); tok != 0 {
+		t.Fatalf("evicted client should be untracked, got %v tokens", tok)
+	}
+}
+
+func TestRetryAfterShrinksWithRefill(t *testing.T) {
+	l := New(Config{Rate: 2, Burst: 1})
+	now := time.Duration(0)
+	l.Allow("c", now)
+	_, r1 := l.Allow("c", now)
+	_, r2 := l.Allow("c", now+200*time.Millisecond)
+	if r2 >= r1 {
+		t.Fatalf("retry hint did not shrink with refill: %v then %v", r1, r2)
+	}
+}

@@ -1,0 +1,123 @@
+package lard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// gateBlocking returns a NodeGate that vetoes exactly the given nodes.
+func gateBlocking(nodes ...int) NodeGate {
+	blocked := map[int]bool{}
+	for _, n := range nodes {
+		blocked[n] = true
+	}
+	return func(n int) bool { return !blocked[n] }
+}
+
+func TestNodeGateDetoursDispatch(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			d := MustNew("lard", WithNodes(3), WithShards(shards))
+			// Establish a mapping for a target, then gate its node out.
+			node, done, err := d.Dispatch(0, Request{Target: "/a"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done()
+			d.SetNodeGate(gateBlocking(node))
+			for i := 0; i < 10; i++ {
+				got, done, err := d.Dispatch(0, Request{Target: "/a"})
+				if err != nil {
+					t.Fatal(err)
+				}
+				done()
+				if got == node {
+					t.Fatalf("dispatch %d routed to gated node %d", i, node)
+				}
+			}
+			// Lifting the gate restores the original mapping: the detour
+			// must not have rewritten target→node state.
+			d.SetNodeGate(nil)
+			got, done, err := d.Dispatch(0, Request{Target: "/a"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			done()
+			if got != node {
+				t.Fatalf("after gate lifted, /a routed to %d, want original %d", got, node)
+			}
+		})
+	}
+}
+
+func TestNodeGateAllVetoedIsUnavailable(t *testing.T) {
+	d := MustNew("wrr", WithNodes(2))
+	d.SetNodeGate(func(int) bool { return false })
+	if _, _, err := d.Dispatch(0, Request{Target: "/a"}); err != ErrUnavailable {
+		t.Fatalf("err = %v, want ErrUnavailable", err)
+	}
+}
+
+func TestNodeGateNodeEligible(t *testing.T) {
+	d := MustNew("wrr", WithNodes(2))
+	if !d.NodeEligible(1) {
+		t.Fatal("node 1 should start eligible")
+	}
+	d.SetNodeGate(gateBlocking(1))
+	if d.NodeEligible(1) {
+		t.Fatal("gated node must be ineligible (pool check-in gate)")
+	}
+	if !d.NodeEligible(0) {
+		t.Fatal("ungated node must stay eligible")
+	}
+}
+
+func TestNodeGateSessionMovesOff(t *testing.T) {
+	d := MustNew("lard", WithNodes(2))
+	s := d.NewSession(Pin())
+	node, _, done, err := s.Dispatch(0, Request{Target: "/a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done()
+	// Gate the pinned node: the session's stay-fast-path must notice and
+	// move the connection elsewhere.
+	d.SetNodeGate(gateBlocking(node))
+	got, moved, done, err := s.Dispatch(0, Request{Target: "/a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done()
+	if got == node || !moved {
+		t.Fatalf("pinned session stayed on gated node %d (moved=%v)", node, moved)
+	}
+	s.Close()
+}
+
+func TestNodeGateRedispatchExcludes(t *testing.T) {
+	d := MustNew("wrr", WithNodes(3))
+	s := d.NewSession(PerRequest())
+	node, _, done, err := s.Dispatch(0, Request{Target: "/a"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done()
+	// The dial failed and meanwhile the breaker gated another node:
+	// Redispatch must avoid both the excluded and the gated node.
+	var gated int
+	for gated = 0; gated < 3; gated++ {
+		if gated != node {
+			break
+		}
+	}
+	d.SetNodeGate(gateBlocking(gated))
+	got, done2, err := s.Redispatch(0, Request{Target: "/a"}, []int{node})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2()
+	if got == node || got == gated {
+		t.Fatalf("redispatch landed on %d (excluded %d, gated %d)", got, node, gated)
+	}
+	s.Close()
+}

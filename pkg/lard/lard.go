@@ -94,6 +94,12 @@ var (
 	ErrUnavailable = errors.New("lard: no back-end node available")
 )
 
+// NodeGate is an external per-node admission veto (see
+// Dispatcher.SetNodeGate): it reports whether node may receive new
+// traffic right now. Implementations must be concurrency-safe, fast,
+// and must never call back into the dispatcher.
+type NodeGate func(node int) bool
+
 // Dispatcher selects a back-end node for each request and accounts for the
 // connection slots in flight. Implementations are safe for concurrent use
 // by any number of goroutines.
@@ -183,6 +189,21 @@ type Dispatcher interface {
 	// SetNodeDown marks a node failed (down=true) or restored, on every
 	// shard whose strategy supports the paper's Section 2.6 recovery.
 	SetNodeDown(node int, down bool)
+
+	// SetNodeGate installs (or, with nil, removes) an external per-node
+	// admission gate consulted on every eligibility decision: dispatch's
+	// post-Select check, Session stay-or-move checks, Redispatch
+	// fallback search, and NodeEligible. A gated-out node behaves like a
+	// down node for new traffic — no new slots, sessions move off it,
+	// pooled connections to it are rejected at check-in — but the
+	// strategy's target→node mapping is untouched, so traffic returns
+	// the moment the gate re-admits the node. The front end uses this to
+	// layer circuit breakers under the mark-down machinery.
+	//
+	// gate is called with shard or membership locks held and on hot
+	// paths: it must be fast, must not block, and must not call back
+	// into the dispatcher.
+	SetNodeGate(gate NodeGate)
 
 	// Inspect calls f for each shard with the shard's strategy instance
 	// and its load view, holding that shard's lock for the duration of the

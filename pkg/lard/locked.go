@@ -36,6 +36,26 @@ type lockedShard struct {
 	// strategies that implement neither interface.
 	blocked []bool
 	down    []bool
+
+	// gate is the external eligibility veto (SetNodeGate); nil admits
+	// everything. Unlike blocked/down it is never reported to the
+	// strategy: a gated node keeps its target mapping and simply has
+	// traffic detoured around it until the gate re-admits it.
+	gate NodeGate
+}
+
+// admissibleLocked reports whether node may take a new slot on this
+// shard. Callers hold sh.mu.
+func (sh *lockedShard) admissibleLocked(node int) bool {
+	return node >= 0 && node < len(sh.loads.active) &&
+		!sh.blocked[node] && !sh.down[node] &&
+		(sh.gate == nil || sh.gate(node))
+}
+
+func (sh *lockedShard) setGate(g NodeGate) {
+	sh.mu.Lock()
+	sh.gate = g
+	sh.mu.Unlock()
 }
 
 func newLockedShard(f Factory, o Options) (*lockedShard, error) {
@@ -82,6 +102,15 @@ func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), erro
 	if node < 0 || node >= len(sh.loads.active) || sh.blocked[node] || sh.down[node] {
 		return -1, nil, ErrUnavailable
 	}
+	if sh.gate != nil && !sh.gate(node) {
+		// The strategy's pick is vetoed by the external gate (a tripped
+		// breaker). Detour to the least-loaded admissible node without
+		// telling the strategy: its target→node mapping must survive so
+		// traffic snaps back when the gate re-admits the node.
+		if node = sh.fallbackLocked(nil); node < 0 {
+			return -1, nil, ErrUnavailable
+		}
+	}
 	return node, sh.claimLocked(node), nil
 }
 
@@ -92,7 +121,7 @@ func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), erro
 func (sh *lockedShard) claimNode(node int) (func(), error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if node < 0 || node >= len(sh.loads.active) || sh.blocked[node] || sh.down[node] {
+	if !sh.admissibleLocked(node) {
 		return nil, ErrUnavailable
 	}
 	if sh.budget > 0 && sh.inFlight >= sh.budget {
@@ -113,10 +142,20 @@ func (sh *lockedShard) claimFallback(exclude []int) (int, func(), error) {
 	if sh.budget > 0 && sh.inFlight >= sh.budget {
 		return -1, nil, ErrOverloaded
 	}
+	best := sh.fallbackLocked(exclude)
+	if best < 0 {
+		return -1, nil, ErrUnavailable
+	}
+	return best, sh.claimLocked(best), nil
+}
+
+// fallbackLocked returns the least-loaded admissible node outside
+// exclude, or -1. Callers hold sh.mu.
+func (sh *lockedShard) fallbackLocked(exclude []int) int {
 	best := -1
 search:
 	for i := range sh.loads.active {
-		if sh.blocked[i] || sh.down[i] {
+		if !sh.admissibleLocked(i) {
 			continue
 		}
 		for _, x := range exclude {
@@ -128,10 +167,7 @@ search:
 			best = i
 		}
 	}
-	if best < 0 {
-		return -1, nil, ErrUnavailable
-	}
-	return best, sh.claimLocked(best), nil
+	return best
 }
 
 func (sh *lockedShard) snapshot() (active []int, inFlight int) {
@@ -272,6 +308,8 @@ func (d *locked) InFlight() int {
 func (d *locked) SetNodeDown(node int, down bool) {
 	d.mem.setNodeDown(node, down, d.shardList())
 }
+
+func (d *locked) SetNodeGate(g NodeGate) { d.mem.setGate(g, d.shardList()) }
 
 func (d *locked) AddNode() int               { return d.mem.addNode(d.shardList()) }
 func (d *locked) RemoveNode(node int)        { d.mem.removeNode(node, d.shardList()) }

@@ -38,6 +38,11 @@ type membership struct {
 	mu    sync.RWMutex
 	state []NodeState
 	opts  Options
+
+	// gate is the external eligibility veto installed by SetNodeGate
+	// (nil = admit everything). It is read under the same locks as the
+	// state slice and ANDed into every eligibility answer.
+	gate NodeGate
 }
 
 func newMembership(o Options) *membership {
@@ -71,7 +76,19 @@ func (m *membership) budgetLocked() int {
 func (m *membership) eligibleNode(node int) bool {
 	m.mu.RLock()
 	defer m.mu.RUnlock()
-	return node >= 0 && node < len(m.state) && m.state[node].Eligible()
+	return node >= 0 && node < len(m.state) && m.state[node].Eligible() &&
+		(m.gate == nil || m.gate(node))
+}
+
+// setGate installs the external eligibility veto and fans it out to
+// every shard's dispatch path.
+func (m *membership) setGate(g NodeGate, shards []*lockedShard) {
+	m.mu.Lock()
+	m.gate = g
+	m.mu.Unlock()
+	for _, sh := range shards {
+		sh.setGate(g)
+	}
 }
 
 func (m *membership) nodeCount() int {

@@ -75,6 +75,8 @@ func (d *sharded) SetNodeDown(node int, down bool) {
 	d.mem.setNodeDown(node, down, d.shards)
 }
 
+func (d *sharded) SetNodeGate(g NodeGate) { d.mem.setGate(g, d.shards) }
+
 func (d *sharded) AddNode() int               { return d.mem.addNode(d.shards) }
 func (d *sharded) RemoveNode(node int)        { d.mem.removeNode(node, d.shards) }
 func (d *sharded) Drain(node int)             { d.mem.setDraining(node, true, d.shards) }

@@ -6,26 +6,29 @@
 # plus BenchmarkHandoffDial (internal/frontend, pooled vs fresh-dial
 # handoff) and BenchmarkRelayResponse / BenchmarkRelayRequestBody
 # (internal/httprelay, the pooled-buffer relay path) with -benchmem, and
-# writes the parsed results to BENCH_PR8.json next to the repo root, so
+# writes the parsed results to BENCH_PR9.json next to the repo root, so
 # successive PRs can diff the hot-path numbers. When the previous PR's
-# report (BENCH_PR7.json) is present, benchgate.go compares the handoff
+# report (BENCH_PR8.json) is present, benchgate.go compares the handoff
 # and relay B/op columns against it and fails the run on a >15%
 # allocation regression. It then invokes the saturation harness
 # (cmd/capacity), which merges the end-to-end knee report into the same
-# file under the "capacity" key. Usage:
+# file under the "capacity" key, and — with HERD=1 — follows it with the
+# thundering-herd overload experiment, recorded under "herd" with the
+# well-behaved cohort's goodput and the abuser's shed counts. Usage:
 #
 #	scripts/bench.sh [benchtime]     # default 1s
 #
 # SKIP_CAPACITY=1 skips the (minutes-long) saturation sweep;
-# CAPACITY_FLAGS="-smoke" runs it in smoke mode instead.
+# CAPACITY_FLAGS="-smoke" runs it in smoke mode instead; HERD=1 chains
+# the thundering-herd overload experiment after the sweep.
 #
 # Requires only the go toolchain and awk.
 set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
-out="BENCH_PR8.json"
-baseline="BENCH_PR7.json"
+out="BENCH_PR9.json"
+baseline="BENCH_PR8.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -59,6 +62,8 @@ if [ -f "$baseline" ]; then
 fi
 
 if [ "${SKIP_CAPACITY:-}" != "1" ]; then
+	herd=""
+	[ "${HERD:-}" = "1" ] && herd="-herd"
 	# CAPACITY_FLAGS is intentionally word-split (e.g. "-smoke -nodes 2").
-	go run ./cmd/capacity -o "$out" ${CAPACITY_FLAGS:-}
+	go run ./cmd/capacity -o "$out" $herd ${CAPACITY_FLAGS:-}
 fi
