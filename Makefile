@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench lint fuzz capacity capacity-smoke herd
+.PHONY: all build test race bench lint fuzz capacity capacity-smoke herd hetero
 
 all: build test
 
@@ -44,8 +44,8 @@ race:
 
 # bench runs the hot-path benchmarks (dispatch -cpu 1,4 matrix, handoff,
 # relay, all with -benchmem) plus the saturation sweep and writes the
-# BENCH_PR9.json trajectory file, gating handoff/relay B/op against the
-# committed BENCH_PR8.json baseline (scripts/benchgate.go, ±15%).
+# BENCH_PR10.json trajectory file, gating handoff/relay B/op against the
+# committed BENCH_PR9.json baseline (scripts/benchgate.go, ±15%).
 # BENCHTIME=5s make bench for stabler numbers; SKIP_CAPACITY=1 make
 # bench to skip the minutes-long sweep.
 bench:
@@ -54,7 +54,7 @@ bench:
 # capacity runs only the saturation harness: ramp offered load per
 # configuration (locked vs sharded dispatcher x GOMAXPROCS x connection
 # policy), binary-search each SLO knee, merge the report into
-# BENCH_PR9.json under "capacity".
+# BENCH_PR10.json under "capacity".
 capacity:
 	$(GO) run ./cmd/capacity
 
@@ -68,6 +68,13 @@ capacity-smoke:
 # saturation knee, then offer 10x it with one abusive client identity;
 # exits nonzero unless the well-behaved cohort keeps >=90% goodput and
 # every abuser shed carries Retry-After. The result merges into
-# BENCH_PR9.json under "herd".
+# BENCH_PR10.json under "herd".
 herd:
 	$(GO) run ./cmd/capacity -herd
+
+# hetero runs the heterogeneous-fleet experiment at smoke scale: the
+# 4-small+2-big goodput sweep (uniform vs per-node capacity thresholds,
+# plus the pod and wlard strategies) in well under a minute. Raise
+# -scale toward 1.0 for paper-sized runs.
+hetero:
+	$(GO) run ./cmd/lardsim -experiment hetero -scale 0.05 -nodes 6

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	capacity                     # full sweep, writes BENCH_PR9.json
+//	capacity                     # full sweep, writes BENCH_PR10.json
 //	capacity -smoke              # seconds-long smoke (CI)
 //	capacity -herd               # sweep, then the thundering-herd run
 //	                             # at 10x the measured knee
@@ -20,7 +20,7 @@
 //
 // When the output file already exists and holds a JSON object, the
 // report is merged in under the "capacity" key (scripts/bench.sh writes
-// the microbenchmark sections of BENCH_PR8.json first and then invokes
+// the microbenchmark sections of BENCH_PR9.json first and then invokes
 // this command to append the end-to-end numbers).
 package main
 
@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		out      = flag.String("o", "BENCH_PR9.json", "output file (merged under \"capacity\" if it already holds a JSON object)")
+		out      = flag.String("o", "BENCH_PR10.json", "output file (merged under \"capacity\" if it already holds a JSON object)")
 		smoke    = flag.Bool("smoke", false, "seconds-long smoke sweep (one policy, current GOMAXPROCS, short probes)")
 		herd     = flag.Bool("herd", false, "after the sweep, run the thundering-herd overload experiment at the measured knee")
 		herdMult = flag.Float64("herdmult", 10, "herd offered load as a multiple of the measured knee")

@@ -32,7 +32,8 @@
 //
 // The optional admin server exposes cluster membership and counters:
 //
-//	GET  /admin/nodes            per-node state (addr, health, drain, load)
+//	GET  /admin/nodes            per-node state (addr, health, drain, load,
+//	                             capacity profile)
 //	GET  /admin/stats            JSON snapshot: dispatches, rejects,
 //	                             rehandoffs (+ failed moves, re-dispatches),
 //	                             pool hits/misses/evictions/idle, stale
@@ -46,6 +47,18 @@
 //	POST /admin/undrain?node=N   restore a draining node
 //	POST /admin/remove?node=N    permanently remove node N
 //	POST /admin/add?addr=H:P     join a new back end
+//	POST /admin/profile?node=N&weight=W[&tlow=L&thigh=H]
+//	                             retune node N's capacity profile live: the
+//	                             admission bound recomputes and
+//	                             profile-aware strategies re-weight their
+//	                             placement (omitted thresholds scale from
+//	                             -tlow/-thigh by the weight)
+//
+// Heterogeneous fleets: -weights 0.5,1,2 advertises per-back-end
+// capacity, scaling each node's T_low/T_high and steering
+// capacity-aware strategies (wlard, pod, wrr) proportionally. The
+// admission bound generalizes to S = ΣT_high,i − maxT_high,i +
+// minT_low,i + 1.
 package main
 
 import (
@@ -78,6 +91,7 @@ type options struct {
 	rehandoff  bool
 	headerTime time.Duration
 	maxHeader  int
+	weights    string
 	statsEach  time.Duration
 	probe      time.Duration
 	dialFails  int
@@ -104,6 +118,8 @@ func main() {
 	k := flag.Duration("k", 20*time.Second, "LARD/R replication timer K")
 	mapCap := flag.Int("mapcap", 0, "LRU bound on the target mapping (0 = unbounded)")
 	flag.Int64Var(&o.cacheBytes, "cachebytes", lard.DefaultCacheBytes, "per-node cache size assumed by lb/gc")
+	flag.StringVar(&o.weights, "weights", "",
+		"comma-separated per-back-end capacity weights aligned with -backends (e.g. 0.5,1,2); empty = uniform")
 	flag.StringVar(&o.connpolicy, "connpolicy", "",
 		"persistent-connection dispatch policy: pin, perreq, or costaware (default pin)")
 	flag.BoolVar(&o.rehandoff, "rehandoff", false, "deprecated: shorthand for -connpolicy perreq")
@@ -135,7 +151,11 @@ func run(o options) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("no back ends configured (use -backends)")
 	}
-	d, err := newDispatcher(o.strategy, o.shards, len(addrs), o.params, o.cacheBytes)
+	profiles, err := parseWeights(o.weights, len(addrs))
+	if err != nil {
+		return err
+	}
+	d, err := newDispatcher(o.strategy, o.shards, len(addrs), o.params, o.cacheBytes, profiles)
 	if err != nil {
 		return err
 	}
@@ -236,6 +256,49 @@ func adminMux(fe *frontend.Server) http.Handler {
 			fmt.Fprintf(w, "%s node %d\n", name, node)
 		}
 	}
+	mux.HandleFunc("/admin/profile", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST required", http.StatusMethodNotAllowed)
+			return
+		}
+		node, err := strconv.Atoi(r.URL.Query().Get("node"))
+		if err != nil {
+			http.Error(w, "bad or missing node parameter", http.StatusBadRequest)
+			return
+		}
+		var p core.Profile
+		q := r.URL.Query()
+		// At least one field must be given; omitted ones stay zero and
+		// fill from the weight-scaled defaults, exactly as at startup.
+		if q.Get("weight") == "" && q.Get("tlow") == "" && q.Get("thigh") == "" {
+			http.Error(w, "give at least one of weight, tlow, thigh", http.StatusBadRequest)
+			return
+		}
+		if v := q.Get("weight"); v != "" {
+			if p.Weight, err = strconv.ParseFloat(v, 64); err != nil {
+				http.Error(w, "bad weight parameter", http.StatusBadRequest)
+				return
+			}
+		}
+		if v := q.Get("tlow"); v != "" {
+			if p.TLow, err = strconv.Atoi(v); err != nil {
+				http.Error(w, "bad tlow parameter", http.StatusBadRequest)
+				return
+			}
+		}
+		if v := q.Get("thigh"); v != "" {
+			if p.THigh, err = strconv.Atoi(v); err != nil {
+				http.Error(w, "bad thigh parameter", http.StatusBadRequest)
+				return
+			}
+		}
+		if err := fe.SetProfile(node, p); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		got := fe.Dispatcher().Profiles()[node]
+		fmt.Fprintf(w, "node %d profile tlow=%d thigh=%d weight=%g\n", node, got.TLow, got.THigh, got.Weight)
+	})
 	mux.HandleFunc("/admin/drain", nodeOp("draining", fe.DrainBackend))
 	mux.HandleFunc("/admin/undrain", nodeOp("undrained", fe.UndrainBackend))
 	mux.HandleFunc("/admin/remove", nodeOp("removed", fe.RemoveBackend))
@@ -258,12 +321,38 @@ func adminMux(fe *frontend.Server) http.Handler {
 }
 
 // newDispatcher builds the dispatch layer by registry name.
-func newDispatcher(strategy string, shards, nodes int, params core.Params, cacheBytes int64) (lard.Dispatcher, error) {
-	return lard.New(strategy,
+func newDispatcher(strategy string, shards, nodes int, params core.Params, cacheBytes int64, profiles []core.Profile) (lard.Dispatcher, error) {
+	opts := []lard.Option{
 		lard.WithNodes(nodes),
 		lard.WithShards(shards),
 		lard.WithParams(params),
-		lard.WithCacheBytes(cacheBytes))
+		lard.WithCacheBytes(cacheBytes),
+	}
+	if len(profiles) > 0 {
+		opts = append(opts, lard.WithProfiles(profiles...))
+	}
+	return lard.New(strategy, opts...)
+}
+
+// parseWeights parses the -weights flag into capacity profiles: one
+// weight per back end, thresholds derived by scaling -tlow/-thigh.
+func parseWeights(weights string, backends int) ([]core.Profile, error) {
+	if weights == "" {
+		return nil, nil
+	}
+	parts := strings.Split(weights, ",")
+	if len(parts) != backends {
+		return nil, fmt.Errorf("-weights lists %d weights for %d back ends", len(parts), backends)
+	}
+	profiles := make([]core.Profile, len(parts))
+	for i, part := range parts {
+		w, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("-weights entry %d (%q) must be a positive number", i, part)
+		}
+		profiles[i] = core.Profile{Weight: w}
+	}
+	return profiles, nil
 }
 
 // splitAddrs parses the comma-separated -backends flag.

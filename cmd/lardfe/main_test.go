@@ -16,7 +16,7 @@ import (
 func TestNewDispatcherByName(t *testing.T) {
 	p := core.DefaultParams()
 	for _, name := range []string{"wrr", "lb", "lb/gc", "lard", "lard/r", "lardr", "LARD/R"} {
-		d, err := newDispatcher(name, 1, 2, p, lard.DefaultCacheBytes)
+		d, err := newDispatcher(name, 1, 2, p, lard.DefaultCacheBytes, nil)
 		if err != nil {
 			t.Fatalf("newDispatcher(%q): %v", name, err)
 		}
@@ -24,15 +24,44 @@ func TestNewDispatcherByName(t *testing.T) {
 			t.Fatalf("dispatcher %q has %d nodes", name, d.NodeCount())
 		}
 	}
-	if _, err := newDispatcher("nope", 1, 2, p, lard.DefaultCacheBytes); err == nil {
+	if _, err := newDispatcher("nope", 1, 2, p, lard.DefaultCacheBytes, nil); err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
-	d, err := newDispatcher("lard/r", 4, 8, p, lard.DefaultCacheBytes)
+	d, err := newDispatcher("lard/r", 4, 8, p, lard.DefaultCacheBytes, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.Shards() != 4 {
 		t.Fatalf("Shards() = %d, want 4", d.Shards())
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	profiles, err := parseWeights(" 0.5, 1 ,2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 3 || profiles[0].Weight != 0.5 || profiles[2].Weight != 2 {
+		t.Fatalf("parseWeights = %+v", profiles)
+	}
+	if got, _ := parseWeights("", 3); got != nil {
+		t.Fatal("empty -weights should yield no profiles")
+	}
+	for _, bad := range []string{"1,2", "1,2,3,4", "1,x,3", "1,-2,3", "1,0,3"} {
+		if _, err := parseWeights(bad, 3); err == nil {
+			t.Fatalf("parseWeights(%q) accepted", bad)
+		}
+	}
+
+	// The weights feed WithProfiles: a half node's thresholds scale.
+	d, err := newDispatcher("wlard", 1, 2, core.DefaultParams(), lard.DefaultCacheBytes,
+		[]core.Profile{{Weight: 0.5}, {Weight: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := d.Profiles()
+	if got[0].THigh != 33 || got[1].THigh != 130 {
+		t.Fatalf("profiles = %+v, want T_high 33 and 130", got)
 	}
 }
 
@@ -119,6 +148,32 @@ func TestAdminMux(t *testing.T) {
 	}
 	if _, ok := st.SessionsByPolicy["pin"]; !ok {
 		t.Fatalf("stats missing per-policy session counts: %+v", st.SessionsByPolicy)
+	}
+
+	// Live profile retune: node 0 drops to half weight, visible in the
+	// nodes snapshot; bad nodes and empty retunes are rejected.
+	if code := post("/admin/profile?node=0&weight=0.5"); code != 200 {
+		t.Fatalf("profile retune: %d", code)
+	}
+	if code := post("/admin/profile?node=1&weight=2"); code != http.StatusBadRequest {
+		t.Fatalf("profile retune removed node: %d", code)
+	}
+	if code := post("/admin/profile?node=0"); code != http.StatusBadRequest {
+		t.Fatalf("profile retune without fields: %d", code)
+	}
+	if code := post("/admin/profile?node=0&weight=x"); code != http.StatusBadRequest {
+		t.Fatalf("profile retune bad weight: %d", code)
+	}
+	resp, err = http.Get(srv.URL + "/admin/nodes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&nodes); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if p := nodes[0].Profile; p.Weight != 0.5 || p.TLow != 13 || p.THigh != 33 {
+		t.Fatalf("node 0 profile after retune = %+v", p)
 	}
 
 	resp, err = http.Get(srv.URL + "/admin/metrics")

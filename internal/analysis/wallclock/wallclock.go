@@ -29,7 +29,7 @@ import (
 // Analyzer is the wallclock pass.
 var Analyzer = &analysis.Analyzer{
 	Name: "wallclock",
-	Doc:  "forbid wall-clock time sources in the virtual-clock packages (internal/core, internal/sim, internal/cluster, internal/breaker, internal/quota, internal/metrics, pkg/lard)",
+	Doc:  "forbid wall-clock time sources in the virtual-clock packages (internal/core, internal/sim, internal/cluster, internal/experiments, internal/breaker, internal/quota, internal/metrics, pkg/lard)",
 	Run:  run,
 }
 
@@ -39,6 +39,7 @@ var virtualClockPkgs = []string{
 	"internal/core",
 	"internal/sim",
 	"internal/cluster",
+	"internal/experiments",
 	"internal/breaker",
 	"internal/quota",
 	"internal/metrics",

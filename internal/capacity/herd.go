@@ -15,7 +15,7 @@ import (
 // This file is the thundering-herd experiment: the end-to-end proof that
 // the overload-protection subsystem protects well-behaved clients from
 // an abusive one. The cluster is offered a multiple of its measured
-// saturation knee (BENCH_PR8's headline number), but almost all of the
+// saturation knee (BENCH_PR9's headline number), but almost all of the
 // excess comes from a single client identity; the front end's
 // per-client-IP quota must shed the abuser (429 + Retry-After) while the
 // well-behaved cohort — each client comfortably inside its quota — keeps
@@ -111,7 +111,7 @@ func cohort(rate float64, st loadgen.Stats) Cohort {
 }
 
 // HerdResult is the experiment's machine-readable outcome, stored by
-// scripts/bench.sh as the "herd" section of BENCH_PR9.json.
+// scripts/bench.sh as the "herd" section of BENCH_PR10.json.
 type HerdResult struct {
 	KneeRPS   float64 `json:"knee_rps"`
 	HerdRPS   float64 `json:"herd_rps"` // total offered: knee × multiplier

@@ -67,6 +67,7 @@ type Cluster struct {
 	// Delay accounting.
 	delaySum     time.Duration
 	delayMax     time.Duration
+	withinSLO    int
 	nodeDelaySum []time.Duration
 	nodeDelayCnt []int64
 
@@ -101,7 +102,9 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 
 	c.diskFor = diskAssignment(tr, cfg.Disks)
 	for i := 0; i < cfg.Nodes; i++ {
-		n := newNode(i, eng, cfg.Cost, cfg.newCache(), cfg.Disks, underBound)
+		// Each node serves under its own speed-scaled cost model, so a
+		// Speed-2 node really completes identical work in half the time.
+		n := newNode(i, eng, cfg.Cost.scaledBy(cfg.profileFor(i).Speed), cfg.newCache(), cfg.Disks, underBound)
 		n.diskFor = c.diskFor
 		c.nodes = append(c.nodes, n)
 	}
@@ -110,11 +113,22 @@ func New(cfg Config, tr *trace.Trace) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c.d, err = lard.New(name,
+	opts := []lard.Option{
 		lard.WithNodes(cfg.Nodes),
 		lard.WithParams(cfg.Params),
 		lard.WithCacheBytes(cfg.CacheBytes),
-		lard.WithShards(max(cfg.Shards, 1)))
+		lard.WithShards(max(cfg.Shards, 1)),
+	}
+	if ps := cfg.coreProfiles(); len(ps) > 0 {
+		opts = append(opts, lard.WithProfiles(ps...))
+	}
+	if cfg.Choices > 0 {
+		opts = append(opts, lard.WithChoices(cfg.Choices))
+	}
+	if cfg.MaxOutstanding != 0 {
+		opts = append(opts, lard.WithMaxOutstanding(cfg.MaxOutstanding))
+	}
+	c.d, err = lard.New(name, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: %w", err)
 	}
@@ -203,14 +217,7 @@ func (c *Cluster) pump() {
 		n.Handle(req, func() {
 			done()
 			c.outstanding--
-			c.served++
-			d := c.eng.Now() - start
-			c.delaySum += d
-			if d > c.delayMax {
-				c.delayMax = d
-			}
-			c.nodeDelaySum[node] += d
-			c.nodeDelayCnt[node]++
+			c.completeRequest(node, start)
 			c.pump()
 			if c.outstanding == 0 && c.next >= c.tr.Len() {
 				c.finishSampling()
@@ -281,13 +288,25 @@ func (c *Cluster) applyChurn(ev ChurnEvent) {
 		c.d.SetNodeDown(ev.Node, false)
 		c.pump()
 	case ChurnJoin:
-		n := newNode(len(c.nodes), c.eng, c.cfg.Cost, c.cfg.newCache(), c.cfg.Disks, c.underBound)
+		// A join without an explicit profile is a cold standard node; with
+		// one, the node both serves at the profile's speed and is admitted
+		// into the recomputed bound with its declared thresholds.
+		p := NodeProfile{}.fill()
+		if ev.Profile != nil {
+			p = ev.Profile.fill()
+		}
+		n := newNode(len(c.nodes), c.eng, c.cfg.Cost.scaledBy(p.Speed), c.cfg.newCache(), c.cfg.Disks, c.underBound)
 		n.diskFor = c.diskFor
 		c.nodes = append(c.nodes, n)
 		c.nodeDelaySum = append(c.nodeDelaySum, 0)
 		c.nodeDelayCnt = append(c.nodeDelayCnt, 0)
 		if id := c.d.AddNode(); id != n.id {
 			panic(fmt.Sprintf("cluster: dispatcher assigned node %d, simulator %d", id, n.id))
+		}
+		if ev.Profile != nil {
+			if err := c.d.SetProfile(n.id, p.Profile); err != nil {
+				panic(fmt.Sprintf("cluster: profile for joined node %d: %v", n.id, err))
+			}
 		}
 		c.pump()
 	case ChurnDrain:
@@ -394,6 +413,12 @@ func (c *Cluster) collect() Result {
 	}
 	if end > 0 {
 		res.Throughput = float64(res.Requests) / end.Seconds()
+	}
+	if c.cfg.DelaySLO > 0 {
+		res.WithinSLO = c.withinSLO
+		if end > 0 {
+			res.Goodput = float64(c.withinSLO) / end.Seconds()
+		}
 	}
 
 	var hits, misses, remote, reqs uint64

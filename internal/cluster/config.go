@@ -30,10 +30,18 @@ const (
 	LARDR
 	// WRRGMS is WRR over back ends sharing a global memory system.
 	WRRGMS
+	// POD is power-of-d-choices with per-node capacity cost (an
+	// extension beyond the paper, for heterogeneous fleets).
+	POD
+	// WLARD is LARD with a weight-scaled imbalance test (likewise an
+	// extension for heterogeneous fleets).
+	WLARD
 )
 
-// AllStrategies returns every simulated configuration, in the paper's
-// presentation order.
+// AllStrategies returns every configuration simulated by the paper, in
+// its presentation order. The heterogeneous-fleet extensions (POD, WLARD)
+// are deliberately excluded so figure reproductions stay faithful; the
+// hetero experiment sweeps them explicitly.
 func AllStrategies() []StrategyKind {
 	return []StrategyKind{WRR, LB, LBGC, LARD, LARDR, WRRGMS}
 }
@@ -53,6 +61,10 @@ func (k StrategyKind) String() string {
 		return "LARD/R"
 	case WRRGMS:
 		return "WRR/GMS"
+	case POD:
+		return "POD"
+	case WLARD:
+		return "WLARD"
 	default:
 		return fmt.Sprintf("StrategyKind(%d)", int(k))
 	}
@@ -73,6 +85,10 @@ func (k StrategyKind) registryName() (string, error) {
 		return "lard", nil
 	case LARDR:
 		return "lard/r", nil
+	case POD:
+		return "pod", nil
+	case WLARD:
+		return "wlard", nil
 	default:
 		return "", fmt.Errorf("cluster: unknown strategy %v", k)
 	}
@@ -94,8 +110,12 @@ func ParseStrategy(s string) (StrategyKind, error) {
 		return LARDR, nil
 	case "wrr/gms", "wrrgms", "gms":
 		return WRRGMS, nil
+	case "pod":
+		return POD, nil
+	case "wlard":
+		return WLARD, nil
 	default:
-		return 0, fmt.Errorf("cluster: unknown strategy %q (want wrr, lb, lb/gc, lard, lard/r, or wrr/gms)", s)
+		return 0, fmt.Errorf("cluster: unknown strategy %q (want wrr, lb, lb/gc, lard, lard/r, wrr/gms, pod, or wlard)", s)
 	}
 }
 
@@ -173,12 +193,45 @@ func (op ChurnOp) String() string {
 	}
 }
 
+// NodeProfile is one simulated node's capacity description: the
+// dispatcher-visible core.Profile (thresholds + weight) plus the
+// simulator-only service-rate multiplier.
+type NodeProfile struct {
+	core.Profile
+
+	// Speed scales the node's service rate: every cost-model duration on
+	// the node (CPU, disk, transmit, handoff) is divided by Speed, so a
+	// Speed-2 node finishes the same work in half the simulated time. 0
+	// defaults to the profile's Weight (a "2× node" both advertises and
+	// delivers double capacity), or 1 when that is also unset.
+	Speed float64
+}
+
+// fill resolves zero fields: Weight 0 becomes 1 and Speed 0 follows the
+// weight, so declaring just {Weight: 2} yields a node that advertises and
+// serves double capacity. Thresholds stay zero here — pkg/lard fills them
+// from Params scaled by Weight.
+func (p NodeProfile) fill() NodeProfile {
+	if p.Weight == 0 {
+		p.Weight = 1
+	}
+	if p.Speed == 0 {
+		p.Speed = p.Weight
+	}
+	return p
+}
+
 // ChurnEvent is one scripted membership change at virtual time At. Build
 // schedules with the FailAt/RecoverAt/JoinAt/DrainAt/LeaveAt helpers.
 type ChurnEvent struct {
 	At   time.Duration
 	Op   ChurnOp
 	Node int
+
+	// Profile, set only on ChurnJoin events, is the joining node's
+	// capacity profile (see JoinWithProfileAt). Nil joins a standard
+	// uniform node.
+	Profile *NodeProfile
 }
 
 // FailAt schedules node to fail at t.
@@ -191,9 +244,18 @@ func RecoverAt(node int, t time.Duration) ChurnEvent {
 	return ChurnEvent{At: t, Op: ChurnRecover, Node: node}
 }
 
-// JoinAt schedules a new node to join at t.
+// JoinAt schedules a new node to join at t on the uniform default
+// profile.
 func JoinAt(t time.Duration) ChurnEvent {
 	return ChurnEvent{At: t, Op: ChurnJoin}
+}
+
+// JoinWithProfileAt schedules a new node to join at t with an explicit
+// capacity profile: the dispatcher learns its thresholds and weight (and
+// recomputes the admission bound) the moment it joins, and the simulated
+// node serves at the profile's Speed.
+func JoinWithProfileAt(p NodeProfile, t time.Duration) ChurnEvent {
+	return ChurnEvent{At: t, Op: ChurnJoin, Profile: &p}
 }
 
 // DrainAt schedules node to start draining at t.
@@ -253,6 +315,33 @@ type Config struct {
 	// UnderutilizationFraction defines node underutilization as load
 	// below this fraction of T_low (the paper uses 40%).
 	UnderutilizationFraction float64
+
+	// Profiles optionally describes a heterogeneous fleet: Profiles[i]
+	// is node i's capacity profile. It may be shorter than Nodes;
+	// unlisted nodes are standard (weight 1, speed 1, the Params
+	// thresholds). Zero fields fill as NodeProfile documents, so a fleet
+	// of "4 small + 2 big" is just two {Weight: w} entries.
+	Profiles []NodeProfile
+
+	// MaxOutstanding, when nonzero, overrides the admission bound the
+	// thresholds would derive: the front end keeps at most this many
+	// requests in flight per shard (negative = unlimited, as in
+	// lard.WithMaxOutstanding). Pinning it lets experiments compare
+	// threshold policies at identical offered concurrency, so only
+	// request placement — not the budget each policy derives — differs
+	// between runs.
+	MaxOutstanding int
+
+	// DelaySLO, when positive, classifies each completed request by
+	// whether its total delay stayed within this bound; Result.Goodput
+	// is the rate of requests that did. Overloaded uniform thresholds on
+	// a mixed fleet show up here: the throughput stays flat while
+	// goodput collapses on the queued-up small nodes.
+	DelaySLO time.Duration
+
+	// Choices is the pod strategy's per-target candidate count (0 = the
+	// default 2).
+	Choices int
 
 	// Shards partitions the front end's target space over this many
 	// independent strategy instances (0 or 1 = the paper's single
@@ -356,6 +445,29 @@ type Config struct {
 	Breaker *breaker.Config
 }
 
+// profileFor returns node i's filled capacity profile; nodes beyond the
+// Profiles slice (including runtime joins without an explicit profile)
+// are standard weight-1, speed-1 nodes.
+func (c Config) profileFor(i int) NodeProfile {
+	if i >= 0 && i < len(c.Profiles) {
+		return c.Profiles[i].fill()
+	}
+	return NodeProfile{}.fill()
+}
+
+// coreProfiles returns the dispatcher-visible per-node profiles, or nil
+// for a uniform fleet (preserving the paper-exact construction path).
+func (c Config) coreProfiles() []core.Profile {
+	if len(c.Profiles) == 0 {
+		return nil
+	}
+	out := make([]core.Profile, len(c.Profiles))
+	for i := range out {
+		out[i] = c.Profiles[i].fill().Profile
+	}
+	return out
+}
+
 // connPolicyName resolves the persistent-connection policy name through
 // the shared pkg/lard rule; Validate has already rejected unknown names
 // and conflicts, so the error path is unreachable here.
@@ -422,6 +534,14 @@ func (c Config) Validate() error {
 		if ev.At < 0 {
 			return fmt.Errorf("cluster: churn %s at negative time %v", ev.Op, ev.At)
 		}
+		if ev.Profile != nil {
+			if ev.Op != ChurnJoin {
+				return fmt.Errorf("cluster: churn %s at %v carries a profile; only joins may", ev.Op, ev.At)
+			}
+			if err := validateNodeProfile(*ev.Profile); err != nil {
+				return fmt.Errorf("cluster: churn join at %v: %w", ev.At, err)
+			}
+		}
 	}
 	// Joins assign indexes at runtime, so an event may reference a node
 	// beyond Nodes − 1 — but only once enough joins have fired. Replay
@@ -443,6 +563,20 @@ func (c Config) Validate() error {
 	}
 	if c.SampleEvery < 0 {
 		return fmt.Errorf("cluster: negative SampleEvery")
+	}
+	if len(c.Profiles) > c.Nodes {
+		return fmt.Errorf("cluster: %d profiles for %d nodes", len(c.Profiles), c.Nodes)
+	}
+	for i, p := range c.Profiles {
+		if err := validateNodeProfile(p); err != nil {
+			return fmt.Errorf("cluster: profile for node %d: %w", i, err)
+		}
+	}
+	if c.DelaySLO < 0 {
+		return fmt.Errorf("cluster: negative DelaySLO")
+	}
+	if c.Choices < 0 {
+		return fmt.Errorf("cluster: Choices = %d, need >= 0", c.Choices)
 	}
 	if c.ReqsPerConn < 0 {
 		return fmt.Errorf("cluster: ReqsPerConn = %d, need >= 0", c.ReqsPerConn)
@@ -478,6 +612,22 @@ func (c Config) Validate() error {
 	// policy: the session behind each connection re-dispatches when its
 	// node drains, fails, or leaves, so even a pinned connection moves on
 	// its next request (PR 3 had to reject this combination).
+	return nil
+}
+
+// validateNodeProfile rejects unusable profile declarations before fill:
+// negative knobs, or thresholds that cross once both are explicit.
+func validateNodeProfile(p NodeProfile) error {
+	switch {
+	case p.Weight < 0:
+		return fmt.Errorf("negative Weight %v", p.Weight)
+	case p.Speed < 0:
+		return fmt.Errorf("negative Speed %v", p.Speed)
+	case p.TLow < 0 || p.THigh < 0:
+		return fmt.Errorf("negative thresholds (TLow %d, THigh %d)", p.TLow, p.THigh)
+	case p.TLow > 0 && p.THigh > 0 && p.THigh <= p.TLow:
+		return fmt.Errorf("THigh %d must exceed TLow %d", p.THigh, p.TLow)
+	}
 	return nil
 }
 

@@ -122,6 +122,29 @@ func (m CostModel) WithCPUSpeed(speed float64) CostModel {
 	return m
 }
 
+// scaledBy returns a copy of the model for a node serving at the given
+// speed multiplier: every duration — CPU, disk, and handoff — shrinks by
+// the factor, so a speed-2 node completes identical work in half the
+// simulated time. This is the whole-node heterogeneity knob behind
+// Config.Profiles, distinct from CPUSpeed, which scales only CPU costs
+// fleet-wide for the Figure 11/12 sweeps.
+func (m CostModel) scaledBy(speed float64) CostModel {
+	if speed == 1.0 {
+		return m
+	}
+	div := func(d time.Duration) time.Duration {
+		return time.Duration(float64(d) / speed)
+	}
+	m.ConnEstablish = div(m.ConnEstablish)
+	m.ConnTeardown = div(m.ConnTeardown)
+	m.TransmitPerUnit = div(m.TransmitPerUnit)
+	m.DiskFirstLatency = div(m.DiskFirstLatency)
+	m.DiskExtraLatency = div(m.DiskExtraLatency)
+	m.DiskTransferPerUnit = div(m.DiskTransferPerUnit)
+	m.HandoffCost = div(m.HandoffCost)
+	return m
+}
+
 // cpu scales a CPU cost by the configured CPU speed.
 func (m CostModel) cpu(d time.Duration) time.Duration {
 	if m.CPUSpeed == 1.0 {

@@ -144,18 +144,21 @@ func (c *Cluster) stepConn(cs *connState) bool {
 		c.maybeFinish()
 		return true
 	}
+	// Handoff and establishment are processing on the landing node, so
+	// they run at that node's speed-scaled costs.
+	landing := c.nodes[node].cost
 	var extra time.Duration
 	switch {
 	case cs.prev < 0:
 		// The connection's arrival: handoff + establishment at the first
 		// back end.
-		extra = c.cfg.Cost.HandoffTime() + c.cfg.Cost.EstablishTime()
+		extra = landing.HandoffTime() + landing.EstablishTime()
 	case moved:
 		// The session moved the connection: teardown where it was,
 		// handoff + establishment where it lands.
 		c.nodes[cs.prev].ChargeTeardown()
 		c.rehandoffs++
-		extra = c.cfg.Cost.HandoffTime() + c.cfg.Cost.EstablishTime()
+		extra = landing.HandoffTime() + landing.EstablishTime()
 	}
 	cs.prev = node
 	c.outstanding++
@@ -182,14 +185,17 @@ func (c *Cluster) stepConn(cs *connState) bool {
 	return true
 }
 
-// completeRequest folds one finished request into the shared accounting
-// (mirroring the per-request bookkeeping of the HTTP/1.0 loop).
+// completeRequest folds one finished request into the shared accounting;
+// both the HTTP/1.0 and persistent closed loops funnel through it.
 func (c *Cluster) completeRequest(node int, start time.Duration) {
 	c.served++
 	d := c.eng.Now() - start
 	c.delaySum += d
 	if d > c.delayMax {
 		c.delayMax = d
+	}
+	if c.cfg.DelaySLO > 0 && d <= c.cfg.DelaySLO {
+		c.withinSLO++
 	}
 	c.nodeDelaySum[node] += d
 	c.nodeDelayCnt[node]++

@@ -38,6 +38,16 @@ type Result struct {
 	// paper's primary figure of merit.
 	Throughput float64
 
+	// WithinSLO counts served requests whose total delay stayed within
+	// Config.DelaySLO, and Goodput is their rate (WithinSLO / SimTime,
+	// requests per second). Both are zero unless DelaySLO is set. On a
+	// heterogeneous fleet this is the metric that separates
+	// capacity-aware from uniform-threshold distribution: queued-up
+	// small nodes still complete requests (flat Throughput) but blow the
+	// delay bound (collapsed Goodput).
+	WithinSLO int
+	Goodput   float64
+
 	// HitRatio and MissRatio are over all requests, cluster-wide.
 	HitRatio  float64
 	MissRatio float64

@@ -148,6 +148,7 @@ func (p Params) Validate() error {
 // connections the front end admits to an n-node cluster. The paper chooses
 // S so that "at most n−1 nodes can have a load ≥ T_high while no node has
 // load < T_low", leaving room for bounded imbalance without idling nodes.
+// It is the uniform-fleet special case of MaxOutstandingOver.
 func (p Params) MaxOutstanding(n int) int {
 	if n < 1 {
 		return 0
@@ -155,33 +156,153 @@ func (p Params) MaxOutstanding(n int) int {
 	return (n-1)*p.THigh + p.TLow + 1
 }
 
+// Profile is one node's capacity profile: the per-node generalization of
+// the fleet-wide Params thresholds for heterogeneous clusters.
+//
+// TLow and THigh play the roles of Params.TLow/THigh for this node alone:
+// a small node trips the move condition at a lower load than a big one.
+// Weight is the node's relative capacity used by placement rules that
+// compare loads across nodes (WRR's weight-proportional pick, POD's
+// choice cost, WLARD's weight-scaled imbalance test); 1.0 is a standard
+// node, 2.0 a node with twice the capacity.
+type Profile struct {
+	// TLow is the load below which this node is likely to have idle
+	// resources.
+	TLow int
+
+	// THigh is the load above which this node is likely to cause
+	// substantial delay; its targets move away when it exceeds THigh
+	// while another node sits below its own TLow, or unconditionally at
+	// 2×THigh.
+	THigh int
+
+	// Weight is the node's relative capacity (> 0).
+	Weight float64
+}
+
+// DefaultProfile returns the profile of a standard node under the paper's
+// default parameters: TLow = 25, THigh = 65, Weight = 1.
+func DefaultProfile() Profile { return DefaultParams().Profile() }
+
+// Profile returns the uniform per-node profile implied by the fleet-wide
+// parameters: every node gets p's thresholds at weight 1.
+func (p Params) Profile() Profile {
+	return Profile{TLow: p.TLow, THigh: p.THigh, Weight: 1}
+}
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	switch {
+	case p.TLow < 1:
+		return fmt.Errorf("core: profile TLow = %d, need >= 1", p.TLow)
+	case p.THigh <= p.TLow:
+		return fmt.Errorf("core: profile THigh = %d must exceed TLow = %d", p.THigh, p.TLow)
+	case p.Weight <= 0:
+		return fmt.Errorf("core: profile Weight = %v, need > 0", p.Weight)
+	}
+	return nil
+}
+
+// MaxOutstandingOver returns the heterogeneous admission bound
+//
+//	S = Σᵢ T_high,i − maxᵢ T_high,i + minᵢ T_low,i + 1
+//
+// over the given per-node profiles. It preserves the paper's guarantee in
+// per-node form: with at most S connections outstanding, at most n−1 nodes
+// can sit at or above their own T_high while no node is below its own
+// T_low — so whenever some node is overloaded by its profile's standard,
+// an idle node exists and the strategies' move condition can fire. On a
+// uniform fleet it reduces exactly to Params.MaxOutstanding(n).
+func MaxOutstandingOver(profiles []Profile) int {
+	if len(profiles) == 0 {
+		return 0
+	}
+	sum, maxHigh, minLow := 0, profiles[0].THigh, profiles[0].TLow
+	for _, p := range profiles {
+		sum += p.THigh
+		if p.THigh > maxHigh {
+			maxHigh = p.THigh
+		}
+		if p.TLow < minLow {
+			minLow = p.TLow
+		}
+	}
+	return sum - maxHigh + minLow + 1
+}
+
+// ProfileAware is implemented by strategies that carry per-node capacity
+// profiles. All built-in strategies implement it (through the shared
+// nodeSet); the dispatcher layer uses it to install initial profiles and
+// to fan out runtime profile changes.
+type ProfileAware interface {
+	// SetProfile replaces node's capacity profile. The caller has
+	// validated the profile; setting a profile on an unknown node is a
+	// no-op.
+	SetProfile(node int, p Profile)
+
+	// NodeProfile returns node's current capacity profile.
+	NodeProfile(node int) Profile
+}
+
 // nodeSet tracks which nodes are eligible for new assignments and
 // provides the load-based node picks shared by the strategies. A node is
 // eligible ("alive" below) when it has not failed (Section 2.6), is not
 // draining, and has not been removed from the cluster. The set is
 // growable; indices are stable and never reused.
+//
+// The set also carries each node's capacity Profile. Nodes start from the
+// default profile the strategy was built with (derived from its Params, or
+// DefaultProfile for strategies without thresholds) and may be retuned
+// per node through setProfile; nodes added later inherit the default.
 type nodeSet struct {
-	loads   LoadReader
-	down    []bool
-	drain   []bool
-	removed []bool
+	loads    LoadReader
+	def      Profile
+	profiles []Profile
+	down     []bool
+	drain    []bool
+	removed  []bool
 	// rr rotates tie-breaks so equal-load nodes are picked round-robin.
 	rr int
 }
 
-func newNodeSet(loads LoadReader) nodeSet {
+func newNodeSet(loads LoadReader, def Profile) nodeSet {
 	if loads == nil {
 		panic("core: nil LoadReader")
+	}
+	if err := def.Validate(); err != nil {
+		panic(err)
 	}
 	n := loads.NodeCount()
 	if n < 1 {
 		panic("core: LoadReader reports no nodes")
 	}
+	profiles := make([]Profile, n)
+	for i := range profiles {
+		profiles[i] = def
+	}
 	return nodeSet{
-		loads:   loads,
-		down:    make([]bool, n),
-		drain:   make([]bool, n),
-		removed: make([]bool, n),
+		loads:    loads,
+		def:      def,
+		profiles: profiles,
+		down:     make([]bool, n),
+		drain:    make([]bool, n),
+		removed:  make([]bool, n),
+	}
+}
+
+// profile returns node's capacity profile (the default for out-of-range
+// indices, which keeps lookups on the dispatch path branch-cheap).
+func (s *nodeSet) profile(node int) Profile {
+	if node < 0 || node >= len(s.profiles) {
+		return s.def
+	}
+	return s.profiles[node]
+}
+
+// setProfile replaces node's capacity profile. Unknown nodes are ignored.
+func (s *nodeSet) setProfile(node int, p Profile) {
+	if node >= 0 && node < len(s.profiles) {
+		s.profiles[node] = p
 	}
 }
 
@@ -196,9 +317,11 @@ func (s *nodeSet) setDown(node int, down bool) {
 	}
 }
 
-// add extends the node set with one fresh, eligible node and returns its
-// index. The caller's LoadReader must already report the new node.
+// add extends the node set with one fresh, eligible node carrying the
+// default profile and returns its index. The caller's LoadReader must
+// already report the new node.
 func (s *nodeSet) add() int {
+	s.profiles = append(s.profiles, s.def)
 	s.down = append(s.down, false)
 	s.drain = append(s.drain, false)
 	s.removed = append(s.removed, false)
@@ -250,10 +373,53 @@ func (s *nodeSet) leastLoaded() int {
 	return best
 }
 
-// anyBelow reports whether some alive node has load < bound.
-func (s *nodeSet) anyBelow(bound int) bool {
+// anyBelowTLow reports whether some alive node sits below its own
+// profile's T_low — the per-node form of the paper's "∃ node with load <
+// T_low" idle test.
+func (s *nodeSet) anyBelowTLow() bool {
 	for i := range s.down {
-		if s.alive(i) && s.loads.Load(i) < bound {
+		if s.alive(i) && s.loads.Load(i) < s.profiles[i].TLow {
+			return true
+		}
+	}
+	return false
+}
+
+// / relLoad returns node's capacity-relative load: active connections
+// divided by the profile weight, so a 2× node at 40 connections compares
+// equal to a 1× node at 20.
+func (s *nodeSet) relLoad(node int) float64 {
+	return float64(s.loads.Load(node)) / s.profiles[node].Weight
+}
+
+// leastRelLoaded returns the alive node with the minimum capacity-relative
+// load (load / weight), rotating the starting point so ties are broken
+// round-robin, or -1 if none is alive. On a uniform fleet (all weights 1)
+// it is exactly leastLoaded.
+func (s *nodeSet) leastRelLoaded() int {
+	n := len(s.down)
+	best, bestLoad := -1, 0.0
+	for k := 0; k < n; k++ {
+		i := (s.rr + k) % n
+		if !s.alive(i) {
+			continue
+		}
+		l := s.relLoad(i)
+		if best == -1 || l < bestLoad {
+			best, bestLoad = i, l
+		}
+	}
+	if best >= 0 {
+		s.rr = (best + 1) % n
+	}
+	return best
+}
+
+// anyRelBelow reports whether some alive node has capacity-relative load
+// strictly below bound.
+func (s *nodeSet) anyRelBelow(bound float64) bool {
+	for i := range s.down {
+		if s.alive(i) && s.relLoad(i) < bound {
 			return true
 		}
 	}

@@ -81,7 +81,7 @@ func TestMaxOutstandingPaperProperty(t *testing.T) {
 
 func TestNodeSetLeastLoaded(t *testing.T) {
 	loads := &fakeLoads{loads: []int{5, 2, 9, 2}}
-	ns := newNodeSet(loads)
+	ns := newNodeSet(loads, DefaultProfile())
 	// Strict minimum.
 	if got := ns.leastLoaded(); got != 1 {
 		t.Fatalf("leastLoaded = %d, want 1", got)
@@ -95,7 +95,7 @@ func TestNodeSetLeastLoaded(t *testing.T) {
 
 func TestNodeSetLeastLoadedSkipsDown(t *testing.T) {
 	loads := &fakeLoads{loads: []int{1, 0, 5}}
-	ns := newNodeSet(loads)
+	ns := newNodeSet(loads, DefaultProfile())
 	ns.setDown(1, true)
 	if got := ns.leastLoaded(); got != 0 {
 		t.Fatalf("leastLoaded = %d, want 0 (node 1 down)", got)
@@ -111,23 +111,41 @@ func TestNodeSetLeastLoadedSkipsDown(t *testing.T) {
 	}
 }
 
-func TestNodeSetAnyBelow(t *testing.T) {
+func TestNodeSetAnyBelowTLow(t *testing.T) {
 	loads := &fakeLoads{loads: []int{30, 40}}
-	ns := newNodeSet(loads)
-	if ns.anyBelow(25) {
-		t.Fatal("anyBelow(25) = true with loads 30, 40")
+	ns := newNodeSet(loads, Profile{TLow: 25, THigh: 65, Weight: 1})
+	if ns.anyBelowTLow() {
+		t.Fatal("anyBelowTLow = true with loads 30, 40 and T_low 25")
 	}
-	if !ns.anyBelow(31) {
-		t.Fatal("anyBelow(31) = false with load 30 present")
+	// Raising node 0's own T_low above its load makes it idle.
+	ns.setProfile(0, Profile{TLow: 31, THigh: 65, Weight: 1})
+	if !ns.anyBelowTLow() {
+		t.Fatal("anyBelowTLow = false with load 30 under its T_low 31")
 	}
 	ns.setDown(0, true)
-	if ns.anyBelow(31) {
-		t.Fatal("down node counted by anyBelow")
+	if ns.anyBelowTLow() {
+		t.Fatal("down node counted by anyBelowTLow")
+	}
+}
+
+func TestNodeSetRelLoad(t *testing.T) {
+	loads := &fakeLoads{loads: []int{40, 30, 20}}
+	ns := newNodeSet(loads, DefaultProfile())
+	ns.setProfile(0, Profile{TLow: 25, THigh: 65, Weight: 4})
+	// Relative loads: 10, 30, 20 — node 0 wins despite the highest raw load.
+	if got := ns.leastRelLoaded(); got != 0 {
+		t.Fatalf("leastRelLoaded = %d, want 0", got)
+	}
+	if got := ns.relLoad(0); got != 10 {
+		t.Fatalf("relLoad(0) = %v, want 10", got)
+	}
+	if !ns.anyRelBelow(11) || ns.anyRelBelow(10) {
+		t.Fatal("anyRelBelow bounds wrong around relative load 10")
 	}
 }
 
 func TestNodeSetAliveNodes(t *testing.T) {
-	ns := newNodeSet(&fakeLoads{loads: []int{0, 0, 0}})
+	ns := newNodeSet(&fakeLoads{loads: []int{0, 0, 0}}, DefaultProfile())
 	ns.setDown(1, true)
 	alive := ns.aliveNodes()
 	if len(alive) != 2 || alive[0] != 0 || alive[1] != 2 {
@@ -143,8 +161,10 @@ func TestNodeSetAliveNodes(t *testing.T) {
 
 func TestNewNodeSetPanics(t *testing.T) {
 	for _, f := range []func(){
-		func() { newNodeSet(nil) },
-		func() { newNodeSet(&fakeLoads{}) },
+		func() { newNodeSet(nil, DefaultProfile()) },
+		func() { newNodeSet(&fakeLoads{}, DefaultProfile()) },
+		func() { newNodeSet(&fakeLoads{loads: []int{0}}, Profile{TLow: 0, THigh: 65, Weight: 1}) },
+		func() { newNodeSet(&fakeLoads{loads: []int{0}}, Profile{TLow: 25, THigh: 65, Weight: 0}) },
 	} {
 		func() {
 			defer func() {

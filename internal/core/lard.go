@@ -37,12 +37,14 @@ type LARD struct {
 }
 
 // NewLARD returns a basic LARD strategy. It panics if params are invalid.
+// Every node starts on the uniform profile params imply; SetProfile
+// retunes individual nodes for heterogeneous fleets.
 func NewLARD(loads LoadReader, params Params) *LARD {
 	if err := params.Validate(); err != nil {
 		panic(err)
 	}
 	return &LARD{
-		nodes:  newNodeSet(loads),
+		nodes:  newNodeSet(loads, params.Profile()),
 		params: params,
 		server: newMapping[int](params.MappingCapacity),
 	}
@@ -63,9 +65,14 @@ func (s *LARD) Select(_ time.Duration, r Request) int {
 		s.assigns++
 		return node
 	}
+	// The imbalance test uses the serving node's own thresholds: on a
+	// heterogeneous fleet a small node trips the move condition at the
+	// load that actually overloads *it*, and the idle test asks whether
+	// any node is below its own T_low.
 	load := s.nodes.loads.Load(node)
-	idleExists := load > s.params.THigh && s.nodes.anyBelow(s.params.TLow)
-	panicked := load >= 2*s.params.THigh
+	high := s.nodes.profile(node).THigh
+	idleExists := load > high && s.nodes.anyBelowTLow()
+	panicked := load >= 2*high
 	if idleExists || panicked {
 		moved := s.nodes.leastLoaded()
 		if moved >= 0 && moved != node {
@@ -108,6 +115,13 @@ func (s *LARD) RemoveNode(node int) { s.nodes.remove(node) }
 // node while in-flight connections finish.
 func (s *LARD) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
 
+// SetProfile implements ProfileAware: the node's thresholds take effect on
+// the next Select that consults them.
+func (s *LARD) SetProfile(node int, p Profile) { s.nodes.setProfile(node, p) }
+
+// NodeProfile implements ProfileAware.
+func (s *LARD) NodeProfile(node int) Profile { return s.nodes.profile(node) }
+
 // Assignment returns the node currently assigned to target, if any. It
 // does not refresh the mapping's recency and is intended for tests and
 // diagnostics.
@@ -134,4 +148,5 @@ var (
 	_ Strategy        = (*LARD)(nil)
 	_ FailureAware    = (*LARD)(nil)
 	_ MembershipAware = (*LARD)(nil)
+	_ ProfileAware    = (*LARD)(nil)
 )

@@ -51,7 +51,7 @@ func NewLARDR(loads LoadReader, params Params) *LARDR {
 		panic(err)
 	}
 	return &LARDR{
-		nodes:  newNodeSet(loads),
+		nodes:  newNodeSet(loads, params.Profile()),
 		params: params,
 		sets:   newMapping[targetSet](params.MappingCapacity),
 	}
@@ -80,8 +80,12 @@ func (s *LARDR) Select(now time.Duration, r Request) int {
 	m := s.mostLoadedOf(set.nodes)
 	changed := false
 
+	// As in LARD, the imbalance test consults the serving node's own
+	// thresholds, so replication triggers at the load that overloads the
+	// set's least-loaded member specifically.
 	load := s.nodes.loads.Load(n)
-	if (load > s.params.THigh && s.nodes.anyBelow(s.params.TLow)) || load >= 2*s.params.THigh {
+	high := s.nodes.profile(n).THigh
+	if (load > high && s.nodes.anyBelowTLow()) || load >= 2*high {
 		if p := s.nodes.leastLoaded(); p >= 0 && !containsNode(set.nodes, p) {
 			set.nodes = append(set.nodes, p)
 			n = p
@@ -187,6 +191,12 @@ func (s *LARDR) RemoveNode(node int) { s.nodes.remove(node) }
 // replicas (or a fresh assignment).
 func (s *LARDR) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
 
+// SetProfile implements ProfileAware.
+func (s *LARDR) SetProfile(node int, p Profile) { s.nodes.setProfile(node, p) }
+
+// NodeProfile implements ProfileAware.
+func (s *LARDR) NodeProfile(node int) Profile { return s.nodes.profile(node) }
+
 // ServerSet returns a copy of the current server set for target, for tests
 // and diagnostics.
 func (s *LARDR) ServerSet(target string) []int {
@@ -214,4 +224,5 @@ var (
 	_ Strategy        = (*LARDR)(nil)
 	_ FailureAware    = (*LARDR)(nil)
 	_ MembershipAware = (*LARDR)(nil)
+	_ ProfileAware    = (*LARDR)(nil)
 )

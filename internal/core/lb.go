@@ -20,7 +20,7 @@ type LB struct {
 // NewLB returns an LB strategy. It consults the LoadReader only for the
 // node count (and liveness bookkeeping), never for load.
 func NewLB(loads LoadReader) *LB {
-	return &LB{nodes: newNodeSet(loads)}
+	return &LB{nodes: newNodeSet(loads, DefaultProfile())}
 }
 
 // Name implements Strategy.
@@ -54,6 +54,14 @@ func (s *LB) RemoveNode(node int) { s.nodes.remove(node) }
 // SetDraining implements MembershipAware.
 func (s *LB) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
 
+// SetProfile implements ProfileAware. LB partitions by hash alone, so the
+// profile is recorded (and reported) but deliberately does not influence
+// Select — the paper's LB scheme is load- and capacity-blind.
+func (s *LB) SetProfile(node int, p Profile) { s.nodes.setProfile(node, p) }
+
+// NodeProfile implements ProfileAware.
+func (s *LB) NodeProfile(node int) Profile { return s.nodes.profile(node) }
+
 // hashTarget hashes a target name for partitioning.
 func hashTarget(target string) uint64 {
 	h := fnv.New64a()
@@ -65,4 +73,5 @@ var (
 	_ Strategy        = (*LB)(nil)
 	_ FailureAware    = (*LB)(nil)
 	_ MembershipAware = (*LB)(nil)
+	_ ProfileAware    = (*LB)(nil)
 )

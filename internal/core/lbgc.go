@@ -36,7 +36,7 @@ func NewLBGC(loads LoadReader, nodeCacheBytes int64) *LBGC {
 	if nodeCacheBytes < 0 {
 		panic("core: negative LB/GC node cache size")
 	}
-	ns := newNodeSet(loads)
+	ns := newNodeSet(loads, DefaultProfile())
 	return &LBGC{
 		nodes:    ns,
 		nodeCap:  nodeCacheBytes,
@@ -174,6 +174,14 @@ func (s *LBGC) dropEntriesOf(node int) {
 	}
 }
 
+// SetProfile implements ProfileAware. LB/GC places by modelled cache state,
+// not load, so the profile is recorded for reporting but does not alter
+// placement — matching the paper's capacity-blind idealization.
+func (s *LBGC) SetProfile(node int, p Profile) { s.nodes.setProfile(node, p) }
+
+// NodeProfile implements ProfileAware.
+func (s *LBGC) NodeProfile(node int) Profile { return s.nodes.profile(node) }
+
 // ModelledEntries returns the number of targets currently tracked by the
 // front-end cache model, for tests and diagnostics.
 func (s *LBGC) ModelledEntries() int { return s.global.Len() }
@@ -182,4 +190,5 @@ var (
 	_ Strategy        = (*LBGC)(nil)
 	_ FailureAware    = (*LBGC)(nil)
 	_ MembershipAware = (*LBGC)(nil)
+	_ ProfileAware    = (*LBGC)(nil)
 )

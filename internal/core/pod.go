@@ -1,0 +1,126 @@
+package core
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"time"
+)
+
+// POD is a power-of-d-choices strategy with per-node capacity cost, after
+// Pourmiri et al.'s proximity-aware balanced allocations: each target
+// deterministically hashes to d candidate nodes, and a request goes to the
+// candidate with the lowest capacity-relative load (load divided by the
+// node's profile Weight).
+//
+// Because the candidate set is a pure function of the target name, a
+// target's requests concentrate on at most d nodes — bounding cache
+// dilution at d copies of the working set instead of WRR's n — while the
+// least-relative-loaded pick keeps the fleet balanced in proportion to
+// capacity. Unlike LARD it needs no per-target front-end state, trading
+// locality precision for O(1) memory.
+//
+// A candidate at or above twice its own T_high is skipped (the same panic
+// level LARD uses to abandon a node); if every candidate is panicked the
+// request spills to the least relative-loaded alive node.
+type POD struct {
+	nodes  nodeSet
+	d      int
+	spills uint64
+}
+
+// DefaultChoices is the number of hash candidates POD uses when the caller
+// does not specify one. Two choices already gets the bulk of the
+// power-of-d balancing benefit while keeping cache dilution minimal.
+const DefaultChoices = 2
+
+// NewPOD returns a power-of-d-choices strategy with d candidates per
+// target. It panics if params are invalid or d < 1. Every node starts on
+// the uniform profile params imply; SetProfile retunes individual nodes.
+func NewPOD(loads LoadReader, params Params, d int) *POD {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	if d < 1 {
+		panic("core: POD needs at least one choice")
+	}
+	return &POD{nodes: newNodeSet(loads, params.Profile()), d: d}
+}
+
+// Name implements Strategy.
+func (s *POD) Name() string { return "POD" }
+
+// Select implements Strategy.
+func (s *POD) Select(_ time.Duration, r Request) int {
+	alive := s.nodes.aliveNodes()
+	if len(alive) == 0 {
+		return -1
+	}
+	best, bestRel := -1, 0.0
+	for c := 0; c < s.d; c++ {
+		n := alive[saltedHash(r.Target, uint64(c))%uint64(len(alive))]
+		load := s.nodes.loads.Load(n)
+		if load >= 2*s.nodes.profile(n).THigh {
+			continue // panicked candidate, same abandon level as LARD
+		}
+		rel := s.nodes.relLoad(n)
+		if best == -1 || rel < bestRel {
+			best, bestRel = n, rel
+		}
+	}
+	if best >= 0 {
+		return best
+	}
+	// Every candidate is panicked: spill to the least relative-loaded
+	// node, sacrificing locality to shed the overload.
+	s.spills++
+	return s.nodes.leastRelLoaded()
+}
+
+// saltedHash hashes target under a per-choice salt, giving each choice an
+// independent (but deterministic) candidate.
+func saltedHash(target string, salt uint64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], salt)
+	h.Write(b[:])
+	h.Write([]byte(target))
+	return h.Sum64()
+}
+
+// NodeDown implements FailureAware. The alive set shrinks, so all targets
+// re-hash over the survivors.
+func (s *POD) NodeDown(node int) { s.nodes.setDown(node, true) }
+
+// NodeUp implements FailureAware.
+func (s *POD) NodeUp(node int) { s.nodes.setDown(node, false) }
+
+// AddNode implements MembershipAware. Candidate sets re-hash over the
+// enlarged alive set, the same partitioning shift LB pays.
+func (s *POD) AddNode() int { return s.nodes.add() }
+
+// RemoveNode implements MembershipAware.
+func (s *POD) RemoveNode(node int) { s.nodes.remove(node) }
+
+// SetDraining implements MembershipAware.
+func (s *POD) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
+
+// SetProfile implements ProfileAware: the node's weight reshapes the
+// relative-load comparison and its T_high moves the panic level.
+func (s *POD) SetProfile(node int, p Profile) { s.nodes.setProfile(node, p) }
+
+// NodeProfile implements ProfileAware.
+func (s *POD) NodeProfile(node int) Profile { return s.nodes.profile(node) }
+
+// Choices returns the number of hash candidates per target.
+func (s *POD) Choices() int { return s.d }
+
+// Spills returns how many requests found every candidate panicked and
+// fell back to the global least relative-loaded pick.
+func (s *POD) Spills() uint64 { return s.spills }
+
+var (
+	_ Strategy        = (*POD)(nil)
+	_ FailureAware    = (*POD)(nil)
+	_ MembershipAware = (*POD)(nil)
+	_ ProfileAware    = (*POD)(nil)
+)

@@ -1,0 +1,110 @@
+package core
+
+import "time"
+
+// WLARD is LARD with a weight-scaled imbalance test, after Sharma &
+// Saxena's weighted locality-aware distribution: targets stick to an
+// assigned node exactly as in Figure 2, but every load the algorithm
+// inspects is first divided by the node's profile Weight, and the scaled
+// values are compared against the fleet-base T_low/T_high from Params.
+//
+// A Weight-w node therefore trips the move condition at w·T_high raw
+// connections and advertises idle capacity below w·T_low — the thresholds
+// a uniform fleet of its speed would use — and first-time assignments and
+// moves pick the least relative-loaded node, so big nodes absorb
+// proportionally more of the working set. On a uniform fleet (all weights
+// 1) WLARD is behaviourally identical to LARD.
+type WLARD struct {
+	nodes   nodeSet
+	params  Params
+	server  *mapping[int]
+	moves   uint64
+	assigns uint64
+}
+
+// NewWLARD returns a weighted LARD strategy. It panics if params are
+// invalid. Every node starts at weight 1; SetProfile retunes individual
+// nodes for heterogeneous fleets.
+func NewWLARD(loads LoadReader, params Params) *WLARD {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &WLARD{
+		nodes:  newNodeSet(loads, params.Profile()),
+		params: params,
+		server: newMapping[int](params.MappingCapacity),
+	}
+}
+
+// Name implements Strategy.
+func (s *WLARD) Name() string { return "WLARD" }
+
+// Select implements Strategy.
+func (s *WLARD) Select(_ time.Duration, r Request) int {
+	node, ok := s.server.get(r.Target)
+	if !ok || !s.nodes.alive(node) {
+		node = s.nodes.leastRelLoaded()
+		if node < 0 {
+			return -1
+		}
+		s.server.put(r.Target, node)
+		s.assigns++
+		return node
+	}
+	rel := s.nodes.relLoad(node)
+	high := float64(s.params.THigh)
+	if (rel > high && s.nodes.anyRelBelow(float64(s.params.TLow))) || rel >= 2*high {
+		moved := s.nodes.leastRelLoaded()
+		if moved >= 0 && moved != node {
+			s.server.put(r.Target, moved)
+			s.moves++
+			return moved
+		}
+	}
+	return node
+}
+
+// NodeDown implements FailureAware: mappings to the failed node are
+// re-assigned lazily by Select's liveness check.
+func (s *WLARD) NodeDown(node int) { s.nodes.setDown(node, true) }
+
+// NodeUp implements FailureAware.
+func (s *WLARD) NodeUp(node int) { s.nodes.setDown(node, false) }
+
+// AddNode implements MembershipAware.
+func (s *WLARD) AddNode() int { return s.nodes.add() }
+
+// RemoveNode implements MembershipAware.
+func (s *WLARD) RemoveNode(node int) { s.nodes.remove(node) }
+
+// SetDraining implements MembershipAware.
+func (s *WLARD) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
+
+// SetProfile implements ProfileAware: the node's weight rescales its
+// contribution to every subsequent load comparison.
+func (s *WLARD) SetProfile(node int, p Profile) { s.nodes.setProfile(node, p) }
+
+// NodeProfile implements ProfileAware.
+func (s *WLARD) NodeProfile(node int) Profile { return s.nodes.profile(node) }
+
+// Assignment returns the node currently assigned to target, if any, for
+// tests and diagnostics.
+func (s *WLARD) Assignment(target string) (node int, ok bool) {
+	return s.server.get(target)
+}
+
+// MappedTargets returns the number of targets currently tracked.
+func (s *WLARD) MappedTargets() int { return s.server.len() }
+
+// Moves returns how many load-triggered reassignments occurred.
+func (s *WLARD) Moves() uint64 { return s.moves }
+
+// Assignments returns the number of first-time target assignments.
+func (s *WLARD) Assignments() uint64 { return s.assigns }
+
+var (
+	_ Strategy        = (*WLARD)(nil)
+	_ FailureAware    = (*WLARD)(nil)
+	_ MembershipAware = (*WLARD)(nil)
+	_ ProfileAware    = (*WLARD)(nil)
+)

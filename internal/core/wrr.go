@@ -11,13 +11,20 @@ import "time"
 //
 // WRR produces near-perfect load balancing but ignores locality: every
 // back end sees (a sample of) the entire working set.
+//
+// On a heterogeneous fleet WRR is weight-proportional: the pick minimizes
+// load divided by the node's profile Weight, so a 2× node settles at
+// twice the connections of a 1× node. With uniform weights (the default)
+// this is exactly the paper's least-loaded pick.
 type WRR struct {
 	nodes nodeSet
 }
 
-// NewWRR returns a WRR strategy over the given load information.
+// NewWRR returns a WRR strategy over the given load information. Nodes
+// start at weight 1 (the uniform paper baseline); SetProfile assigns
+// per-node weights.
 func NewWRR(loads LoadReader) *WRR {
-	return &WRR{nodes: newNodeSet(loads)}
+	return &WRR{nodes: newNodeSet(loads, DefaultProfile())}
 }
 
 // Name implements Strategy.
@@ -25,7 +32,7 @@ func (s *WRR) Name() string { return "WRR" }
 
 // Select implements Strategy.
 func (s *WRR) Select(_ time.Duration, _ Request) int {
-	return s.nodes.leastLoaded()
+	return s.nodes.leastRelLoaded()
 }
 
 // NodeDown implements FailureAware.
@@ -43,8 +50,16 @@ func (s *WRR) RemoveNode(node int) { s.nodes.remove(node) }
 // SetDraining implements MembershipAware.
 func (s *WRR) SetDraining(node int, draining bool) { s.nodes.setDraining(node, draining) }
 
+// SetProfile implements ProfileAware: the node's weight shifts its share of
+// subsequent picks proportionally.
+func (s *WRR) SetProfile(node int, p Profile) { s.nodes.setProfile(node, p) }
+
+// NodeProfile implements ProfileAware.
+func (s *WRR) NodeProfile(node int) Profile { return s.nodes.profile(node) }
+
 var (
 	_ Strategy        = (*WRR)(nil)
 	_ FailureAware    = (*WRR)(nil)
 	_ MembershipAware = (*WRR)(nil)
+	_ ProfileAware    = (*WRR)(nil)
 )

@@ -285,6 +285,12 @@ func All() []Experiment {
 			Paper: "relative ordering unaffected; absolute throughput up to 30% lower with LRU",
 			Run:   LRUAblation,
 		},
+		{
+			ID:    "hetero",
+			Title: "Heterogeneous fleet (4 half + 2 double nodes): goodput under uniform vs per-node capacity thresholds (extension)",
+			Paper: "the paper's fleet is homogeneous; its per-node T_low/T_high generalize to capacity profiles with bound S = sum(T_high_i) - max(T_high_i) + min(T_low_i) + 1",
+			Run:   Hetero,
+		},
 	}
 }
 

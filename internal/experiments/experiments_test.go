@@ -16,7 +16,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 		"figure5", "figure6", "figure7", "figure8", "figure9", "figure10",
 		"figure11", "figure12", "figure13", "figure14",
 		"hotspot", "chess", "delay", "sensitivity", "failover", "churn",
-		"phttp", "mapcap", "wrr10x", "lru",
+		"phttp", "mapcap", "wrr10x", "lru", "hetero",
 	}
 	all := All()
 	if len(all) != len(want) {

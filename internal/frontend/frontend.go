@@ -49,6 +49,16 @@ type Config struct {
 	// shard.
 	Params core.Params
 
+	// Profiles optionally describes a heterogeneous fleet: Profiles[i]
+	// is back end i's capacity profile (fewer entries than Backends
+	// leaves the rest at the fleet default; zero fields fill as
+	// lard.WithProfiles documents). The admission bound generalizes to
+	// S = Σ T_high,i − max T_high,i + min T_low,i + 1, and profile-aware
+	// strategies weight their placement accordingly. Ignored when
+	// Dispatcher is set — build that dispatcher with lard.WithProfiles
+	// instead.
+	Profiles []core.Profile
+
 	// Shards partitions the target space over this many independent
 	// strategy instances so dispatch scales with cores; 0 or 1 keeps the
 	// paper's single dispatch point.
@@ -281,6 +291,9 @@ func New(cfg Config) (*Server, error) {
 		if cfg.CacheBytes > 0 {
 			opts = append(opts, lard.WithCacheBytes(cfg.CacheBytes))
 		}
+		if len(cfg.Profiles) > 0 {
+			opts = append(opts, lard.WithProfiles(cfg.Profiles...))
+		}
 		var err error
 		d, err = lard.New(name, opts...)
 		if err != nil {
@@ -385,6 +398,14 @@ func (s *Server) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// SetProfile retunes a back end's capacity profile at runtime: the
+// dispatcher recomputes the admission bound from the new fleet shape and
+// profile-aware strategies pick up the node's thresholds and weight on
+// their next decision. Zero profile fields fill like lard.WithProfiles.
+func (s *Server) SetProfile(node int, p core.Profile) error {
+	return s.d.SetProfile(node, p)
 }
 
 // SetBackendDown marks a back end failed or restored, when the strategy

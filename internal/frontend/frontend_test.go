@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"lard/internal/backend"
+	"lard/internal/core"
 	"lard/internal/handoff"
 	"lard/internal/loadgen"
 	"lard/internal/trace"
@@ -433,6 +434,43 @@ func TestNewValidation(t *testing.T) {
 		Dispatcher: d,
 	}); err == nil {
 		t.Fatal("dispatcher/backend node-count mismatch accepted")
+	}
+	if _, err := New(Config{
+		Backends: []string{"127.0.0.1:1"},
+		Strategy: "lard",
+		Profiles: []core.Profile{{Weight: -1}},
+	}); err == nil {
+		t.Fatal("invalid profile accepted")
+	}
+}
+
+// Config.Profiles reaches the dispatcher, and SetProfile retunes it live
+// with the resolved thresholds visible through Nodes().
+func TestConfigProfilesAndSetProfile(t *testing.T) {
+	fe, err := New(Config{
+		Backends:      []string{"127.0.0.1:1", "127.0.0.1:2"},
+		Strategy:      "wlard",
+		Profiles:      []core.Profile{{Weight: 0.5}},
+		ProbeInterval: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := fe.Nodes()
+	if p := nodes[0].Profile; p.Weight != 0.5 || p.THigh != 33 {
+		t.Fatalf("node 0 profile = %+v, want weight 0.5 T_high 33", p)
+	}
+	if p := nodes[1].Profile; p.Weight != 1 || p.THigh != 65 {
+		t.Fatalf("node 1 profile = %+v, want fleet default", p)
+	}
+	if err := fe.SetProfile(0, core.Profile{Weight: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if p := fe.Nodes()[0].Profile; p.Weight != 2 || p.THigh != 130 {
+		t.Fatalf("node 0 profile after retune = %+v", p)
+	}
+	if err := fe.SetProfile(9, core.Profile{Weight: 1}); err == nil {
+		t.Fatal("retune of unknown node accepted")
 	}
 }
 

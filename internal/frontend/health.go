@@ -43,6 +43,11 @@ type NodeInfo struct {
 	State     lard.NodeState `json:"state"`
 	Active    int            `json:"active"`
 	DialFails int            `json:"consecutive_dial_failures"`
+
+	// Profile is the node's resolved capacity profile: the thresholds
+	// bounding its backlog, and the weight capacity-aware strategies
+	// scale their placement by. Retune live with POST /admin/profile.
+	Profile lard.Profile `json:"profile"`
 }
 
 // backendAddr returns the handoff address for node, or "" if unknown.
@@ -294,6 +299,7 @@ func (s *Server) evictPooled(node int) {
 func (s *Server) Nodes() []NodeInfo {
 	states := s.d.NodeStates()
 	loads := s.d.Loads()
+	profiles := s.d.Profiles()
 	out := make([]NodeInfo, len(states))
 	for i, st := range states {
 		info := NodeInfo{
@@ -304,6 +310,9 @@ func (s *Server) Nodes() []NodeInfo {
 		}
 		if i < len(loads) {
 			info.Active = loads[i]
+		}
+		if i < len(profiles) {
+			info.Profile = profiles[i]
 		}
 		out[i] = info
 	}

@@ -18,6 +18,10 @@ type (
 	LARD = core.LARD
 	// LARDR is LARD with replication (Figure 3).
 	LARDR = core.LARDR
+	// POD is power-of-d-choices with per-node capacity cost.
+	POD = core.POD
+	// WLARD is LARD with a weight-scaled imbalance test.
+	WLARD = core.WLARD
 )
 
 // The paper's five strategies register themselves under the names used in
@@ -38,6 +42,12 @@ func init() {
 	lardr := func(l core.LoadReader, o Options) (core.Strategy, error) {
 		return core.NewLARDR(l, o.Params), nil
 	}
+	pod := func(l core.LoadReader, o Options) (core.Strategy, error) {
+		return core.NewPOD(l, o.Params, o.Choices), nil
+	}
+	wlard := func(l core.LoadReader, o Options) (core.Strategy, error) {
+		return core.NewWLARD(l, o.Params), nil
+	}
 
 	Register("wrr", wrr)
 	Register("lb", lb)
@@ -46,4 +56,6 @@ func init() {
 	Register("lard", lardS)
 	Register("lard/r", lardr)
 	RegisterAlias("lardr", "lard/r")
+	Register("pod", pod)
+	Register("wlard", wlard)
 }

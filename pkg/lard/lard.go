@@ -55,6 +55,15 @@ type Request = core.Request
 // Params holds the LARD tuning parameters (paper Section 2.4).
 type Params = core.Params
 
+// Profile is one node's capacity profile for heterogeneous fleets: its
+// own T_low/T_high thresholds plus a relative-capacity Weight consulted
+// by the capacity-aware strategies (wrr, pod, wlard).
+type Profile = core.Profile
+
+// ProfileAware is implemented by strategies that consult per-node
+// capacity profiles; SetProfile fans out to it.
+type ProfileAware = core.ProfileAware
+
 // Strategy is the pure policy interface a Factory builds: it picks a node
 // per request and never locks — the Dispatcher serializes around it.
 type Strategy = core.Strategy
@@ -82,6 +91,10 @@ type MembershipAware = core.MembershipAware
 // DefaultParams returns the paper's recommended settings: T_low = 25,
 // T_high = 65 active connections, K = 20 s.
 func DefaultParams() Params { return core.DefaultParams() }
+
+// DefaultProfile returns the capacity profile of a standard node under
+// the paper's defaults: T_low = 25, T_high = 65, Weight = 1.
+func DefaultProfile() Profile { return core.DefaultProfile() }
 
 var (
 	// ErrOverloaded is returned by Dispatch when the admission budget is
@@ -162,6 +175,18 @@ type Dispatcher interface {
 	// NodeStates returns a snapshot of every node's membership and health
 	// flags, indexed by node.
 	NodeStates() []NodeState
+
+	// SetProfile retunes a node's capacity profile at runtime: the
+	// admission bound is recomputed from the new fleet shape, profile-
+	// aware strategies pick up the node's thresholds and weight, and the
+	// session claim ceiling (2× the node's T_high) moves with it. Zero
+	// profile fields fill like WithProfiles. Retuning an unknown or
+	// removed node is an error.
+	SetProfile(node int, p Profile) error
+
+	// Profiles returns a snapshot of every node's resolved capacity
+	// profile, indexed by node id alongside NodeStates.
+	Profiles() []Profile
 
 	// NodeEligible reports whether node may currently receive new
 	// assignments (member, not draining, not down) — the single-node,

@@ -37,6 +37,15 @@ type lockedShard struct {
 	blocked []bool
 	down    []bool
 
+	// caps is each node's per-shard claim ceiling, 2× its profile's
+	// T_high — the load at which every strategy unconditionally abandons
+	// a node. The session claim paths (claimNode, claimFallback) enforce
+	// it so a pinned connection can never ride a small node past the
+	// point its own thresholds call panicked; the strategy dispatch path
+	// needs no check because Select already refuses such nodes. 0 means
+	// uncapped (a strategy that ignores profiles).
+	caps []int
+
 	// gate is the external eligibility veto (SetNodeGate); nil admits
 	// everything. Unlike blocked/down it is never reported to the
 	// strategy: a gated node keeps its target mapping and simply has
@@ -64,13 +73,23 @@ func newLockedShard(f Factory, o Options) (*lockedShard, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &lockedShard{
+	sh := &lockedShard{
 		strategy: s,
 		loads:    lt,
 		budget:   o.budget(),
 		blocked:  make([]bool, o.Nodes),
 		down:     make([]bool, o.Nodes),
-	}, nil
+		caps:     make([]int, o.Nodes),
+	}
+	profiles := o.resolvedProfiles()
+	pa, aware := s.(core.ProfileAware)
+	for i, p := range profiles {
+		sh.caps[i] = 2 * p.THigh
+		if aware {
+			pa.SetProfile(i, p)
+		}
+	}
+	return sh, nil
 }
 
 // claimLocked claims one connection slot on node and returns its
@@ -121,13 +140,19 @@ func (sh *lockedShard) dispatch(now time.Duration, r Request) (int, func(), erro
 func (sh *lockedShard) claimNode(node int) (func(), error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if !sh.admissibleLocked(node) {
+	if !sh.admissibleLocked(node) || sh.atCapLocked(node) {
 		return nil, ErrUnavailable
 	}
 	if sh.budget > 0 && sh.inFlight >= sh.budget {
 		return nil, ErrOverloaded
 	}
 	return sh.claimLocked(node), nil
+}
+
+// atCapLocked reports whether node has reached its per-node claim ceiling
+// (2× its profile's T_high). Callers hold sh.mu.
+func (sh *lockedShard) atCapLocked(node int) bool {
+	return sh.caps[node] > 0 && sh.loads.active[node] >= sh.caps[node]
 }
 
 // claimFallback claims a connection slot on the least-loaded node that
@@ -150,12 +175,14 @@ func (sh *lockedShard) claimFallback(exclude []int) (int, func(), error) {
 }
 
 // fallbackLocked returns the least-loaded admissible node outside
-// exclude, or -1. Callers hold sh.mu.
+// exclude, or -1. Nodes at their per-node claim ceiling are skipped, so a
+// redispatching session never lands on a node its profile calls
+// panicked. Callers hold sh.mu.
 func (sh *lockedShard) fallbackLocked(exclude []int) int {
 	best := -1
 search:
 	for i := range sh.loads.active {
-		if !sh.admissibleLocked(i) {
+		if !sh.admissibleLocked(i) || sh.atCapLocked(i) {
 			continue
 		}
 		for _, x := range exclude {
@@ -205,16 +232,36 @@ func (sh *lockedShard) setNodeDown(node int, down, draining bool) {
 
 // addNode grows the shard's load table (so Load(new) is valid before the
 // strategy learns of the node) and installs the recomputed admission
-// budget.
-func (sh *lockedShard) addNode(budget int) {
+// budget and the new node's profile.
+func (sh *lockedShard) addNode(budget int, p core.Profile) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.loads.active = append(sh.loads.active, 0)
 	sh.blocked = append(sh.blocked, false)
 	sh.down = append(sh.down, false)
+	sh.caps = append(sh.caps, 2*p.THigh)
 	sh.budget = budget
+	node := len(sh.loads.active) - 1
 	if ma, ok := sh.strategy.(core.MembershipAware); ok {
 		ma.AddNode()
+	}
+	if pa, ok := sh.strategy.(core.ProfileAware); ok {
+		pa.SetProfile(node, p)
+	}
+}
+
+// setProfile installs a node's retuned profile and the recomputed
+// admission budget on this shard.
+func (sh *lockedShard) setProfile(node int, p core.Profile, budget int) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if node < 0 || node >= len(sh.caps) {
+		return
+	}
+	sh.caps[node] = 2 * p.THigh
+	sh.budget = budget
+	if pa, ok := sh.strategy.(core.ProfileAware); ok {
+		pa.SetProfile(node, p)
 	}
 }
 
@@ -317,7 +364,12 @@ func (d *locked) Drain(node int)             { d.mem.setDraining(node, true, d.s
 func (d *locked) Undrain(node int)           { d.mem.setDraining(node, false, d.shardList()) }
 func (d *locked) NodeStates() []NodeState    { return d.mem.snapshot() }
 func (d *locked) NodeEligible(node int) bool { return d.mem.eligibleNode(node) }
+func (d *locked) Profiles() []Profile        { return d.mem.profilesSnapshot() }
 func (d *locked) shardList() []*lockedShard  { return []*lockedShard{d.shard} }
+
+func (d *locked) SetProfile(node int, p Profile) error {
+	return d.mem.setProfile(node, p, d.shardList())
+}
 
 func (d *locked) Inspect(f func(int, core.Strategy, core.LoadReader)) {
 	d.shard.inspect(0, f)

@@ -1,6 +1,11 @@
 package lard
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+
+	"lard/internal/core"
+)
 
 // NodeState is one node's membership and health as tracked by the
 // dispatcher. NodeStates returns a slice indexed by node id; indices are
@@ -28,16 +33,22 @@ func (s NodeState) Eligible() bool { return s.Member && !s.Draining && !s.Down }
 // (Add/Remove/Drain/SetNodeDown) against each other and fans each one out
 // to every shard; the dispatch hot path never touches it.
 //
-// The admission bound S = (n−1)·T_high + T_low + 1 is recomputed on every
-// membership change with n = the member, non-draining node count. Down
-// nodes still count toward n: failure is transient (the paper expects the
-// node back; the prober re-dials it), whereas Remove and Drain are
-// deliberate capacity changes. An explicit WithMaxOutstanding override is
-// never recomputed.
+// The admission bound S = Σᵢ T_high,i − maxᵢ T_high,i + minᵢ T_low,i + 1
+// (the heterogeneous generalization of the paper's (n−1)·T_high + T_low +
+// 1) is recomputed on every membership or profile change over the member,
+// non-draining nodes' profiles. Down nodes still count toward S: failure
+// is transient (the paper expects the node back; the prober re-dials it),
+// whereas Remove and Drain are deliberate capacity changes. An explicit
+// WithMaxOutstanding override is never recomputed.
 type membership struct {
 	mu    sync.RWMutex
 	state []NodeState
 	opts  Options
+
+	// profiles holds every node's resolved capacity profile, indexed by
+	// node id alongside state. Removed nodes keep their last profile (it
+	// no longer enters the budget).
+	profiles []core.Profile
 
 	// gate is the external eligibility veto installed by SetNodeGate
 	// (nil = admit everything). It is read under the same locks as the
@@ -46,7 +57,11 @@ type membership struct {
 }
 
 func newMembership(o Options) *membership {
-	m := &membership{opts: o, state: make([]NodeState, o.Nodes)}
+	m := &membership{
+		opts:     o,
+		state:    make([]NodeState, o.Nodes),
+		profiles: o.resolvedProfiles(),
+	}
 	for i := range m.state {
 		m.state[i].Member = true
 	}
@@ -54,18 +69,18 @@ func newMembership(o Options) *membership {
 }
 
 // budgetLocked derives the per-shard admission budget from the current
-// eligible-for-capacity node count. Callers hold m.mu. With zero
+// eligible-for-capacity nodes' profiles. Callers hold m.mu. With zero
 // eligible nodes the derived budget is 0 (internally "unlimited"), which
 // is harmless: no dispatch can claim a slot anyway — Select has no node
 // to return and every request fails with ErrUnavailable.
 func (m *membership) budgetLocked() int {
-	n := 0
-	for _, st := range m.state {
+	eligible := make([]core.Profile, 0, len(m.state))
+	for i, st := range m.state {
 		if st.Member && !st.Draining {
-			n++
+			eligible = append(eligible, m.profiles[i])
 		}
 	}
-	return m.opts.budgetFor(n)
+	return m.opts.budgetOver(eligible)
 }
 
 // eligibleNode reports whether the node may receive new assignments —
@@ -104,17 +119,49 @@ func (m *membership) snapshot() []NodeState {
 }
 
 // addNode grows the cluster by one node on every shard and returns the new
-// node's index.
+// node's index. The node joins on the uniform default profile; callers
+// with a known capacity follow up with setProfile.
 func (m *membership) addNode(shards []*lockedShard) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.state = append(m.state, NodeState{Member: true})
 	node := len(m.state) - 1
+	p := m.opts.profileFor(node)
+	m.profiles = append(m.profiles, p)
 	budget := m.budgetLocked()
 	for _, sh := range shards {
-		sh.addNode(budget)
+		sh.addNode(budget, p)
 	}
 	return node
+}
+
+// setProfile retunes a node's capacity profile, recomputes the admission
+// budget, and fans both out to every shard. Partial profiles fill like
+// WithProfiles. Retuning an unknown or removed node is an error.
+func (m *membership) setProfile(node int, p core.Profile, shards []*lockedShard) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if node < 0 || node >= len(m.state) || !m.state[node].Member {
+		return fmt.Errorf("lard: SetProfile(%d): no such member node", node)
+	}
+	filled := m.opts.fillProfile(p)
+	if err := filled.Validate(); err != nil {
+		return err
+	}
+	m.profiles[node] = filled
+	budget := m.budgetLocked()
+	for _, sh := range shards {
+		sh.setProfile(node, filled, budget)
+	}
+	return nil
+}
+
+// profilesSnapshot returns a copy of every node's resolved profile,
+// indexed by node id alongside NodeStates.
+func (m *membership) profilesSnapshot() []core.Profile {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]core.Profile(nil), m.profiles...)
 }
 
 // removeNode permanently retires a node. In-flight slots on it drain

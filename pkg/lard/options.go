@@ -31,9 +31,22 @@ type Options struct {
 	CacheBytes int64
 
 	// MaxOutstanding is the per-shard admission budget. 0 derives the
-	// paper's bound S = (n−1)·T_high + T_low + 1 from Params; a negative
+	// paper's bound S = (n−1)·T_high + T_low + 1 from Params (its
+	// heterogeneous generalization when Profiles are set); a negative
 	// value disables admission control.
 	MaxOutstanding int
+
+	// Profiles are per-node capacity profiles for heterogeneous fleets,
+	// indexed by node. It may be shorter than Nodes; unlisted nodes get
+	// the uniform profile Params imply. Zero profile fields are filled
+	// from Params scaled by the profile's Weight (see WithProfiles), so a
+	// weight-only profile folds capacity into both thresholds and the
+	// admission bound.
+	Profiles []core.Profile
+
+	// Choices is the number of hash candidates per target for the pod
+	// strategy (defaults to core.DefaultChoices).
+	Choices int
 }
 
 // Option configures New.
@@ -61,6 +74,22 @@ func WithCacheBytes(b int64) Option { return func(o *Options) { o.CacheBytes = b
 // the paper's S from the params, negative disables admission control.
 func WithMaxOutstanding(n int) Option { return func(o *Options) { o.MaxOutstanding = n } }
 
+// WithProfiles declares a heterogeneous fleet: profiles[i] is node i's
+// capacity profile. The slice may be shorter than Nodes; unlisted nodes
+// run the uniform profile Params imply. Zero fields are filled from
+// Params scaled by Weight — WithProfiles(Profile{Weight: 2}) gives a node
+// double thresholds and double admission headroom without spelling them
+// out. The admission bound becomes the generalized
+// S = Σᵢ T_high,i − maxᵢ T_high,i + minᵢ T_low,i + 1, recomputed on every
+// membership or profile change.
+func WithProfiles(profiles ...core.Profile) Option {
+	return func(o *Options) { o.Profiles = profiles }
+}
+
+// WithChoices sets the number of hash candidates per target for the pod
+// strategy (>= 1; the default core.DefaultChoices = 2).
+func WithChoices(d int) Option { return func(o *Options) { o.Choices = d } }
+
 // defaultOptions is the state New starts from before applying options.
 func defaultOptions() Options {
 	return Options{
@@ -83,6 +112,49 @@ func (o *Options) applyDefaults() {
 	if o.Params.K == 0 {
 		o.Params.K = def.K
 	}
+	if o.Choices == 0 {
+		o.Choices = core.DefaultChoices
+	}
+}
+
+// fillProfile resolves a possibly-partial profile against the fleet-base
+// Params: Weight 0 becomes 1, and zero thresholds scale the fleet defaults
+// by the weight (rounding to at least 1), so {Weight: 4} yields
+// {TLow: 100, THigh: 260, Weight: 4} under the paper's defaults.
+func (o Options) fillProfile(p core.Profile) core.Profile {
+	if p.Weight == 0 {
+		p.Weight = 1
+	}
+	if p.TLow == 0 {
+		if p.TLow = int(float64(o.Params.TLow)*p.Weight + 0.5); p.TLow < 1 {
+			p.TLow = 1
+		}
+	}
+	if p.THigh == 0 {
+		if p.THigh = int(float64(o.Params.THigh)*p.Weight + 0.5); p.THigh <= p.TLow {
+			p.THigh = p.TLow + 1
+		}
+	}
+	return p
+}
+
+// profileFor returns node i's resolved capacity profile: the filled
+// Profiles entry when present, otherwise the uniform profile Params imply.
+func (o Options) profileFor(i int) core.Profile {
+	if i >= 0 && i < len(o.Profiles) {
+		return o.fillProfile(o.Profiles[i])
+	}
+	return o.Params.Profile()
+}
+
+// resolvedProfiles returns the filled per-node profile for every initial
+// node.
+func (o Options) resolvedProfiles() []core.Profile {
+	out := make([]core.Profile, o.Nodes)
+	for i := range out {
+		out[i] = o.profileFor(i)
+	}
+	return out
 }
 
 // validate checks the resolved options.
@@ -94,24 +166,38 @@ func (o Options) validate() error {
 		return fmt.Errorf("lard: Shards = %d, need >= 1", o.Shards)
 	case o.CacheBytes < 0:
 		return fmt.Errorf("lard: negative CacheBytes")
+	case o.Choices < 1:
+		return fmt.Errorf("lard: Choices = %d, need >= 1", o.Choices)
+	case len(o.Profiles) > o.Nodes:
+		return fmt.Errorf("lard: %d profiles for %d nodes", len(o.Profiles), o.Nodes)
 	}
-	return o.Params.Validate()
+	if err := o.Params.Validate(); err != nil {
+		return err
+	}
+	for i := range o.Profiles {
+		if err := o.fillProfile(o.Profiles[i]).Validate(); err != nil {
+			return fmt.Errorf("lard: profile for node %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // budget resolves the per-shard admission budget at construction: 0 means
 // unlimited internally.
-func (o Options) budget() int { return o.budgetFor(o.Nodes) }
+func (o Options) budget() int { return o.budgetOver(o.resolvedProfiles()) }
 
-// budgetFor resolves the per-shard admission budget for an eligible node
-// count of n — membership changes recompute the paper's S through it. An
-// explicit WithMaxOutstanding value (positive or negative) is independent
-// of n and never recomputes.
-func (o Options) budgetFor(n int) int {
+// budgetOver resolves the per-shard admission budget for the given
+// eligible-node profiles — membership and profile changes recompute the
+// generalized S through it. On a uniform fleet this is exactly the
+// paper's S = (n−1)·T_high + T_low + 1. An explicit WithMaxOutstanding
+// value (positive or negative) is independent of the fleet and never
+// recomputes.
+func (o Options) budgetOver(profiles []core.Profile) int {
 	switch {
 	case o.MaxOutstanding < 0:
 		return 0
 	case o.MaxOutstanding == 0:
-		return o.Params.MaxOutstanding(n)
+		return core.MaxOutstandingOver(profiles)
 	default:
 		return o.MaxOutstanding
 	}

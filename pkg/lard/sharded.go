@@ -83,6 +83,11 @@ func (d *sharded) Drain(node int)             { d.mem.setDraining(node, true, d.
 func (d *sharded) Undrain(node int)           { d.mem.setDraining(node, false, d.shards) }
 func (d *sharded) NodeStates() []NodeState    { return d.mem.snapshot() }
 func (d *sharded) NodeEligible(node int) bool { return d.mem.eligibleNode(node) }
+func (d *sharded) Profiles() []Profile        { return d.mem.profilesSnapshot() }
+
+func (d *sharded) SetProfile(node int, p Profile) error {
+	return d.mem.setProfile(node, p, d.shards)
+}
 
 func (d *sharded) Inspect(f func(int, core.Strategy, core.LoadReader)) {
 	for i, sh := range d.shards {

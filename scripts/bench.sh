@@ -6,9 +6,9 @@
 # plus BenchmarkHandoffDial (internal/frontend, pooled vs fresh-dial
 # handoff) and BenchmarkRelayResponse / BenchmarkRelayRequestBody
 # (internal/httprelay, the pooled-buffer relay path) with -benchmem, and
-# writes the parsed results to BENCH_PR9.json next to the repo root, so
+# writes the parsed results to BENCH_PR10.json next to the repo root, so
 # successive PRs can diff the hot-path numbers. When the previous PR's
-# report (BENCH_PR8.json) is present, benchgate.go compares the handoff
+# report (BENCH_PR9.json) is present, benchgate.go compares the handoff
 # and relay B/op columns against it and fails the run on a >15%
 # allocation regression. It then invokes the saturation harness
 # (cmd/capacity), which merges the end-to-end knee report into the same
@@ -27,8 +27,8 @@ set -eu
 
 cd "$(dirname "$0")/.."
 benchtime="${1:-1s}"
-out="BENCH_PR9.json"
-baseline="BENCH_PR8.json"
+out="BENCH_PR10.json"
+baseline="BENCH_PR9.json"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
